@@ -1,0 +1,73 @@
+// Ablation — betting functions and threshold policies (DESIGN.md §2).
+//
+// The paper derives both multiplicative (log) and additive (shifted-odd)
+// martingales and leaves the concrete bet open. This bench compares the
+// implemented families on (a) detection latency for the BDD Day->Night
+// drift and (b) false alarms over a long stationary Day stream, under both
+// the paper's threshold formula and the Hoeffding-Azuma one.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "benchutil/experiments.h"
+#include "benchutil/table.h"
+#include "benchutil/workbench.h"
+#include "core/betting.h"
+#include "video/stream.h"
+
+int main() {
+  using namespace vdrift;
+  benchutil::Banner("Ablation: betting functions x threshold policies");
+  benchutil::WorkbenchOptions options = benchutil::DefaultWorkbenchOptions();
+  auto bench = benchutil::BuildWorkbench("BDD", options).ValueOrDie();
+  const conformal::DistributionProfile& day = *bench->registry.at(0).profile;
+  std::vector<video::Frame> night = video::GenerateFrames(
+      bench->dataset.segments[1].spec, 400, bench->dataset.image_size, 9100);
+  std::vector<video::Frame> more_day = video::GenerateFrames(
+      bench->dataset.segments[0].spec, 3000, bench->dataset.image_size, 9200);
+
+  struct Case {
+    const char* name;
+    std::shared_ptr<const conformal::BettingFunction> betting;
+    conformal::ThresholdPolicy policy;
+    int window;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"symmetric-power eps=.55 / paper W=3",
+                   std::make_shared<conformal::SymmetricPowerLogBetting>(),
+                   conformal::ThresholdPolicy::kPaper, 3});
+  cases.push_back({"symmetric-power eps=.55 / hoeffding W=3",
+                   std::make_shared<conformal::SymmetricPowerLogBetting>(),
+                   conformal::ThresholdPolicy::kHoeffding, 3});
+  cases.push_back({"power eps=.7 / paper W=3",
+                   std::make_shared<conformal::PowerLogBetting>(0.7, 5e-4),
+                   conformal::ThresholdPolicy::kPaper, 3});
+  cases.push_back({"mixture / paper W=3",
+                   std::make_shared<conformal::MixtureLogBetting>(5e-4),
+                   conformal::ThresholdPolicy::kPaper, 3});
+  cases.push_back({"shifted-odd s=2 / paper W=12",
+                   std::make_shared<conformal::ShiftedOddBetting>(2.0),
+                   conformal::ThresholdPolicy::kPaper, 12});
+
+  benchutil::Table table({"Betting / threshold", "frames to detect",
+                          "false alarms / 3k frames"});
+  for (const Case& c : cases) {
+    conformal::DriftInspectorConfig config;
+    config.betting = c.betting;
+    config.threshold = c.policy;
+    config.window = c.window;
+    benchutil::LatencyResult latency =
+        benchutil::MeasureDiLatency(day, night, config, 11);
+    int alarms = benchutil::CountFalseAlarms(day, more_day, config, 12);
+    table.AddRow({c.name,
+                  latency.frames_to_detect < 0
+                      ? std::string(">400")
+                      : std::to_string(latency.frames_to_detect),
+                  std::to_string(alarms)});
+  }
+  table.Print();
+  std::printf("\nThe default (symmetric power, paper threshold, W=3) should "
+              "detect within a few frames with zero false alarms.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Ablation — DI vs the classic detectors the paper's related work
+// discusses (§2): a windowed two-sample KS test and a Page-Hinkley
+// control chart, both monitoring a scalar frame statistic (mean
+// brightness). The classics are competitive on photometric drifts (their
+// statistic is exactly the drifting quantity) but blind to drifts that
+// preserve it — the multi-dimensional coverage argument for conformal
+// martingales.
+
+#include <cstdio>
+#include <vector>
+
+#include "baseline/classic.h"
+#include "benchutil/experiments.h"
+#include "benchutil/table.h"
+#include "benchutil/workbench.h"
+#include "tensor/ops.h"
+#include "video/frame_stats.h"
+#include "video/stream.h"
+
+namespace {
+
+using namespace vdrift;
+
+// Frames-to-detect for a scalar detector fed the frame-mean statistic.
+template <typename Detector>
+int ScalarLatency(Detector* detector,
+                  const std::vector<video::Frame>& post_drift) {
+  for (size_t i = 0; i < post_drift.size(); ++i) {
+    if (detector->Observe(tensor::Mean(post_drift[i].pixels))) {
+      return static_cast<int>(i) + 1;
+    }
+  }
+  return -1;
+}
+
+template <typename Detector>
+int ScalarFalseAlarms(Detector* detector,
+                      const std::vector<video::Frame>& frames) {
+  int alarms = 0;
+  for (const video::Frame& f : frames) {
+    if (detector->Observe(tensor::Mean(f.pixels))) {
+      ++alarms;
+      detector->Reset();
+    }
+  }
+  return alarms;
+}
+
+std::string Show(int v) {
+  return v < 0 ? std::string("miss") : std::to_string(v);
+}
+
+}  // namespace
+
+int main() {
+  benchutil::Banner("Ablation: DI vs classic detectors (KS, Page-Hinkley)");
+  benchutil::WorkbenchOptions options = benchutil::DefaultWorkbenchOptions();
+  auto bench = benchutil::BuildWorkbench("BDD", options).ValueOrDie();
+  const conformal::DistributionProfile& day = *bench->registry.at(0).profile;
+
+  // Reference sample of the scalar statistic from the Day training set.
+  std::vector<double> reference;
+  for (const video::Frame& f : bench->training_frames[0]) {
+    reference.push_back(tensor::Mean(f.pixels));
+  }
+  std::vector<video::Frame> more_day = video::GenerateFrames(
+      bench->dataset.segments[0].spec, 2000, bench->dataset.image_size, 9500);
+
+  benchutil::Table table({"Transition", "DI", "KS-window", "Page-Hinkley"});
+  for (int target = 1; target < bench->registry.size(); ++target) {
+    std::vector<video::Frame> post = video::GenerateFrames(
+        bench->dataset.segments[static_cast<size_t>(target)].spec, 400,
+        bench->dataset.image_size, 9600 + static_cast<uint64_t>(target));
+    benchutil::LatencyResult di = benchutil::MeasureDiLatency(
+        day, post, conformal::DriftInspectorConfig{}, 31);
+    baseline::KsWindowDetector ks =
+        baseline::KsWindowDetector::Make(reference,
+                                         baseline::KsWindowDetector::Config{})
+            .ValueOrDie();
+    baseline::PageHinkleyDetector::Config ph_config;
+    ph_config.lambda = 2.0;
+    baseline::PageHinkleyDetector ph(ph_config);
+    // Warm Page-Hinkley on in-distribution data (it needs a mean estimate).
+    for (int i = 0; i < 200; ++i) {
+      ph.Observe(tensor::Mean(more_day[static_cast<size_t>(i)].pixels));
+    }
+    table.AddRow({"Day -> " + bench->registry.at(target).name,
+                  Show(di.frames_to_detect), Show(ScalarLatency(&ks, post)),
+                  Show(ScalarLatency(&ph, post))});
+  }
+  table.Print();
+
+  benchutil::Table fp({"Detector", "false alarms / 2k Day frames"});
+  fp.AddRow({"DI", std::to_string(benchutil::CountFalseAlarms(
+                      day, more_day, conformal::DriftInspectorConfig{}, 32))});
+  baseline::KsWindowDetector ks =
+      baseline::KsWindowDetector::Make(reference,
+                                       baseline::KsWindowDetector::Config{})
+          .ValueOrDie();
+  fp.AddRow({"KS-window", std::to_string(ScalarFalseAlarms(&ks, more_day))});
+  baseline::PageHinkleyDetector::Config ph_config;
+  ph_config.lambda = 2.0;
+  baseline::PageHinkleyDetector ph(ph_config);
+  fp.AddRow({"Page-Hinkley",
+             std::to_string(ScalarFalseAlarms(&ph, more_day))});
+  std::printf("\n");
+  fp.Print();
+  std::printf(
+      "\nNote: the scalar classics track only mean brightness; drifts that\n"
+      "preserve it (e.g. pure viewpoint changes) are invisible to them,\n"
+      "while DI monitors the full scoring embedding.\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Ablation — DI hyperparameter sweeps (W, r, K, |Sigma|, stats weight).
+//
+// The paper reports "extremely low dependency on W" and "nominal
+// dependency on K" (§6.1); this bench verifies both claims on the BDD
+// Day->Night transition and also sweeps the significance level r, the
+// reference-sample size, and the scoring-embedding stats weight (the
+// substitution-specific knob documented in DESIGN.md).
+
+#include <cstdio>
+#include <vector>
+
+#include "benchutil/experiments.h"
+#include "benchutil/table.h"
+#include "benchutil/workbench.h"
+#include "core/profile.h"
+#include "stats/rng.h"
+#include "video/datasets.h"
+#include "video/stream.h"
+
+namespace {
+
+using namespace vdrift;
+
+void SweepHeader(const char* what) {
+  std::printf("\n-- sweep: %s --\n", what);
+}
+
+}  // namespace
+
+int main() {
+  benchutil::Banner("Ablation: DI parameter sweeps (BDD Day->Night)");
+  benchutil::WorkbenchOptions options = benchutil::DefaultWorkbenchOptions();
+  auto bench = benchutil::BuildWorkbench("BDD", options).ValueOrDie();
+  const conformal::DistributionProfile& day = *bench->registry.at(0).profile;
+  std::vector<video::Frame> night = video::GenerateFrames(
+      bench->dataset.segments[1].spec, 400, bench->dataset.image_size, 9300);
+  std::vector<video::Frame> more_day = video::GenerateFrames(
+      bench->dataset.segments[0].spec, 1500, bench->dataset.image_size, 9400);
+
+  // W sweep (paper: W=3 suffices; low dependency).
+  SweepHeader("window W (r=0.5)");
+  benchutil::Table w_table({"W", "frames to detect", "false alarms/1.5k"});
+  for (int w : {2, 3, 5, 8, 12}) {
+    conformal::DriftInspectorConfig config;
+    config.window = w;
+    benchutil::LatencyResult r =
+        benchutil::MeasureDiLatency(day, night, config, 21);
+    int alarms = benchutil::CountFalseAlarms(day, more_day, config, 22);
+    w_table.AddRow({std::to_string(w),
+                    r.frames_to_detect < 0 ? std::string(">400")
+                                           : std::to_string(r.frames_to_detect),
+                    std::to_string(alarms)});
+  }
+  w_table.Print();
+
+  // r sweep.
+  SweepHeader("significance level r (W=3)");
+  benchutil::Table r_table({"r", "frames to detect", "false alarms/1.5k"});
+  for (double r : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    conformal::DriftInspectorConfig config;
+    config.r = r;
+    benchutil::LatencyResult lat =
+        benchutil::MeasureDiLatency(day, night, config, 23);
+    int alarms = benchutil::CountFalseAlarms(day, more_day, config, 24);
+    r_table.AddRow({benchutil::Fmt(r, 1),
+                    lat.frames_to_detect < 0
+                        ? std::string(">400")
+                        : std::to_string(lat.frames_to_detect),
+                    std::to_string(alarms)});
+  }
+  r_table.Print();
+
+  // K and |Sigma| and stats-weight sweeps need fresh profiles.
+  stats::Rng rng(4040);
+  std::vector<tensor::Tensor> day_pixels =
+      video::PixelsOf(bench->training_frames[0]);
+
+  SweepHeader("K nearest neighbours (paper: nominal dependency)");
+  benchutil::Table k_table({"K", "frames to detect", "false alarms/1.5k"});
+  for (int k : {1, 3, 5, 9, 15}) {
+    conformal::DistributionProfile::Options popt = options.provision.profile;
+    popt.k = k;
+    auto profile = conformal::DistributionProfile::Build("day-k", day_pixels,
+                                                         popt, &rng)
+                       .ValueOrDie();
+    conformal::DriftInspectorConfig config;
+    benchutil::LatencyResult lat =
+        benchutil::MeasureDiLatency(*profile, night, config, 25);
+    int alarms = benchutil::CountFalseAlarms(*profile, more_day, config, 26);
+    k_table.AddRow({std::to_string(k),
+                    lat.frames_to_detect < 0
+                        ? std::string(">400")
+                        : std::to_string(lat.frames_to_detect),
+                    std::to_string(alarms)});
+  }
+  k_table.Print();
+
+  SweepHeader("reference sample size |Sigma_Ti|");
+  benchutil::Table s_table({"|Sigma|", "frames to detect",
+                            "false alarms/1.5k"});
+  for (int sigma : {50, 100, 200, 400}) {
+    conformal::DistributionProfile::Options popt = options.provision.profile;
+    popt.sigma_size = sigma;
+    auto profile = conformal::DistributionProfile::Build("day-s", day_pixels,
+                                                         popt, &rng)
+                       .ValueOrDie();
+    conformal::DriftInspectorConfig config;
+    benchutil::LatencyResult lat =
+        benchutil::MeasureDiLatency(*profile, night, config, 27);
+    int alarms = benchutil::CountFalseAlarms(*profile, more_day, config, 28);
+    s_table.AddRow({std::to_string(sigma),
+                    lat.frames_to_detect < 0
+                        ? std::string(">400")
+                        : std::to_string(lat.frames_to_detect),
+                    std::to_string(alarms)});
+  }
+  s_table.Print();
+
+  SweepHeader("scoring-embedding stats weight (0 = raw VAE latent)");
+  benchutil::Table t_table({"weight", "frames to detect",
+                            "false alarms/1.5k"});
+  for (double weight : {0.0, 0.5, 1.0, 2.0}) {
+    conformal::DistributionProfile::Options popt = options.provision.profile;
+    popt.stats_weight = weight;
+    auto profile = conformal::DistributionProfile::Build("day-w", day_pixels,
+                                                         popt, &rng)
+                       .ValueOrDie();
+    conformal::DriftInspectorConfig config;
+    benchutil::LatencyResult lat =
+        benchutil::MeasureDiLatency(*profile, night, config, 29);
+    int alarms = benchutil::CountFalseAlarms(*profile, more_day, config, 30);
+    t_table.AddRow({benchutil::Fmt(weight, 1),
+                    lat.frames_to_detect < 0
+                        ? std::string(">400")
+                        : std::to_string(lat.frames_to_detect),
+                    std::to_string(alarms)});
+  }
+  t_table.Print();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 8 — Spatial-constrained query accuracy on BDD.
+//
+// The query predicate is "bus is on the left side of a car"; A_q is the
+// fraction of frames where the deployed predicate classifier matches the
+// oracle truth. Paper: (DI,MSBO) outperforms ODIN by ~20% on every BDD
+// sequence while being ~3x faster end to end.
+
+#include <cstdio>
+
+#include "benchutil/table.h"
+#include "benchutil/workbench.h"
+#include "detect/detector.h"
+#include "pipeline/pipeline.h"
+#include "stats/rng.h"
+#include "video/stream.h"
+
+int main() {
+  using namespace vdrift;
+  benchutil::Banner(
+      "Figure 8: spatial query (bus left of car) accuracy on BDD");
+  benchutil::WorkbenchOptions options = benchutil::DefaultWorkbenchOptions();
+  auto bench = benchutil::BuildWorkbench("BDD", options).ValueOrDie();
+
+  pipeline::PipelineConfig msbo_config;
+  msbo_config.selector = pipeline::PipelineConfig::Selector::kMsbo;
+  msbo_config.allow_training_new = false;
+  msbo_config.provision = options.provision;
+  msbo_config.run_predicate = true;
+  video::StreamGenerator s1 = bench->dataset.MakeStream();
+  pipeline::DriftAwarePipeline msbo(&bench->registry,
+                                    bench->calibration_samples, msbo_config);
+  pipeline::PipelineMetrics m_msbo = msbo.Run(&s1).ValueOrDie();
+
+  pipeline::PipelineConfig msbi_config = msbo_config;
+  msbi_config.selector = pipeline::PipelineConfig::Selector::kMsbi;
+  video::StreamGenerator s2 = bench->dataset.MakeStream();
+  pipeline::DriftAwarePipeline msbi(&bench->registry,
+                                    bench->calibration_samples, msbi_config);
+  pipeline::PipelineMetrics m_msbi = msbi.Run(&s2).ValueOrDie();
+
+  pipeline::OdinPipeline::Config odin_config;
+  odin_config.run_predicate = true;
+  video::StreamGenerator s3 = bench->dataset.MakeStream();
+  pipeline::OdinPipeline odin(&bench->registry, bench->training_frames,
+                              odin_config);
+  pipeline::PipelineMetrics m_odin = odin.Run(&s3).ValueOrDie();
+
+  stats::Rng rng(606);
+  detect::SimulatedDetector::Config det_config;
+  detect::SimulatedDetector detector(det_config, &rng);
+  detect::ClassifierTrainConfig tc;
+  tc.epochs = 10;
+  VDRIFT_CHECK_OK(detector.Train(bench->training_frames[0], tc, &rng));
+  video::StreamGenerator s4 = bench->dataset.MakeStream();
+  pipeline::PipelineMetrics m_yolo =
+      pipeline::StaticDetectorPipeline::RunDetector(&detector, &s4, true)
+          .ValueOrDie();
+
+  video::StreamGenerator s5 = bench->dataset.MakeStream();
+  pipeline::PipelineMetrics m_mask =
+      pipeline::StaticDetectorPipeline::RunOracle(0, &s5).ValueOrDie();
+
+  benchutil::Table table(
+      {"Sequence", "(DI,MSBO)", "(DI,MSBI)", "ODIN", "YOLO", "MaskRCNN"});
+  for (int seq = 0; seq < bench->registry.size(); ++seq) {
+    table.AddRow(
+        {bench->registry.at(seq).name,
+         benchutil::Fmt(m_msbo.per_sequence[seq].PredicateAq(), 3),
+         benchutil::Fmt(m_msbi.per_sequence[seq].PredicateAq(), 3),
+         benchutil::Fmt(m_odin.per_sequence[seq].PredicateAq(), 3),
+         benchutil::Fmt(m_yolo.per_sequence[seq].PredicateAq(), 3),
+         benchutil::Fmt(m_mask.per_sequence[seq].PredicateAq(), 3)});
+  }
+  table.Print();
+  std::printf("\noverall: MSBO %.3f vs ODIN %.3f (paper: MSBO ~+20%%)\n",
+              m_msbo.Totals().PredicateAq(), m_odin.Totals().PredicateAq());
+  return 0;
+}

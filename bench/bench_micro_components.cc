@@ -1,0 +1,146 @@
+// Micro benchmarks (google-benchmark) — per-component costs behind the
+// paper's §6.1.2 / §6.2.2 per-frame millisecond breakdowns: VAE encode,
+// K-NN non-conformity score, conformal p-value, martingale update, one
+// full DI observation, one ODIN-Detect observation, ensemble Brier
+// evaluation, classifier inference, and frame rendering.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "baseline/odin.h"
+#include "benchutil/workbench.h"
+#include "core/betting.h"
+#include "core/drift_inspector.h"
+#include "core/martingale.h"
+#include "core/pvalue.h"
+#include "stats/rng.h"
+#include "video/renderer.h"
+#include "video/stream.h"
+
+namespace {
+
+using namespace vdrift;
+
+// Shared fixture: one BDD workbench built (or loaded from cache) once.
+benchutil::Workbench* GetBench() {
+  static benchutil::Workbench* bench = [] {
+    benchutil::WorkbenchOptions options =
+        benchutil::DefaultWorkbenchOptions();
+    return benchutil::BuildWorkbench("BDD", options).ValueOrDie().release();
+  }();
+  return bench;
+}
+
+video::Frame TestFrame() {
+  return video::GenerateFrames(GetBench()->dataset.segments[0].spec, 1, 32,
+                               424242)[0];
+}
+
+void BM_RenderFrame(benchmark::State& state) {
+  video::Renderer renderer(32);
+  stats::Rng rng(1);
+  video::SceneSpec spec = GetBench()->dataset.segments[0].spec;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(renderer.Render(spec, &rng));
+  }
+}
+BENCHMARK(BM_RenderFrame);
+
+void BM_VaeEncode(benchmark::State& state) {
+  video::Frame frame = TestFrame();
+  const conformal::DistributionProfile& profile =
+      *GetBench()->registry.at(0).profile;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile.Encode(frame.pixels));
+  }
+}
+BENCHMARK(BM_VaeEncode);
+
+void BM_KnnScore(benchmark::State& state) {
+  video::Frame frame = TestFrame();
+  const conformal::DistributionProfile& profile =
+      *GetBench()->registry.at(0).profile;
+  std::vector<float> z = profile.Encode(frame.pixels);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile.sigma().KnnScore(z));
+  }
+}
+BENCHMARK(BM_KnnScore);
+
+void BM_PValue(benchmark::State& state) {
+  const conformal::DistributionProfile& profile =
+      *GetBench()->registry.at(0).profile;
+  stats::Rng rng(2);
+  double a_f = profile.sigma().sorted_scores()[50];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        conformal::ComputePValue(a_f, profile.sigma().sorted_scores(), &rng));
+  }
+}
+BENCHMARK(BM_PValue);
+
+void BM_MartingaleUpdate(benchmark::State& state) {
+  auto betting = conformal::MakeDefaultBetting();
+  conformal::ConformalMartingale martingale(betting.get(), 3, 0.5);
+  stats::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(martingale.Update(rng.NextDouble()));
+  }
+}
+BENCHMARK(BM_MartingaleUpdate);
+
+void BM_DriftInspectorObserve(benchmark::State& state) {
+  video::Frame frame = TestFrame();
+  conformal::DriftInspector inspector(GetBench()->registry.at(0).profile.get(),
+                                      conformal::DriftInspectorConfig{}, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inspector.Observe(frame.pixels));
+  }
+}
+BENCHMARK(BM_DriftInspectorObserve);
+
+void BM_OdinObserve(benchmark::State& state) {
+  benchutil::Workbench* bench = GetBench();
+  const conformal::DistributionProfile& encoder =
+      *bench->registry.at(0).profile;
+  video::Frame frame = TestFrame();
+  std::vector<float> z = encoder.Encode(frame.pixels);
+  baseline::OdinDetect odin(baseline::OdinConfig{},
+                            static_cast<int>(z.size()));
+  for (int i = 0; i < bench->registry.size(); ++i) {
+    std::vector<std::vector<float>> latents;
+    for (const video::Frame& f :
+         bench->training_frames[static_cast<size_t>(i)]) {
+      latents.push_back(encoder.Encode(f.pixels));
+    }
+    odin.AddPermanentCluster(latents, i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(odin.Observe(z));
+  }
+}
+BENCHMARK(BM_OdinObserve);
+
+void BM_ClassifierPredict(benchmark::State& state) {
+  video::Frame frame = TestFrame();
+  auto& model = GetBench()->registry.at(0).count_model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->Predict(frame.pixels));
+  }
+}
+BENCHMARK(BM_ClassifierPredict);
+
+void BM_EnsembleBrier(benchmark::State& state) {
+  video::Frame frame = TestFrame();
+  auto& ensemble = GetBench()->registry.at(0).ensemble;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ensemble->BrierScore(frame.pixels, 3));
+  }
+}
+BENCHMARK(BM_EnsembleBrier);
+
+}  // namespace
+
+BENCHMARK_MAIN();

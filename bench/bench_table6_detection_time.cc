@@ -1,0 +1,101 @@
+// Table 6 — Drift detection time performance (seconds).
+//
+// Time to monitor the full stream for drifts: DI (VAE encode + K-NN score
+// + p-value + martingale per frame) vs ODIN-Detect (VAE encode + per-
+// cluster distance/band bookkeeping + KL check per frame). The detector is
+// re-armed on the current sequence's profile after each true drift, as in
+// the paper's protocol where detection restarts once recovery completes.
+// Paper: BDD 293.4 vs 636.2, Detrac 97.3 vs 235.8, Tokyo 194.8 vs 294 —
+// DI at least ~2x faster. Absolute numbers differ on CPU; the ratio is
+// the reproduced shape.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "benchutil/table.h"
+#include "benchutil/workbench.h"
+#include "core/drift_inspector.h"
+#include "baseline/odin.h"
+#include "video/stream.h"
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct PaperRow {
+  const char* dataset;
+  double di;
+  double odin;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"BDD", 293.4, 636.2}, {"Detrac", 97.3, 235.8}, {"Tokyo", 194.8, 294.0}};
+
+}  // namespace
+
+int main() {
+  using namespace vdrift;
+  benchutil::Banner("Table 6: drift detection time (s), DI vs ODIN-Detect");
+  benchutil::WorkbenchOptions options = benchutil::DefaultWorkbenchOptions();
+  benchutil::Table table({"Dataset", "Drift Inspector", "ODIN-Detect",
+                          "speedup", "paper (DI / ODIN)"});
+  for (const PaperRow& paper : kPaper) {
+    auto bench = benchutil::BuildWorkbench(paper.dataset, options)
+                     .ValueOrDie();
+    // --- DI over the whole stream, re-armed per sequence. ---
+    video::StreamGenerator stream = bench->dataset.MakeStream();
+    video::Frame frame;
+    int current = 0;
+    auto inspector = std::make_unique<conformal::DriftInspector>(
+        bench->registry.at(0).profile.get(),
+        conformal::DriftInspectorConfig{}, 7);
+    Clock::time_point t0 = Clock::now();
+    while (stream.Next(&frame)) {
+      if (frame.truth.sequence_id != current) {
+        current = frame.truth.sequence_id;
+        inspector = std::make_unique<conformal::DriftInspector>(
+            bench->registry.at(current).profile.get(),
+            conformal::DriftInspectorConfig{},
+            7 + static_cast<uint64_t>(current));
+      }
+      inspector->Observe(frame.pixels);
+    }
+    double di_seconds = Seconds(t0);
+
+    // --- ODIN-Detect over the whole stream (all clusters seeded). ---
+    const conformal::DistributionProfile& encoder =
+        *bench->registry.at(0).profile;
+    baseline::OdinDetect odin(baseline::OdinConfig{},
+                              static_cast<int>(
+                                  encoder.Encode(bench->training_frames[0][0]
+                                                     .pixels)
+                                      .size()));
+    for (int i = 0; i < bench->registry.size(); ++i) {
+      std::vector<std::vector<float>> latents;
+      for (const video::Frame& f :
+           bench->training_frames[static_cast<size_t>(i)]) {
+        latents.push_back(encoder.Encode(f.pixels));
+      }
+      odin.AddPermanentCluster(latents, i);
+    }
+    stream.Reset();
+    t0 = Clock::now();
+    while (stream.Next(&frame)) {
+      std::vector<float> z = encoder.Encode(frame.pixels);
+      odin.Observe(z);
+    }
+    double odin_seconds = Seconds(t0);
+
+    char ref[64];
+    std::snprintf(ref, sizeof(ref), "%.1f / %.1f", paper.di, paper.odin);
+    table.AddRow({paper.dataset, benchutil::Fmt(di_seconds, 2),
+                  benchutil::Fmt(odin_seconds, 2),
+                  benchutil::Fmt(odin_seconds / di_seconds, 2) + "x", ref});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Table 9 — End-to-end time performance (seconds).
+//
+// Full streams processed by five systems: (DI, MSBO), (DI, MSBI),
+// (ODIN-Detect, ODIN-Select), YOLOv7 (drift-oblivious wide detector), and
+// Mask R-CNN (annotation oracle with a heavy per-frame workload). Paper:
+// BDD 278.4 / 295.8 / 1400.6 / 1231 / 10680 — the proposed pipelines ~3x
+// faster than ODIN, ~4x faster than YOLO, an order of magnitude faster
+// than Mask R-CNN; the same ordering is the reproduced shape here.
+
+#include <cstdio>
+
+#include "benchutil/table.h"
+#include "benchutil/workbench.h"
+#include "detect/detector.h"
+#include "pipeline/pipeline.h"
+#include "stats/rng.h"
+#include "video/stream.h"
+
+namespace {
+
+struct PaperRow {
+  const char* dataset;
+  double msbo;
+  double msbi;
+  double odin;
+  double yolo;
+  double mask;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"BDD", 278.4, 295.8, 1400.6, 1231.0, 10680.0},
+    {"Detrac", 105.6, 116.8, 682.6, 462.0, 4005.0},
+    {"Tokyo", 169.2, 178.0, 950.1, 692.0, 6007.5}};
+
+/// Simulated Mask R-CNN per-frame workload (dense GEMM side): sized so the
+/// oracle lands roughly an order of magnitude above the DI+MS pipelines,
+/// as in the paper's GPU numbers.
+constexpr int kOracleWorkDim = 220;
+
+}  // namespace
+
+int main() {
+  using namespace vdrift;
+  benchutil::Banner("Table 9: end-to-end time (s), count-query workload");
+  benchutil::WorkbenchOptions options = benchutil::DefaultWorkbenchOptions();
+  benchutil::Table table({"Dataset", "(DI,MSBO)", "(DI,MSBI)", "ODIN", "YOLO",
+                          "MaskRCNN", "paper"});
+  for (const PaperRow& paper : kPaper) {
+    auto bench =
+        benchutil::BuildWorkbench(paper.dataset, options).ValueOrDie();
+
+    pipeline::PipelineConfig msbo_config;
+    msbo_config.selector = pipeline::PipelineConfig::Selector::kMsbo;
+    msbo_config.allow_training_new = false;
+    msbo_config.provision = options.provision;
+    video::StreamGenerator s1 = bench->dataset.MakeStream();
+    pipeline::DriftAwarePipeline msbo(&bench->registry,
+                                      bench->calibration_samples,
+                                      msbo_config);
+    double msbo_s = msbo.Run(&s1).ValueOrDie().total_seconds;
+
+    pipeline::PipelineConfig msbi_config = msbo_config;
+    msbi_config.selector = pipeline::PipelineConfig::Selector::kMsbi;
+    video::StreamGenerator s2 = bench->dataset.MakeStream();
+    pipeline::DriftAwarePipeline msbi(&bench->registry,
+                                      bench->calibration_samples,
+                                      msbi_config);
+    double msbi_s = msbi.Run(&s2).ValueOrDie().total_seconds;
+
+    video::StreamGenerator s3 = bench->dataset.MakeStream();
+    pipeline::OdinPipeline odin(&bench->registry, bench->training_frames,
+                                pipeline::OdinPipeline::Config{});
+    double odin_s = odin.Run(&s3).ValueOrDie().total_seconds;
+
+    stats::Rng rng(404);
+    detect::SimulatedDetector::Config det_config;
+    detect::SimulatedDetector detector(det_config, &rng);
+    detect::ClassifierTrainConfig tc;
+    tc.epochs = 8;
+    VDRIFT_CHECK_OK(detector.Train(bench->training_frames[0], tc, &rng));
+    video::StreamGenerator s4 = bench->dataset.MakeStream();
+    double yolo_s = pipeline::StaticDetectorPipeline::RunDetector(
+                        &detector, &s4, false)
+                        .ValueOrDie()
+                        .total_seconds;
+
+    video::StreamGenerator s5 = bench->dataset.MakeStream();
+    double mask_s = pipeline::StaticDetectorPipeline::RunOracle(
+                        kOracleWorkDim, &s5)
+                        .ValueOrDie()
+                        .total_seconds;
+
+    char ref[128];
+    std::snprintf(ref, sizeof(ref), "%.0f/%.0f/%.0f/%.0f/%.0f", paper.msbo,
+                  paper.msbi, paper.odin, paper.yolo, paper.mask);
+    table.AddRow({paper.dataset, benchutil::Fmt(msbo_s, 2),
+                  benchutil::Fmt(msbi_s, 2), benchutil::Fmt(odin_s, 2),
+                  benchutil::Fmt(yolo_s, 2), benchutil::Fmt(mask_s, 2), ref});
+  }
+  table.Print();
+  std::printf("\nShape check: (DI,MSBO) <= (DI,MSBI) < ODIN ~ YOLO << "
+              "MaskRCNN\n");
+  return 0;
+}

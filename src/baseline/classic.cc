@@ -1,0 +1,67 @@
+#include "baseline/classic.h"
+
+#include <algorithm>
+
+#include "stats/ks_test.h"
+
+namespace vdrift::baseline {
+
+Result<KsWindowDetector> KsWindowDetector::Make(std::vector<double> reference,
+                                                const Config& config) {
+  if (reference.size() < 8) {
+    return Status::InvalidArgument("KS detector needs a reference sample");
+  }
+  if (config.window < config.min_window || config.min_window < 2) {
+    return Status::InvalidArgument("bad KS window configuration");
+  }
+  if (config.alpha <= 0.0 || config.alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must be in (0,1)");
+  }
+  return KsWindowDetector(std::move(reference), config);
+}
+
+bool KsWindowDetector::Observe(double value) {
+  window_.push_back(value);
+  while (static_cast<int>(window_.size()) > config_.window) {
+    window_.pop_front();
+  }
+  if (static_cast<int>(window_.size()) < config_.min_window) {
+    last_p_ = 1.0;
+    return false;
+  }
+  std::vector<double> current(window_.begin(), window_.end());
+  stats::KsResult ks = stats::TwoSampleKs(reference_, current);
+  last_p_ = ks.p_value;
+  return last_p_ < config_.alpha;
+}
+
+void KsWindowDetector::Reset() {
+  window_.clear();
+  last_p_ = 1.0;
+}
+
+bool PageHinkleyDetector::Observe(double value) {
+  ++count_;
+  mean_ += (value - mean_) / static_cast<double>(count_);
+  cum_up_ += value - mean_ - config_.delta;
+  min_up_ = std::min(min_up_, cum_up_);
+  cum_down_ += value - mean_ + config_.delta;
+  max_down_ = std::max(max_down_, cum_down_);
+  if (count_ < config_.min_observations) return false;
+  return statistic() > config_.lambda;
+}
+
+double PageHinkleyDetector::statistic() const {
+  return std::max(cum_up_ - min_up_, max_down_ - cum_down_);
+}
+
+void PageHinkleyDetector::Reset() {
+  count_ = 0;
+  mean_ = 0.0;
+  cum_up_ = 0.0;
+  min_up_ = 0.0;
+  cum_down_ = 0.0;
+  max_down_ = 0.0;
+}
+
+}  // namespace vdrift::baseline

@@ -1,0 +1,87 @@
+#ifndef VDRIFT_BASELINE_CLASSIC_H_
+#define VDRIFT_BASELINE_CLASSIC_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vdrift::baseline {
+
+/// \brief Windowed two-sample Kolmogorov-Smirnov drift detector.
+///
+/// The classic non-parametric test the paper's related work discusses
+/// (§2): efficient in one dimension but without a practical
+/// multi-dimensional form. We run it per scalar summary statistic of the
+/// frame (any of video::GlobalFrameStats) against a fixed reference
+/// sample, declaring drift when the KS p-value of the sliding window
+/// drops below alpha. Provided as an ablation baseline for DI.
+class KsWindowDetector {
+ public:
+  struct Config {
+    int window = 32;       ///< Sliding window of recent observations.
+    double alpha = 1e-3;   ///< Significance level of the KS test.
+    int min_window = 16;   ///< Observations required before testing.
+  };
+
+  /// `reference` is the training sample of the monitored statistic.
+  static Result<KsWindowDetector> Make(std::vector<double> reference,
+                                       const Config& config);
+
+  /// Feeds one observation; returns true when drift is declared.
+  bool Observe(double value);
+
+  /// The most recent KS p-value (1 before enough data).
+  double last_p_value() const { return last_p_; }
+
+  /// Clears the sliding window.
+  void Reset();
+
+ private:
+  KsWindowDetector(std::vector<double> reference, const Config& config)
+      : reference_(std::move(reference)), config_(config) {}
+
+  std::vector<double> reference_;
+  Config config_;
+  std::deque<double> window_;
+  double last_p_ = 1.0;
+};
+
+/// \brief Page-Hinkley change detector (control-chart family, §2).
+///
+/// Tracks the cumulative deviation of a scalar statistic from its running
+/// mean; drift is declared when the deviation exceeds `lambda` after at
+/// least `min_observations`. The parametric control-chart approach the
+/// paper contrasts with: simple and cheap, but tuned to mean shifts of a
+/// single statistic and blind to richer distribution changes.
+class PageHinkleyDetector {
+ public:
+  struct Config {
+    double delta = 0.005;       ///< Tolerated drift magnitude.
+    double lambda = 1.0;        ///< Detection threshold.
+    int min_observations = 16;  ///< Warm-up length.
+  };
+
+  explicit PageHinkleyDetector(const Config& config) : config_(config) {}
+
+  /// Feeds one observation; returns true when drift is declared.
+  bool Observe(double value);
+
+  /// Current cumulative statistic (max of upward/downward tests).
+  double statistic() const;
+
+  void Reset();
+
+ private:
+  Config config_;
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double cum_up_ = 0.0;    // m_T for upward shifts
+  double min_up_ = 0.0;
+  double cum_down_ = 0.0;  // for downward shifts
+  double max_down_ = 0.0;
+};
+
+}  // namespace vdrift::baseline
+
+#endif  // VDRIFT_BASELINE_CLASSIC_H_

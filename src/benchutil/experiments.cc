@@ -1,0 +1,72 @@
+#include "benchutil/experiments.h"
+
+#include <chrono>
+
+namespace vdrift::benchutil {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+}  // namespace
+
+LatencyResult MeasureDiLatency(const conformal::DistributionProfile& source,
+                               const std::vector<video::Frame>& post_drift,
+                               const conformal::DriftInspectorConfig& config,
+                               uint64_t seed) {
+  conformal::DriftInspector inspector(&source, config, seed);
+  LatencyResult result;
+  Clock::time_point start = Clock::now();
+  for (size_t i = 0; i < post_drift.size(); ++i) {
+    if (inspector.Observe(post_drift[i].pixels).drift) {
+      result.frames_to_detect = static_cast<int>(i) + 1;
+      break;
+    }
+  }
+  result.seconds = SecondsSince(start);
+  return result;
+}
+
+LatencyResult MeasureOdinLatency(
+    const conformal::DistributionProfile& source,
+    const std::vector<video::Frame>& source_training,
+    const std::vector<video::Frame>& post_drift,
+    const baseline::OdinConfig& config) {
+  std::vector<std::vector<float>> latents;
+  latents.reserve(source_training.size());
+  for (const video::Frame& f : source_training) {
+    latents.push_back(source.Encode(f.pixels));
+  }
+  baseline::OdinDetect odin(config, static_cast<int>(latents.front().size()));
+  odin.AddPermanentCluster(latents, 0);
+  LatencyResult result;
+  Clock::time_point start = Clock::now();
+  for (size_t i = 0; i < post_drift.size(); ++i) {
+    std::vector<float> z = source.Encode(post_drift[i].pixels);
+    if (odin.Observe(z).drift) {
+      result.frames_to_detect = static_cast<int>(i) + 1;
+      break;
+    }
+  }
+  result.seconds = SecondsSince(start);
+  return result;
+}
+
+int CountFalseAlarms(const conformal::DistributionProfile& source,
+                     const std::vector<video::Frame>& frames,
+                     const conformal::DriftInspectorConfig& config,
+                     uint64_t seed) {
+  conformal::DriftInspector inspector(&source, config, seed);
+  int alarms = 0;
+  for (const video::Frame& f : frames) {
+    if (inspector.Observe(f.pixels).drift) {
+      ++alarms;
+      inspector.Reset();
+    }
+  }
+  return alarms;
+}
+
+}  // namespace vdrift::benchutil

@@ -1,0 +1,49 @@
+#ifndef VDRIFT_BENCHUTIL_EXPERIMENTS_H_
+#define VDRIFT_BENCHUTIL_EXPERIMENTS_H_
+
+#include <vector>
+
+#include "baseline/odin.h"
+#include "core/drift_inspector.h"
+#include "core/profile.h"
+#include "video/frame.h"
+
+namespace vdrift::benchutil {
+
+/// \brief Outcome of one detection-latency measurement.
+struct LatencyResult {
+  /// Frames consumed after the change point before the drift was declared
+  /// (-1 if never detected within the supplied frames).
+  int frames_to_detect = -1;
+  /// Wall time spent inside the detector.
+  double seconds = 0.0;
+};
+
+/// Feeds `post_drift` frames to a Drift Inspector armed on `source` and
+/// returns the detection latency (Fig. 3 / Fig. 4 protocol: ground-truth
+/// drift at frame 0 of the target sequence).
+LatencyResult MeasureDiLatency(const conformal::DistributionProfile& source,
+                               const std::vector<video::Frame>& post_drift,
+                               const conformal::DriftInspectorConfig& config,
+                               uint64_t seed);
+
+/// Same protocol for ODIN-Detect: one permanent cluster seeded from the
+/// source training frames (encoded with the source profile, the shared
+/// representation), drift declared when the temporary cluster of target
+/// frames is promoted.
+LatencyResult MeasureOdinLatency(
+    const conformal::DistributionProfile& source,
+    const std::vector<video::Frame>& source_training,
+    const std::vector<video::Frame>& post_drift,
+    const baseline::OdinConfig& config);
+
+/// Runs the Drift Inspector over `frames` of the *source* distribution and
+/// counts (false) drift declarations; used by the calibration benches.
+int CountFalseAlarms(const conformal::DistributionProfile& source,
+                     const std::vector<video::Frame>& frames,
+                     const conformal::DriftInspectorConfig& config,
+                     uint64_t seed);
+
+}  // namespace vdrift::benchutil
+
+#endif  // VDRIFT_BENCHUTIL_EXPERIMENTS_H_

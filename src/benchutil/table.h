@@ -1,0 +1,41 @@
+#ifndef VDRIFT_BENCHUTIL_TABLE_H_
+#define VDRIFT_BENCHUTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace vdrift::benchutil {
+
+/// \brief Fixed-width ASCII table printer for the bench harnesses.
+///
+/// Every table/figure bench prints its rows through this so outputs are
+/// uniform and easy to diff against EXPERIMENTS.md.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; cells beyond the header count are dropped, missing
+  /// cells render empty.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a rule under the header.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision.
+std::string Fmt(double value, int precision = 2);
+
+/// Prints a section banner ("=== title ===") to stdout.
+void Banner(const std::string& title);
+
+}  // namespace vdrift::benchutil
+
+#endif  // VDRIFT_BENCHUTIL_TABLE_H_

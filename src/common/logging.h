@@ -1,0 +1,85 @@
+#ifndef VDRIFT_COMMON_LOGGING_H_
+#define VDRIFT_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace vdrift {
+
+/// \brief Severity of a log line.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kFatal = 3 };
+
+namespace internal {
+
+/// Minimum level that is actually emitted; settable via SetLogLevel.
+LogLevel GetLogLevel();
+
+/// \brief Accumulates one log line and flushes to stderr on destruction.
+///
+/// Fatal messages abort the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Sets the global minimum log level (default kInfo).
+void SetLogLevel(LogLevel level);
+
+}  // namespace vdrift
+
+#define VDRIFT_LOG_DEBUG \
+  ::vdrift::internal::LogMessage(::vdrift::LogLevel::kDebug, __FILE__, __LINE__)
+#define VDRIFT_LOG_INFO \
+  ::vdrift::internal::LogMessage(::vdrift::LogLevel::kInfo, __FILE__, __LINE__)
+#define VDRIFT_LOG_WARNING                                            \
+  ::vdrift::internal::LogMessage(::vdrift::LogLevel::kWarning, __FILE__, \
+                                 __LINE__)
+#define VDRIFT_LOG_FATAL \
+  ::vdrift::internal::LogMessage(::vdrift::LogLevel::kFatal, __FILE__, __LINE__)
+
+/// Aborts with a message when `condition` is false. Always on (release and
+/// debug): used for programmer-error invariants on non-hot paths.
+#define VDRIFT_CHECK(condition)                                  \
+  if (!(condition))                                              \
+  VDRIFT_LOG_FATAL << "Check failed: " #condition " at " << __FILE__ << ":" \
+                   << __LINE__ << " "
+
+/// Aborts when a Status expression is not OK.
+#define VDRIFT_CHECK_OK(expr)                                            \
+  do {                                                                   \
+    ::vdrift::Status _vdrift_check_status = (expr);                      \
+    if (!_vdrift_check_status.ok()) {                                    \
+      VDRIFT_LOG_FATAL << "Status not OK: "                              \
+                       << _vdrift_check_status.ToString();               \
+    }                                                                    \
+  } while (false)
+
+/// Debug-only check, compiled out in NDEBUG builds; used on hot paths.
+#ifdef NDEBUG
+#define VDRIFT_DCHECK(condition) \
+  while (false) VDRIFT_CHECK(condition)
+#else
+#define VDRIFT_DCHECK(condition) VDRIFT_CHECK(condition)
+#endif
+
+#endif  // VDRIFT_COMMON_LOGGING_H_

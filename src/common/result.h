@@ -1,0 +1,95 @@
+#ifndef VDRIFT_COMMON_RESULT_H_
+#define VDRIFT_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace vdrift {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// The library's counterpart to arrow::Result. Use VDRIFT_ASSIGN_OR_RETURN
+/// to unwrap in Status-returning code, or ValueOrDie() in tests and
+/// examples where an error is a programming bug.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so functions can `return value;`).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs from an error status (implicit so functions can
+  /// `return Status::...;`). It is a bug to pass an OK status.
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(payload_).ok()) {
+      std::cerr << "Result constructed from OK status" << std::endl;
+      std::abort();
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The error status; Status::OK() when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// Borrow the held value. Precondition: ok().
+  const T& value() const& { return std::get<T>(payload_); }
+  /// Mutable access to the held value. Precondition: ok().
+  T& value() & { return std::get<T>(payload_); }
+  /// Move the held value out. Precondition: ok().
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  /// Returns the value or aborts with the error message. For tests,
+  /// examples, and benches where failure is a bug.
+  T ValueOrDie() && {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: " << status().ToString()
+                << std::endl;
+      std::abort();
+    }
+    return std::get<T>(std::move(payload_));
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace vdrift
+
+/// Propagates a non-OK Status to the caller.
+#define VDRIFT_RETURN_NOT_OK(expr)            \
+  do {                                        \
+    ::vdrift::Status _vdrift_status = (expr); \
+    if (!_vdrift_status.ok()) {               \
+      return _vdrift_status;                  \
+    }                                         \
+  } while (false)
+
+#define VDRIFT_CONCAT_IMPL(a, b) a##b
+#define VDRIFT_CONCAT(a, b) VDRIFT_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result-returning expression; on error propagates the Status,
+/// otherwise moves the value into `lhs` (which may be a declaration).
+#define VDRIFT_ASSIGN_OR_RETURN(lhs, rexpr)                           \
+  VDRIFT_ASSIGN_OR_RETURN_IMPL(VDRIFT_CONCAT(_vdrift_result, __LINE__), lhs, \
+                               rexpr)
+
+#define VDRIFT_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                 \
+  if (!result_name.ok()) {                                    \
+    return result_name.status();                              \
+  }                                                           \
+  lhs = std::move(result_name).value()
+
+#endif  // VDRIFT_COMMON_RESULT_H_

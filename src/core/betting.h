@@ -1,0 +1,133 @@
+#ifndef VDRIFT_CORE_BETTING_H_
+#define VDRIFT_CORE_BETTING_H_
+
+#include <memory>
+#include <string>
+
+namespace vdrift::conformal {
+
+/// \brief A betting function in increment form.
+///
+/// The Drift Inspector accumulates S <- max(0, S + Increment(p)) per frame
+/// (Alg. 1 line 10). Two families are supported, reflecting the paper's two
+/// constructions (§4.2.4):
+///
+/// * multiplicative martingales S_n = prod g_i(p_i) with
+///   int_0^1 g(p) dp = 1, tracked in log space: Increment(p) = log g(p);
+/// * additive martingales S_n = sum g_i(p_i) with int_0^1 g(p) dp = 0
+///   (shifted odd functions): Increment(p) = g(p) directly.
+///
+/// In both cases small p-values (strange frames) must yield positive
+/// increments so the statistic climbs under drift, and the expected
+/// increment under uniform p-values must be <= 0 so it stays near the
+/// max(0, .) reflecting barrier when the stream is exchangeable.
+class BettingFunction {
+ public:
+  virtual ~BettingFunction() = default;
+
+  /// The per-observation increment for p-value `p` in [0, 1].
+  virtual double Increment(double p) const = 0;
+
+  /// Largest possible single increment (used to reason about detection
+  /// latency: at least ceil(tau / MaxIncrement()) strange frames are needed
+  /// to cross a threshold tau within a window).
+  virtual double MaxIncrement() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// \brief Log of the power betting function g(p) = eps * p^(eps-1).
+///
+/// The classic conformal-martingale bet (Volkhonskiy et al.). In log space
+/// the increment is log(eps) + (eps-1) log(p): strongly positive for small
+/// p, mildly negative for moderate p, with negative expectation under
+/// uniform p-values (E = log(eps) + 1 - eps < 0 for eps in (0,1)).
+/// p is clamped below at `p_floor` — the finite reference sample quantises
+/// p-values to multiples of 1/n, so the floor should be ~1/(2n).
+class PowerLogBetting : public BettingFunction {
+ public:
+  explicit PowerLogBetting(double epsilon = 0.5, double p_floor = 1e-3);
+
+  double Increment(double p) const override;
+  double MaxIncrement() const override;
+  std::string name() const override { return "power-log"; }
+
+  double epsilon() const { return epsilon_; }
+
+ private:
+  double epsilon_;
+  double p_floor_;
+};
+
+/// \brief The paper's additive construction: g(p) = f(p - 1/2) for an odd
+/// function f, here f(x) = -scale * x, so g(p) = scale * (1/2 - p).
+///
+/// Integrates to zero over [0,1] (Eq. 10-12), is bounded by scale/2, and
+/// satisfies the Hoeffding-Azuma premise |g| <= scale/2 used by the
+/// windowed test (Eq. 13-15).
+class ShiftedOddBetting : public BettingFunction {
+ public:
+  explicit ShiftedOddBetting(double scale = 4.0) : scale_(scale) {}
+
+  double Increment(double p) const override { return scale_ * (0.5 - p); }
+  double MaxIncrement() const override { return scale_ * 0.5; }
+  std::string name() const override { return "shifted-odd"; }
+
+  double scale() const { return scale_; }
+
+ private:
+  double scale_;
+};
+
+/// \brief Log of the mixture betting function
+/// g(p) = int_0^1 eps p^(eps-1) d eps = (1 + p ln p - p) / (p ln^2 p)...
+///
+/// We use the standard closed form of the simple-mixture martingale bet,
+/// g(p) = (1 - p^... ) — implemented numerically as the average of power
+/// bets over a small epsilon grid, which is how the mixture martingale is
+/// deployed in practice. Robust to the choice of epsilon.
+class MixtureLogBetting : public BettingFunction {
+ public:
+  explicit MixtureLogBetting(double p_floor = 1e-3);
+
+  double Increment(double p) const override;
+  double MaxIncrement() const override;
+  std::string name() const override { return "mixture-log"; }
+
+ private:
+  double p_floor_;
+};
+
+/// \brief Log of the symmetric power bet
+/// g(p) = (eps/2) * (p^(eps-1) + (1-p)^(eps-1)).
+///
+/// Integrates to 1 over [0,1] like the one-sided power bet, but grows for
+/// p near *either* end. Rationale: conformal p-values are uniform under
+/// exchangeability, so a stream of p-values stuck near 1 (the new data are
+/// suspiciously *typical* — e.g. a tight distribution sitting inside a
+/// diffuse reference Sigma_Tj during MSBI's cross-profile tests) is as
+/// much a violation as p-values stuck near 0. The library default.
+class SymmetricPowerLogBetting : public BettingFunction {
+ public:
+  explicit SymmetricPowerLogBetting(double epsilon = 0.55,
+                                    double p_floor = 5e-4);
+
+  double Increment(double p) const override;
+  double MaxIncrement() const override;
+  std::string name() const override { return "symmetric-power-log"; }
+
+ private:
+  double epsilon_;
+  double p_floor_;
+};
+
+/// The library default: SymmetricPowerLogBetting(0.55), which reproduces
+/// the growth
+/// pattern of the paper's worked example (Table 4: increments of ~1-3 per
+/// zero-p frame under log-betting) while keeping the false-alarm tail of
+/// the W=3 windowed test negligible over long streams.
+std::unique_ptr<BettingFunction> MakeDefaultBetting();
+
+}  // namespace vdrift::conformal
+
+#endif  // VDRIFT_CORE_BETTING_H_

@@ -1,0 +1,56 @@
+#include "core/drift_inspector.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace vdrift::conformal {
+
+namespace {
+
+std::shared_ptr<const BettingFunction> ResolveBetting(
+    std::shared_ptr<const BettingFunction> betting) {
+  if (betting != nullptr) return betting;
+  return std::shared_ptr<const BettingFunction>(MakeDefaultBetting());
+}
+
+}  // namespace
+
+DriftInspector::DriftInspector(const DistributionProfile* profile,
+                               const DriftInspectorConfig& config,
+                               uint64_t seed)
+    : profile_(profile),
+      betting_(ResolveBetting(config.betting)),
+      martingale_(betting_.get(), config.window, config.r, config.threshold),
+      rng_(seed) {
+  VDRIFT_CHECK(profile_ != nullptr);
+}
+
+DriftInspector::Observation DriftInspector::Observe(
+    const tensor::Tensor& pixels) {
+  // Sampled encoding: matches the generation law of Sigma_Ti, keeping
+  // own-distribution p-values exchangeable (see DistributionProfile).
+  std::vector<float> latent = profile_->EncodeSampled(pixels, &rng_);
+  return ObserveLatent(latent);
+}
+
+DriftInspector::Observation DriftInspector::ObserveLatent(
+    std::span<const float> latent) {
+  Observation obs;
+  obs.nonconformity = profile_->sigma().KnnScore(latent);
+  obs.p_value =
+      ComputePValue(obs.nonconformity, profile_->sigma().sorted_scores(),
+                    &rng_);
+  obs.drift = martingale_.Update(obs.p_value);
+  obs.martingale = martingale_.value();
+  obs.window_delta = martingale_.last_window_delta();
+  ++frames_seen_;
+  return obs;
+}
+
+void DriftInspector::Reset() {
+  martingale_.Reset();
+  frames_seen_ = 0;
+}
+
+}  // namespace vdrift::conformal

@@ -1,0 +1,83 @@
+#ifndef VDRIFT_CORE_DRIFT_INSPECTOR_H_
+#define VDRIFT_CORE_DRIFT_INSPECTOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/betting.h"
+#include "core/martingale.h"
+#include "core/profile.h"
+#include "core/pvalue.h"
+#include "core/threshold.h"
+#include "stats/rng.h"
+#include "tensor/tensor.h"
+
+namespace vdrift::conformal {
+
+/// \brief Hyperparameters of the Drift Inspector (paper Table 1: W, r, K).
+struct DriftInspectorConfig {
+  int window = 3;      ///< W — observation window of the rate test.
+  double r = 0.5;      ///< Significance level of the drift test.
+  ThresholdPolicy threshold = ThresholdPolicy::kPaper;
+  /// Betting function; null selects the library default (power-log 0.5).
+  std::shared_ptr<const BettingFunction> betting;
+};
+
+/// \brief The Drift Inspector (Algorithm 1).
+///
+/// Monitors a stream against one DistributionProfile: each frame is
+/// encoded by the profile's VAE, scored by K-NN average distance against
+/// Sigma_Ti, converted to a conformal p-value (Eq. 1), and folded into the
+/// conformal martingale; a drift is declared when the martingale's
+/// windowed rate of change exceeds the threshold (Eq. 15). K is carried by
+/// the profile's PointSet (it was fixed when A_i was precomputed).
+class DriftInspector {
+ public:
+  /// `profile` must outlive the inspector.
+  DriftInspector(const DistributionProfile* profile,
+                 const DriftInspectorConfig& config, uint64_t seed = 1234);
+
+  /// Per-frame output of Algorithm 1.
+  struct Observation {
+    double nonconformity = 0.0;  ///< a_f.
+    double p_value = 0.0;        ///< Eq. 1.
+    double martingale = 0.0;     ///< S[iter].
+    double window_delta = 0.0;   ///< |S[iter] - S[iter-window]|.
+    bool drift = false;
+  };
+
+  /// Processes one frame ([C, H, W] pixels).
+  Observation Observe(const tensor::Tensor& pixels);
+
+  /// Processes an already-encoded latent vector. Lets callers that share
+  /// one encoding across detectors (MSBI runs m inspectors over the same
+  /// window) avoid redundant VAE passes — only valid when the latent came
+  /// from *this profile's* VAE.
+  Observation ObserveLatent(std::span<const float> latent);
+
+  /// Frames processed since construction or the last Reset.
+  int64_t frames_seen() const { return frames_seen_; }
+
+  /// The martingale's current value.
+  double martingale_value() const { return martingale_.value(); }
+
+  /// The decision threshold tau(W, r).
+  double threshold() const { return martingale_.threshold(); }
+
+  /// The monitored profile.
+  const DistributionProfile& profile() const { return *profile_; }
+
+  /// Clears the martingale state (after a drift has been handled).
+  void Reset();
+
+ private:
+  const DistributionProfile* profile_;
+  std::shared_ptr<const BettingFunction> betting_;
+  ConformalMartingale martingale_;
+  stats::Rng rng_;
+  int64_t frames_seen_ = 0;
+};
+
+}  // namespace vdrift::conformal
+
+#endif  // VDRIFT_CORE_DRIFT_INSPECTOR_H_

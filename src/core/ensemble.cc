@@ -1,0 +1,69 @@
+#include "core/ensemble.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vdrift::select {
+
+Result<DeepEnsemble> DeepEnsemble::Make(
+    std::vector<std::shared_ptr<nn::ProbabilisticClassifier>> members) {
+  if (members.empty()) {
+    return Status::InvalidArgument("ensemble needs at least one member");
+  }
+  for (const auto& m : members) {
+    if (m == nullptr) {
+      return Status::InvalidArgument("ensemble member is null");
+    }
+  }
+  int k = members.front()->num_classes();
+  for (const auto& m : members) {
+    if (m->num_classes() != k) {
+      return Status::InvalidArgument("ensemble members disagree on classes");
+    }
+  }
+  return DeepEnsemble(std::move(members));
+}
+
+std::vector<float> DeepEnsemble::PredictProba(
+    const tensor::Tensor& frame) const {
+  std::vector<float> mixture(static_cast<size_t>(num_classes_), 0.0f);
+  for (const auto& member : members_) {
+    std::vector<float> p = member->PredictProba(frame);
+    VDRIFT_DCHECK(p.size() == mixture.size());
+    for (size_t i = 0; i < mixture.size(); ++i) mixture[i] += p[i];
+  }
+  float inv = 1.0f / static_cast<float>(members_.size());
+  for (float& v : mixture) v *= inv;
+  return mixture;
+}
+
+int DeepEnsemble::Predict(const tensor::Tensor& frame) const {
+  std::vector<float> p = PredictProba(frame);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+double DeepEnsemble::BrierScore(const tensor::Tensor& frame,
+                                int label) const {
+  VDRIFT_DCHECK(label >= 0 && label < num_classes_);
+  std::vector<float> p = PredictProba(frame);
+  double sum = 0.0;
+  for (int k = 0; k < num_classes_; ++k) {
+    double target = (k == label) ? 1.0 : 0.0;
+    double d = target - static_cast<double>(p[static_cast<size_t>(k)]);
+    sum += d * d;
+  }
+  return sum / static_cast<double>(num_classes_);
+}
+
+double DeepEnsemble::AverageBrier(
+    const std::vector<LabeledFrame>& window) const {
+  VDRIFT_CHECK(!window.empty());
+  double total = 0.0;
+  for (const LabeledFrame& lf : window) {
+    total += BrierScore(lf.pixels, lf.label);
+  }
+  return total / static_cast<double>(window.size());
+}
+
+}  // namespace vdrift::select

@@ -1,0 +1,42 @@
+#include "core/martingale.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vdrift::conformal {
+
+ConformalMartingale::ConformalMartingale(const BettingFunction* betting,
+                                         int window, double r,
+                                         ThresholdPolicy policy)
+    : betting_(betting),
+      window_(window),
+      threshold_(Threshold(policy, window, r)) {
+  VDRIFT_CHECK(betting_ != nullptr);
+  VDRIFT_CHECK(window_ >= 1);
+  history_.push_back(0.0);  // S[0] = 0 (Alg. 1 input convention)
+}
+
+bool ConformalMartingale::Update(double p) {
+  current_ = std::max(0.0, current_ + betting_->Increment(p));
+  ++count_;
+  history_.push_back(current_);
+  // Keep S[i-W] .. S[i]; when fewer than W observations exist, compare
+  // against S[0] (Alg. 1 line 12: window = min(iter, W)).
+  while (static_cast<int>(history_.size()) > window_ + 1) {
+    history_.pop_front();
+  }
+  last_delta_ = std::abs(current_ - history_.front());
+  return last_delta_ > threshold_;
+}
+
+void ConformalMartingale::Reset() {
+  current_ = 0.0;
+  count_ = 0;
+  last_delta_ = 0.0;
+  history_.clear();
+  history_.push_back(0.0);
+}
+
+}  // namespace vdrift::conformal

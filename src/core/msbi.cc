@@ -1,0 +1,86 @@
+#include "core/msbi.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vdrift::select {
+
+Msbi::Msbi(const ModelRegistry* registry, const MsbiConfig& config)
+    : registry_(registry), config_(config) {
+  VDRIFT_CHECK(registry_ != nullptr);
+  VDRIFT_CHECK(config_.window_n >= 1);
+  VDRIFT_CHECK(config_.r > 0.0 && config_.r <= 1.0);
+}
+
+std::vector<int> Msbi::Round(const std::vector<tensor::Tensor>& window,
+                             const std::vector<int>& candidates, double r,
+                             int* invocations) const {
+  std::vector<int> survivors;
+  for (int index : candidates) {
+    const ModelEntry& entry = registry_->at(index);
+    conformal::DriftInspectorConfig di_config;
+    di_config.window = config_.di_window;
+    di_config.r = r;
+    di_config.threshold = config_.threshold;
+    di_config.betting = config_.betting;
+    conformal::DriftInspector inspector(entry.profile.get(), di_config,
+                                        config_.seed +
+                                            static_cast<uint64_t>(index));
+    bool drift = false;
+    int limit = std::min<int>(config_.window_n,
+                              static_cast<int>(window.size()));
+    for (int i = 0; i < limit; ++i) {
+      ++(*invocations);
+      if (inspector.Observe(window[static_cast<size_t>(i)]).drift) {
+        drift = true;
+        break;  // this profile is rejected; no need to finish the window
+      }
+    }
+    if (!drift) survivors.push_back(index);
+  }
+  return survivors;
+}
+
+Result<Selection> Msbi::Select(
+    const std::vector<tensor::Tensor>& window) const {
+  if (window.empty()) {
+    return Status::InvalidArgument("MSBI needs a non-empty window");
+  }
+  if (registry_->empty()) {
+    Selection selection;
+    selection.train_new_model = true;
+    return selection;
+  }
+  std::vector<int> candidates(static_cast<size_t>(registry_->size()));
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    candidates[i] = static_cast<int>(i);
+  }
+  Selection selection;
+  selection.frames_examined =
+      std::min<int>(config_.window_n, static_cast<int>(window.size()));
+  double r = config_.r;
+  while (true) {
+    std::vector<int> survivors =
+        Round(window, candidates, r, &selection.invocations);
+    if (survivors.empty()) {
+      // Every profile rejected the new data: unseen distribution (Alg. 2
+      // lines 9-10).
+      selection.train_new_model = true;
+      selection.score = r;
+      return selection;
+    }
+    if (survivors.size() == 1 || r + config_.r_step > config_.r_max) {
+      // Unique survivor, or r saturated: break ties arbitrarily (§5.1:
+      // "we break ties arbitrarily or progressively by increasing the
+      // significance level").
+      selection.model_index = survivors.front();
+      selection.score = r;
+      return selection;
+    }
+    candidates = std::move(survivors);
+    r += config_.r_step;
+  }
+}
+
+}  // namespace vdrift::select

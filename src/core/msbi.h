@@ -1,0 +1,56 @@
+#ifndef VDRIFT_CORE_MSBI_H_
+#define VDRIFT_CORE_MSBI_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/drift_inspector.h"
+#include "core/registry.h"
+#include "tensor/tensor.h"
+
+namespace vdrift::select {
+
+/// \brief Hyperparameters of Model Selection Based on Input (Alg. 2).
+struct MsbiConfig {
+  int window_n = 10;  ///< W_N — post-drift frames to evaluate on.
+  int di_window = 3;  ///< W for the inner Drift Inspector runs.
+  double r = 0.5;     ///< Initial significance level.
+  double r_step = 0.1;   ///< Escalation step when several models survive.
+  double r_max = 0.95;   ///< Cap; ties at the cap break arbitrarily (first).
+  conformal::ThresholdPolicy threshold = conformal::ThresholdPolicy::kPaper;
+  std::shared_ptr<const conformal::BettingFunction> betting;  ///< null=default
+  uint64_t seed = 77;
+};
+
+/// \brief Model Selection Based on Input (paper §5.1, Algorithm 2).
+///
+/// Runs the Drift Inspector over the W_N post-drift frames against every
+/// provisioned profile at significance r. Profiles that declare drift are
+/// rejected. If every profile rejects, the new data come from an unseen
+/// distribution and a new model must be trained. If exactly one survives
+/// it is selected; if several survive the test is repeated on the
+/// survivors at r + r_step (progressively stricter) until one remains or
+/// r saturates. Fully unsupervised — no labels needed (§5.3).
+class Msbi {
+ public:
+  /// `registry` must outlive the selector.
+  Msbi(const ModelRegistry* registry, const MsbiConfig& config);
+
+  /// Selects a model for the frames collected after a drift. `window`
+  /// should hold (at least) W_N frames; extras are ignored.
+  Result<Selection> Select(const std::vector<tensor::Tensor>& window) const;
+
+ private:
+  // One elimination round at level r over candidate indices; returns the
+  // surviving candidates and accumulates invocation counts.
+  std::vector<int> Round(const std::vector<tensor::Tensor>& window,
+                         const std::vector<int>& candidates, double r,
+                         int* invocations) const;
+
+  const ModelRegistry* registry_;
+  MsbiConfig config_;
+};
+
+}  // namespace vdrift::select
+
+#endif  // VDRIFT_CORE_MSBI_H_

@@ -1,0 +1,136 @@
+#include "core/msbo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "stats/moments.h"
+
+namespace vdrift::select {
+
+Result<MsboCalibration> CalibrateMsbo(
+    const ModelRegistry& registry,
+    const std::vector<std::vector<LabeledFrame>>& samples) {
+  if (registry.empty()) {
+    return Status::FailedPrecondition("registry is empty");
+  }
+  if (static_cast<int>(samples.size()) != registry.size()) {
+    return Status::InvalidArgument("need one sample set per model");
+  }
+  for (int j = 0; j < registry.size(); ++j) {
+    if (registry.at(j).ensemble == nullptr) {
+      return Status::FailedPrecondition("model '" + registry.at(j).name +
+                                        "' has no ensemble");
+    }
+  }
+  MsboCalibration calibration;
+  calibration.pc_avg.resize(static_cast<size_t>(registry.size()));
+  calibration.sigma.resize(static_cast<size_t>(registry.size()));
+  // Global h (§5.2.2): average foreign-ensemble uncertainty per sample.
+  stats::RunningMoments sample_moments;
+  for (int i = 0; i < registry.size(); ++i) {
+    const std::vector<LabeledFrame>& sample = samples[static_cast<size_t>(i)];
+    if (sample.empty()) {
+      return Status::InvalidArgument("empty calibration sample");
+    }
+    stats::RunningMoments foreign;
+    for (int j = 0; j < registry.size(); ++j) {
+      if (i == j) continue;
+      foreign.Add(registry.at(j).ensemble->AverageBrier(sample));
+    }
+    if (foreign.count() > 0) sample_moments.Add(foreign.mean());
+  }
+  if (sample_moments.count() > 0) {
+    calibration.global_h = sample_moments.mean() - sample_moments.stddev();
+  } else {
+    // Single-model registry: no foreign data to calibrate against, so the
+    // baseline comes from the lone model's own-distribution uncertainty —
+    // new data is accepted only while the model stays roughly as
+    // confident as it is at home (1.5x its own average Brier).
+    stats::RunningMoments own;
+    for (int i = 0; i < registry.size(); ++i) {
+      own.Add(registry.at(i).ensemble->AverageBrier(
+          samples[static_cast<size_t>(i)]));
+    }
+    calibration.global_h = 1.5 * own.mean();
+  }
+  for (int j = 0; j < registry.size(); ++j) {
+    stats::RunningMoments moments;
+    for (int i = 0; i < registry.size(); ++i) {
+      if (i == j) continue;
+      const std::vector<LabeledFrame>& sample =
+          samples[static_cast<size_t>(i)];
+      for (const LabeledFrame& lf : sample) {
+        moments.Add(registry.at(j).ensemble->BrierScore(lf.pixels, lf.label));
+      }
+    }
+    if (moments.count() == 0) {
+      // Single-model registry: no foreign data; fall back to a permissive
+      // baseline so the lone model is accepted on matching data.
+      calibration.pc_avg[static_cast<size_t>(j)] = 1.0;
+      calibration.sigma[static_cast<size_t>(j)] = 0.0;
+    } else {
+      calibration.pc_avg[static_cast<size_t>(j)] = moments.mean();
+      calibration.sigma[static_cast<size_t>(j)] = moments.stddev();
+    }
+  }
+  return calibration;
+}
+
+Msbo::Msbo(const ModelRegistry* registry, MsboCalibration calibration,
+           const MsboConfig& config)
+    : registry_(registry),
+      calibration_(std::move(calibration)),
+      config_(config) {
+  VDRIFT_CHECK(registry_ != nullptr);
+  VDRIFT_CHECK(config_.window_t >= 1);
+  VDRIFT_CHECK(static_cast<int>(calibration_.pc_avg.size()) ==
+               registry_->size());
+}
+
+Result<Selection> Msbo::Select(const std::vector<LabeledFrame>& window) const {
+  if (window.empty()) {
+    return Status::InvalidArgument("MSBO needs a non-empty window");
+  }
+  if (registry_->empty()) {
+    Selection selection;
+    selection.train_new_model = true;
+    return selection;
+  }
+  int limit = std::min<int>(config_.window_t,
+                            static_cast<int>(window.size()));
+  std::vector<LabeledFrame> eval(window.begin(), window.begin() + limit);
+
+  Selection selection;
+  selection.frames_examined = limit;
+  int best = -1;
+  double best_brier = 0.0;
+  for (int i = 0; i < registry_->size(); ++i) {
+    const ModelEntry& entry = registry_->at(i);
+    VDRIFT_CHECK(entry.ensemble != nullptr)
+        << "MSBO requires an ensemble for model " << entry.name;
+    double brier = entry.ensemble->AverageBrier(eval);
+    // Each frame is evaluated by every ensemble member (Alg. 3 lines 5-11).
+    selection.invocations += limit * entry.ensemble->size();
+    if (best < 0 || brier < best_brier) {
+      best = i;
+      best_brier = brier;
+    }
+  }
+  selection.score = best_brier;
+  double threshold =
+      config_.rule == MsboThresholdRule::kGlobalH
+          ? calibration_.global_h
+          : calibration_.pc_avg[static_cast<size_t>(best)] -
+                calibration_.sigma[static_cast<size_t>(best)];
+  if (best_brier <= threshold) {
+    selection.model_index = best;
+  } else {
+    // Even the most confident model is no more certain than it typically
+    // is on foreign data: unseen distribution (Alg. 3 line 17).
+    selection.train_new_model = true;
+  }
+  return selection;
+}
+
+}  // namespace vdrift::select

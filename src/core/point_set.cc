@@ -1,0 +1,70 @@
+#include "core/point_set.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "stats/distance.h"
+
+namespace vdrift::conformal {
+
+namespace {
+
+// Average distance from x to its k nearest rows of `points`, optionally
+// skipping one index (for leave-one-out scoring).
+double KnnAverage(std::span<const float> x,
+                  const std::vector<std::vector<float>>& points, int k,
+                  int skip_index) {
+  // Partial selection of the k smallest distances.
+  std::vector<double> dists;
+  dists.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (static_cast<int>(i) == skip_index) continue;
+    dists.push_back(stats::Euclidean(x, points[i]));
+  }
+  int kk = std::min<int>(k, static_cast<int>(dists.size()));
+  if (kk <= 0) return 0.0;
+  std::nth_element(dists.begin(), dists.begin() + (kk - 1), dists.end());
+  double sum = 0.0;
+  for (int i = 0; i < kk; ++i) sum += dists[static_cast<size_t>(i)];
+  return sum / kk;
+}
+
+}  // namespace
+
+Result<PointSet> PointSet::Build(std::vector<std::vector<float>> points,
+                                 int k) {
+  if (points.empty()) {
+    return Status::InvalidArgument("PointSet needs at least one point");
+  }
+  if (k < 1) {
+    return Status::InvalidArgument("PointSet needs k >= 1");
+  }
+  size_t dim = points[0].size();
+  if (dim == 0) {
+    return Status::InvalidArgument("PointSet points must be non-empty");
+  }
+  for (const auto& p : points) {
+    if (p.size() != dim) {
+      return Status::InvalidArgument("PointSet dimension mismatch");
+    }
+  }
+  PointSet set;
+  set.points_ = std::move(points);
+  set.dim_ = static_cast<int>(dim);
+  set.k_ = k;
+  set.scores_.reserve(set.points_.size());
+  for (size_t i = 0; i < set.points_.size(); ++i) {
+    set.scores_.push_back(
+        KnnAverage(set.points_[i], set.points_, k, static_cast<int>(i)));
+  }
+  set.sorted_scores_ = set.scores_;
+  std::sort(set.sorted_scores_.begin(), set.sorted_scores_.end());
+  return set;
+}
+
+double PointSet::KnnScore(std::span<const float> x) const {
+  return KnnAverage(x, points_, k_, -1);
+}
+
+}  // namespace vdrift::conformal

@@ -1,0 +1,23 @@
+#include "core/pvalue.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vdrift::conformal {
+
+double ComputePValue(double a_f, const std::vector<double>& sorted_scores,
+                     stats::Rng* rng) {
+  VDRIFT_DCHECK(!sorted_scores.empty());
+  // Scores strictly greater than a_f.
+  auto upper =
+      std::upper_bound(sorted_scores.begin(), sorted_scores.end(), a_f);
+  auto lower =
+      std::lower_bound(sorted_scores.begin(), sorted_scores.end(), a_f);
+  double greater = static_cast<double>(sorted_scores.end() - upper);
+  double equal = static_cast<double>(upper - lower);
+  double u = rng->NextDouble();
+  return (greater + u * equal) / static_cast<double>(sorted_scores.size());
+}
+
+}  // namespace vdrift::conformal

@@ -1,0 +1,23 @@
+#ifndef VDRIFT_CORE_PVALUE_H_
+#define VDRIFT_CORE_PVALUE_H_
+
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace vdrift::conformal {
+
+/// Conformal p-value of a new observation with score `a_f` against the
+/// precomputed reference scores (paper Eq. 1 / Alg. 1 lines 4-9):
+///
+///   p = ( #{ A_i > a_f }  +  U * #{ A_i = a_f } ) / n
+///
+/// with U uniform in [0,1) breaking ties randomly. A *small* p means the
+/// observation is strange (its non-conformity exceeds most of the
+/// reference sample). `sorted_scores` must be ascending.
+double ComputePValue(double a_f, const std::vector<double>& sorted_scores,
+                     stats::Rng* rng);
+
+}  // namespace vdrift::conformal
+
+#endif  // VDRIFT_CORE_PVALUE_H_

@@ -1,0 +1,32 @@
+#include "core/threshold.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vdrift::conformal {
+
+double Threshold(ThresholdPolicy policy, int window, double r) {
+  VDRIFT_CHECK(window >= 1);
+  VDRIFT_CHECK(r > 0.0 && r <= 1.0);
+  switch (policy) {
+    case ThresholdPolicy::kPaper:
+      return std::sqrt(2.0 * window * (2.0 / r));
+    case ThresholdPolicy::kHoeffding:
+      return std::sqrt(2.0 * window * std::log(2.0 / r));
+  }
+  VDRIFT_LOG_FATAL << "unknown threshold policy";
+  return 0.0;
+}
+
+std::string ThresholdPolicyName(ThresholdPolicy policy) {
+  switch (policy) {
+    case ThresholdPolicy::kPaper:
+      return "paper";
+    case ThresholdPolicy::kHoeffding:
+      return "hoeffding";
+  }
+  return "?";
+}
+
+}  // namespace vdrift::conformal

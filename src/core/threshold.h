@@ -1,0 +1,29 @@
+#ifndef VDRIFT_CORE_THRESHOLD_H_
+#define VDRIFT_CORE_THRESHOLD_H_
+
+#include <string>
+
+namespace vdrift::conformal {
+
+/// \brief How the drift test's threshold tau(W, r) is computed.
+///
+/// A drift is declared when |S[i] - S[i-W]| > tau(W, r) (paper Eq. 15).
+enum class ThresholdPolicy {
+  /// tau = sqrt(2 W (2 / r)) — the formula exactly as printed in the
+  /// paper, which reproduces its worked example (W=2, r=0.5 => tau=4).
+  kPaper,
+  /// tau = sqrt(2 W ln(2 / r)) — what the Hoeffding-Azuma bound of
+  /// Eq. 13-14 actually yields when solved for the threshold at
+  /// significance r. Tighter, hence faster detection but more sensitive.
+  kHoeffding,
+};
+
+/// The threshold value for a window W at significance level r.
+double Threshold(ThresholdPolicy policy, int window, double r);
+
+/// Printable policy name.
+std::string ThresholdPolicyName(ThresholdPolicy policy);
+
+}  // namespace vdrift::conformal
+
+#endif  // VDRIFT_CORE_THRESHOLD_H_

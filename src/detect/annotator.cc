@@ -1,0 +1,35 @@
+#include "detect/annotator.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+
+namespace vdrift::detect {
+
+int CountLabel(const video::FrameTruth& truth, int num_classes) {
+  return std::clamp(truth.CarCount() / kCountBinWidth, 0, num_classes - 1);
+}
+
+int PredicateLabel(const video::FrameTruth& truth) {
+  return truth.BusLeftOfCar() ? 1 : 0;
+}
+
+OracleAnnotator::OracleAnnotator(int work_dim) : work_dim_(work_dim) {
+  if (work_dim_ > 0) {
+    work_a_ = tensor::Tensor(tensor::Shape{work_dim_, work_dim_}, 0.5f);
+    work_b_ = tensor::Tensor(tensor::Shape{work_dim_, work_dim_}, 0.25f);
+  }
+}
+
+video::FrameTruth OracleAnnotator::Annotate(const video::Frame& frame) const {
+  if (work_dim_ > 0) {
+    // Simulated segmentation workload: one dense GEMM per frame.
+    tensor::Tensor result = tensor::Matmul(work_a_, work_b_);
+    // Fold a value back into the work buffer so the compiler cannot elide
+    // the computation.
+    work_a_[0] = result[0] * 1e-6f + 0.5f;
+  }
+  return frame.truth;
+}
+
+}  // namespace vdrift::detect

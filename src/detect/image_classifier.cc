@@ -1,0 +1,137 @@
+#include "detect/image_classifier.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "vae/vae.h"
+
+namespace vdrift::detect {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+ImageClassifier::ImageClassifier(const ClassifierConfig& config,
+                                 stats::Rng* rng)
+    : config_(config),
+      dropout_rng_(std::make_unique<stats::Rng>(rng->Split())) {
+  VDRIFT_CHECK(config.image_size % 4 == 0);
+  VDRIFT_CHECK(config.num_classes >= 2);
+  int f = config.base_filters;
+  int s4 = config.image_size / 4;
+  net_.Add<nn::Conv2d>(config.channels, f, 3, 2, 1, rng);
+  net_.Add<nn::ReLU>();
+  net_.Add<nn::Conv2d>(f, 2 * f, 3, 2, 1, rng);
+  net_.Add<nn::ReLU>();
+  net_.Add<nn::Conv2d>(2 * f, 2 * f, 3, 1, 1, rng);
+  net_.Add<nn::ReLU>();
+  net_.Add<nn::Flatten>();
+  if (config.dropout_rate > 0.0) {
+    dropout_ =
+        net_.Add<nn::Dropout>(config.dropout_rate, dropout_rng_.get());
+  }
+  net_.Add<nn::Linear>(2 * f * s4 * s4, config.num_classes, rng);
+}
+
+void ImageClassifier::SetDropoutTraining(bool training) {
+  if (dropout_ != nullptr) dropout_->set_training(training);
+}
+
+Result<std::vector<double>> ImageClassifier::Train(
+    const std::vector<Tensor>& frames, const std::vector<int>& labels,
+    const ClassifierTrainConfig& train_config, stats::Rng* rng) {
+  if (frames.empty()) {
+    return Status::InvalidArgument("classifier training needs frames");
+  }
+  if (frames.size() != labels.size()) {
+    return Status::InvalidArgument("frames/labels size mismatch");
+  }
+  for (int label : labels) {
+    if (label < 0 || label >= config_.num_classes) {
+      return Status::OutOfRange("label outside [0, num_classes)");
+    }
+  }
+  SetDropoutTraining(true);
+  nn::Adam optimizer(net_.Params(), train_config.learning_rate);
+  std::vector<int> order(frames.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::vector<double> epoch_losses;
+  for (int epoch = 0; epoch < train_config.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    double total = 0.0;
+    int batches = 0;
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(train_config.batch_size)) {
+      size_t end =
+          std::min(order.size(),
+                   start + static_cast<size_t>(train_config.batch_size));
+      std::vector<Tensor> batch_frames;
+      std::vector<int> batch_labels;
+      for (size_t i = start; i < end; ++i) {
+        batch_frames.push_back(frames[static_cast<size_t>(order[i])]);
+        batch_labels.push_back(labels[static_cast<size_t>(order[i])]);
+      }
+      Tensor batch = vae::StackFrames(batch_frames);
+      optimizer.ZeroGrad();
+      Tensor logits = net_.Forward(batch);
+      nn::LossResult loss = nn::SoftmaxCrossEntropy(logits, batch_labels);
+      net_.Backward(loss.grad);
+      optimizer.Step();
+      total += loss.loss;
+      ++batches;
+    }
+    epoch_losses.push_back(total / std::max(1, batches));
+  }
+  SetDropoutTraining(false);
+  return epoch_losses;
+}
+
+Tensor ImageClassifier::ForwardBatch(const Tensor& batch) {
+  return net_.Forward(batch);
+}
+
+std::vector<float> ImageClassifier::PredictProba(const Tensor& frame) {
+  SetDropoutTraining(false);
+  Tensor batch = vae::StackFrames({frame});
+  Tensor probs = nn::Softmax(net_.Forward(batch));
+  return std::vector<float>(probs.data(), probs.data() + probs.size());
+}
+
+std::vector<float> ImageClassifier::PredictProbaMcDropout(const Tensor& frame,
+                                                          int passes) {
+  VDRIFT_CHECK(passes >= 1);
+  if (dropout_ == nullptr) return PredictProba(frame);
+  SetDropoutTraining(true);
+  Tensor batch = vae::StackFrames({frame});
+  std::vector<float> mixture(static_cast<size_t>(config_.num_classes), 0.0f);
+  for (int pass = 0; pass < passes; ++pass) {
+    Tensor probs = nn::Softmax(net_.Forward(batch));
+    for (size_t i = 0; i < mixture.size(); ++i) mixture[i] += probs[static_cast<int64_t>(i)];
+  }
+  SetDropoutTraining(false);
+  float inv = 1.0f / static_cast<float>(passes);
+  for (float& v : mixture) v *= inv;
+  return mixture;
+}
+
+int ImageClassifier::Predict(const Tensor& frame) {
+  std::vector<float> probs = PredictProba(frame);
+  return static_cast<int>(std::max_element(probs.begin(), probs.end()) -
+                          probs.begin());
+}
+
+double ImageClassifier::Accuracy(const std::vector<Tensor>& frames,
+                                 const std::vector<int>& labels) {
+  VDRIFT_CHECK(frames.size() == labels.size());
+  if (frames.empty()) return 0.0;
+  int correct = 0;
+  for (size_t i = 0; i < frames.size(); ++i) {
+    if (Predict(frames[i]) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(frames.size());
+}
+
+}  // namespace vdrift::detect

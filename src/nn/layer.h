@@ -1,0 +1,53 @@
+#ifndef VDRIFT_NN_LAYER_H_
+#define VDRIFT_NN_LAYER_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace vdrift::nn {
+
+/// \brief A trainable parameter: value plus accumulated gradient.
+struct Parameter {
+  tensor::Tensor value;
+  tensor::Tensor grad;
+
+  explicit Parameter(tensor::Shape shape)
+      : value(shape), grad(std::move(shape)) {}
+
+  /// Resets the accumulated gradient to zero.
+  void ZeroGrad() { grad.Zero(); }
+};
+
+/// \brief Base class for differentiable layers.
+///
+/// The stack uses explicit, caller-driven backpropagation rather than a
+/// taped autograd: Forward caches whatever the layer needs, Backward maps
+/// the gradient w.r.t. the output to the gradient w.r.t. the input and
+/// *accumulates* parameter gradients. A training step is therefore:
+/// ZeroGrad -> Forward -> loss -> Backward (in reverse) -> optimizer step.
+///
+/// Convention: 2-D activations are [batch, features]; 4-D activations are
+/// [batch, channels, height, width].
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Runs the layer on a batch, caching state for Backward.
+  virtual tensor::Tensor Forward(const tensor::Tensor& input) = 0;
+
+  /// Given dLoss/dOutput, accumulates parameter gradients and returns
+  /// dLoss/dInput. Must be called after the matching Forward.
+  virtual tensor::Tensor Backward(const tensor::Tensor& grad_output) = 0;
+
+  /// The layer's trainable parameters (empty for stateless layers).
+  virtual std::vector<Parameter*> Params() { return {}; }
+
+  /// Human-readable layer name for diagnostics.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace vdrift::nn
+
+#endif  // VDRIFT_NN_LAYER_H_

@@ -1,0 +1,243 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace vdrift::nn {
+
+using tensor::ConvOutDim;
+using tensor::Shape;
+using tensor::Tensor;
+
+Linear::Linear(int in_features, int out_features, stats::Rng* rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(Shape{out_features, in_features}),
+      bias_(Shape{out_features}) {
+  HeInit(&weight_.value, in_features, rng);
+}
+
+Tensor Linear::Forward(const Tensor& input) {
+  VDRIFT_CHECK(input.shape().ndim() == 2 &&
+               input.shape().dim(1) == in_features_)
+      << "Linear expects [N, " << in_features_ << "], got "
+      << input.shape().ToString();
+  cached_input_ = input;
+  Tensor out = tensor::MatmulTransposedB(input, weight_.value);
+  int64_t n = out.shape().dim(0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < out_features_; ++j) {
+      out.At2(i, j) += bias_.value[j];
+    }
+  }
+  return out;
+}
+
+Tensor Linear::Backward(const Tensor& grad_output) {
+  VDRIFT_CHECK(grad_output.shape().ndim() == 2 &&
+               grad_output.shape().dim(1) == out_features_);
+  // dW += dY^T X ; db += column sums of dY ; dX = dY W.
+  Tensor dw = tensor::MatmulTransposedA(grad_output, cached_input_);
+  tensor::AddInPlace(&weight_.grad, dw);
+  int64_t n = grad_output.shape().dim(0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < out_features_; ++j) {
+      bias_.grad[j] += grad_output.At2(i, j);
+    }
+  }
+  return tensor::Matmul(grad_output, weight_.value);
+}
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
+               int pad, stats::Rng* rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_(Shape{out_channels, in_channels * kernel * kernel}),
+      bias_(Shape{out_channels}) {
+  HeInit(&weight_.value, in_channels * kernel * kernel, rng);
+}
+
+Tensor Conv2d::Forward(const Tensor& input) {
+  VDRIFT_CHECK(input.shape().ndim() == 4 &&
+               input.shape().dim(1) == in_channels_)
+      << "Conv2d expects [N, " << in_channels_ << ", H, W], got "
+      << input.shape().ToString();
+  int64_t n = input.shape().dim(0);
+  in_h_ = static_cast<int>(input.shape().dim(2));
+  in_w_ = static_cast<int>(input.shape().dim(3));
+  out_h_ = ConvOutDim(in_h_, kernel_, stride_, pad_);
+  out_w_ = ConvOutDim(in_w_, kernel_, stride_, pad_);
+  VDRIFT_CHECK(out_h_ > 0 && out_w_ > 0);
+  cached_cols_.clear();
+  cached_cols_.reserve(static_cast<size_t>(n));
+  Tensor out(Shape{n, out_channels_, out_h_, out_w_});
+  int64_t plane = static_cast<int64_t>(out_h_) * out_w_;
+  for (int64_t s = 0; s < n; ++s) {
+    // View of sample s as [C, H, W].
+    Tensor sample(Shape{in_channels_, in_h_, in_w_});
+    const float* src = input.data() +
+                       s * in_channels_ * static_cast<int64_t>(in_h_) * in_w_;
+    std::copy(src, src + sample.size(), sample.data());
+    Tensor cols =
+        tensor::Im2Col(sample, kernel_, kernel_, stride_, pad_, out_h_, out_w_);
+    Tensor result = tensor::Matmul(weight_.value, cols);
+    float* dst = out.data() + s * out_channels_ * plane;
+    for (int64_t c = 0; c < out_channels_; ++c) {
+      float b = bias_.value[c];
+      for (int64_t p = 0; p < plane; ++p) {
+        dst[c * plane + p] = result[c * plane + p] + b;
+      }
+    }
+    cached_cols_.push_back(std::move(cols));
+  }
+  return out;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_output) {
+  int64_t n = grad_output.shape().dim(0);
+  VDRIFT_CHECK(grad_output.shape().ndim() == 4 &&
+               grad_output.shape().dim(1) == out_channels_ &&
+               grad_output.shape().dim(2) == out_h_ &&
+               grad_output.shape().dim(3) == out_w_);
+  VDRIFT_CHECK(static_cast<size_t>(n) == cached_cols_.size())
+      << "Backward batch size mismatch";
+  Tensor grad_input(Shape{n, in_channels_, in_h_, in_w_});
+  int64_t plane = static_cast<int64_t>(out_h_) * out_w_;
+  int64_t in_plane = static_cast<int64_t>(in_h_) * in_w_;
+  for (int64_t s = 0; s < n; ++s) {
+    Tensor dy(Shape{out_channels_, plane});
+    const float* src = grad_output.data() + s * out_channels_ * plane;
+    std::copy(src, src + dy.size(), dy.data());
+    // dW += dY cols^T ; db += row sums of dY.
+    Tensor dw =
+        tensor::MatmulTransposedB(dy, cached_cols_[static_cast<size_t>(s)]);
+    tensor::AddInPlace(&weight_.grad, dw);
+    for (int64_t c = 0; c < out_channels_; ++c) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < plane; ++p) acc += dy[c * plane + p];
+      bias_.grad[c] += static_cast<float>(acc);
+    }
+    // dCols = W^T dY ; dX = col2im(dCols).
+    Tensor dcols = tensor::MatmulTransposedA(weight_.value, dy);
+    Tensor dx = tensor::Col2Im(dcols, in_channels_, in_h_, in_w_, kernel_,
+                               kernel_, stride_, pad_, out_h_, out_w_);
+    float* dst = grad_input.data() + s * in_channels_ * in_plane;
+    std::copy(dx.data(), dx.data() + dx.size(), dst);
+  }
+  return grad_input;
+}
+
+Tensor ReLU::Forward(const Tensor& input) {
+  Tensor out = input;
+  mask_ = Tensor(input.shape());
+  for (int64_t i = 0; i < out.size(); ++i) {
+    if (out[i] > 0.0f) {
+      mask_[i] = 1.0f;
+    } else {
+      out[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+Tensor ReLU::Backward(const Tensor& grad_output) {
+  return tensor::Mul(grad_output, mask_);
+}
+
+Tensor Sigmoid::Forward(const Tensor& input) {
+  Tensor out = input;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+  }
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::Backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (int64_t i = 0; i < grad.size(); ++i) {
+    float y = cached_output_[i];
+    grad[i] *= y * (1.0f - y);
+  }
+  return grad;
+}
+
+Tensor Tanh::Forward(const Tensor& input) {
+  Tensor out = input;
+  for (int64_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::Backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (int64_t i = 0; i < grad.size(); ++i) {
+    float y = cached_output_[i];
+    grad[i] *= 1.0f - y * y;
+  }
+  return grad;
+}
+
+Tensor Flatten::Forward(const Tensor& input) {
+  VDRIFT_CHECK(input.shape().ndim() >= 2);
+  cached_shape_ = input.shape();
+  int64_t n = input.shape().dim(0);
+  int64_t features = input.shape().NumElements() / n;
+  return input.Reshaped(Shape{n, features});
+}
+
+Tensor Flatten::Backward(const Tensor& grad_output) {
+  return grad_output.Reshaped(cached_shape_);
+}
+
+Tensor Upsample2x::Forward(const Tensor& input) {
+  VDRIFT_CHECK(input.shape().ndim() == 4);
+  cached_shape_ = input.shape();
+  int64_t n = input.shape().dim(0);
+  int64_t c = input.shape().dim(1);
+  int64_t h = input.shape().dim(2);
+  int64_t w = input.shape().dim(3);
+  Tensor out(Shape{n, c, 2 * h, 2 * w});
+  for (int64_t s = 0; s < n; ++s) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      for (int64_t y = 0; y < h; ++y) {
+        for (int64_t x = 0; x < w; ++x) {
+          float v = input.At4(s, ch, y, x);
+          out.At4(s, ch, 2 * y, 2 * x) = v;
+          out.At4(s, ch, 2 * y, 2 * x + 1) = v;
+          out.At4(s, ch, 2 * y + 1, 2 * x) = v;
+          out.At4(s, ch, 2 * y + 1, 2 * x + 1) = v;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Upsample2x::Backward(const Tensor& grad_output) {
+  int64_t n = cached_shape_.dim(0);
+  int64_t c = cached_shape_.dim(1);
+  int64_t h = cached_shape_.dim(2);
+  int64_t w = cached_shape_.dim(3);
+  Tensor grad(cached_shape_);
+  for (int64_t s = 0; s < n; ++s) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      for (int64_t y = 0; y < h; ++y) {
+        for (int64_t x = 0; x < w; ++x) {
+          grad.At4(s, ch, y, x) = grad_output.At4(s, ch, 2 * y, 2 * x) +
+                                  grad_output.At4(s, ch, 2 * y, 2 * x + 1) +
+                                  grad_output.At4(s, ch, 2 * y + 1, 2 * x) +
+                                  grad_output.At4(s, ch, 2 * y + 1, 2 * x + 1);
+        }
+      }
+    }
+  }
+  return grad;
+}
+
+}  // namespace vdrift::nn

@@ -1,0 +1,62 @@
+#ifndef VDRIFT_NN_OPTIMIZER_H_
+#define VDRIFT_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+#include "tensor/tensor.h"
+
+namespace vdrift::nn {
+
+/// \brief Base class for first-order optimizers over a parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Zeroes every parameter's gradient accumulator.
+  void ZeroGrad() {
+    for (Parameter* p : params_) p->ZeroGrad();
+  }
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+/// \brief Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, float lr, float momentum = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+/// \brief Adam (Kingma & Ba). The paper trains both the VAE and the
+/// classifier models with Adam (§6).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, float lr = 1e-3f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void Step() override;
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int64_t t_ = 0;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+};
+
+}  // namespace vdrift::nn
+
+#endif  // VDRIFT_NN_OPTIMIZER_H_

@@ -1,0 +1,359 @@
+#include "pipeline/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "stats/distance.h"
+
+namespace vdrift::pipeline {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+SequenceAccuracy PipelineMetrics::Totals() const {
+  SequenceAccuracy total;
+  for (const auto& [id, acc] : per_sequence) {
+    total.count_correct += acc.count_correct;
+    total.count_total += acc.count_total;
+    total.predicate_correct += acc.predicate_correct;
+    total.predicate_total += acc.predicate_total;
+    total.invocations += acc.invocations;
+  }
+  return total;
+}
+
+DriftAwarePipeline::DriftAwarePipeline(
+    select::ModelRegistry* registry,
+    std::vector<std::vector<select::LabeledFrame>> calibration_samples,
+    const PipelineConfig& config)
+    : registry_(registry),
+      calibration_samples_(std::move(calibration_samples)),
+      config_(config),
+      oracle_(0),
+      rng_(config.seed),
+      deployed_(config.initial_model) {
+  VDRIFT_CHECK(registry_ != nullptr && !registry_->empty());
+  VDRIFT_CHECK(deployed_ >= 0 && deployed_ < registry_->size());
+  if (config_.selector == PipelineConfig::Selector::kMsbo) {
+    VDRIFT_CHECK(static_cast<int>(calibration_samples_.size()) ==
+                 registry_->size())
+        << "MSBO needs one calibration sample per model";
+    VDRIFT_CHECK_OK(Recalibrate());
+  }
+  inspector_ = std::make_unique<conformal::DriftInspector>(
+      registry_->at(deployed_).profile.get(), config_.di, config_.seed);
+}
+
+Status DriftAwarePipeline::Recalibrate() {
+  VDRIFT_ASSIGN_OR_RETURN(
+      calibration_, select::CalibrateMsbo(*registry_, calibration_samples_));
+  return Status::OK();
+}
+
+void DriftAwarePipeline::RecordQueries(const video::Frame& frame,
+                                       PipelineMetrics* metrics) {
+  SequenceAccuracy& acc = metrics->per_sequence[frame.truth.sequence_id];
+  const select::ModelEntry& entry = registry_->at(deployed_);
+  int count_classes = entry.count_model->num_classes();
+  int predicted = entry.count_model->Predict(frame.pixels);
+  int truth = detect::CountLabel(frame.truth, count_classes);
+  acc.count_total += 1;
+  acc.invocations += 1;
+  if (predicted == truth) acc.count_correct += 1;
+  if (config_.run_predicate && entry.predicate_model != nullptr) {
+    int p = entry.predicate_model->Predict(frame.pixels);
+    acc.predicate_total += 1;
+    if (p == detect::PredicateLabel(frame.truth)) acc.predicate_correct += 1;
+  }
+}
+
+Status DriftAwarePipeline::HandleDrift(video::StreamGenerator* stream,
+                                       PipelineMetrics* metrics) {
+  // Collect the recovery window (frames keep being processed by the
+  // still-deployed model while the selector decides).
+  std::vector<video::Frame> window;
+  video::Frame frame;
+  while (static_cast<int>(window.size()) < config_.recovery_window &&
+         stream->Next(&frame)) {
+    metrics->frames += 1;
+    if (config_.run_queries) RecordQueries(frame, metrics);
+    window.push_back(frame);
+  }
+  if (window.empty()) return Status::OK();  // stream ended at the drift
+
+  Clock::time_point select_start = Clock::now();
+  select::Selection selection;
+  if (config_.selector == PipelineConfig::Selector::kMsbo) {
+    std::vector<select::LabeledFrame> labeled;
+    labeled.reserve(window.size());
+    int count_classes = config_.provision.count_classes;
+    for (const video::Frame& f : window) {
+      video::FrameTruth truth = oracle_.Annotate(f);
+      labeled.push_back(
+          {f.pixels, detect::CountLabel(truth, count_classes)});
+    }
+    select::Msbo msbo(registry_, calibration_, config_.msbo);
+    VDRIFT_ASSIGN_OR_RETURN(selection, msbo.Select(labeled));
+  } else {
+    select::Msbi msbi(registry_, config_.msbi);
+    VDRIFT_ASSIGN_OR_RETURN(selection, msbi.Select(video::PixelsOf(window)));
+  }
+  metrics->select_seconds += SecondsSince(select_start);
+  metrics->selection_invocations += selection.invocations;
+
+  if (selection.train_new_model) {
+    if (!config_.allow_training_new) {
+      // Keep the best-effort current deployment.
+      metrics->selections.push_back("<none>");
+      inspector_->Reset();
+      return Status::OK();
+    }
+    // trainNewModel() (§5.4): accumulate more frames, annotate with the
+    // oracle, and provision a full model entry.
+    std::vector<video::Frame> training = window;
+    while (static_cast<int>(training.size()) < config_.new_model_window &&
+           stream->Next(&frame)) {
+      metrics->frames += 1;
+      if (config_.run_queries) RecordQueries(frame, metrics);
+      training.push_back(frame);
+    }
+    std::string name =
+        "learned-" + std::to_string(metrics->new_models_trained);
+    VDRIFT_ASSIGN_OR_RETURN(
+        select::ModelEntry entry,
+        ProvisionModel(name, training, config_.provision, &rng_));
+    int index = registry_->Add(std::move(entry));
+    calibration_samples_.push_back(MakeLabeledSample(
+        training, config_.provision.count_classes, 32, &rng_));
+    if (config_.selector == PipelineConfig::Selector::kMsbo) {
+      VDRIFT_RETURN_NOT_OK(Recalibrate());
+    }
+    deployed_ = index;
+    metrics->new_models_trained += 1;
+    metrics->selections.push_back(name);
+  } else {
+    deployed_ = selection.model_index;
+    metrics->selections.push_back(registry_->at(deployed_).name);
+  }
+  // Re-arm DI against the newly deployed distribution.
+  inspector_ = std::make_unique<conformal::DriftInspector>(
+      registry_->at(deployed_).profile.get(), config_.di,
+      config_.seed + static_cast<uint64_t>(metrics->drifts_detected));
+  return Status::OK();
+}
+
+Result<PipelineMetrics> DriftAwarePipeline::Run(
+    video::StreamGenerator* stream) {
+  PipelineMetrics metrics;
+  Clock::time_point run_start = Clock::now();
+  video::Frame frame;
+  while (stream->Next(&frame)) {
+    metrics.frames += 1;
+    if (config_.run_queries) {
+      Clock::time_point q0 = Clock::now();
+      RecordQueries(frame, &metrics);
+      metrics.query_seconds += SecondsSince(q0);
+    }
+    Clock::time_point d0 = Clock::now();
+    conformal::DriftInspector::Observation obs =
+        inspector_->Observe(frame.pixels);
+    metrics.detect_seconds += SecondsSince(d0);
+    if (obs.drift) {
+      metrics.drifts_detected += 1;
+      metrics.drift_frames.push_back(frame.truth.frame_index);
+      VDRIFT_RETURN_NOT_OK(HandleDrift(stream, &metrics));
+    }
+  }
+  metrics.total_seconds = SecondsSince(run_start);
+  return metrics;
+}
+
+OdinPipeline::OdinPipeline(
+    select::ModelRegistry* registry,
+    const std::vector<std::vector<video::Frame>>& training_frames,
+    const Config& config)
+    : registry_(registry),
+      config_(config),
+      odin_(config.odin,
+            registry->at(config.encoder_model)
+                .profile->vae()
+                ->config()
+                .latent_dim) {
+  VDRIFT_CHECK(registry_ != nullptr && !registry_->empty());
+  VDRIFT_CHECK(static_cast<int>(training_frames.size()) ==
+               registry_->size());
+  const conformal::DistributionProfile& encoder =
+      *registry_->at(config_.encoder_model).profile;
+  for (int i = 0; i < registry_->size(); ++i) {
+    std::vector<std::vector<float>> latents;
+    latents.reserve(training_frames[static_cast<size_t>(i)].size());
+    for (const video::Frame& f : training_frames[static_cast<size_t>(i)]) {
+      latents.push_back(encoder.Encode(f.pixels));
+    }
+    odin_.AddPermanentCluster(latents, i);
+  }
+}
+
+Result<PipelineMetrics> OdinPipeline::Run(video::StreamGenerator* stream) {
+  PipelineMetrics metrics;
+  Clock::time_point run_start = Clock::now();
+  const conformal::DistributionProfile& encoder =
+      *registry_->at(config_.encoder_model).profile;
+  video::Frame frame;
+  while (stream->Next(&frame)) {
+    metrics.frames += 1;
+    Clock::time_point d0 = Clock::now();
+    std::vector<float> latent = encoder.Encode(frame.pixels);
+    baseline::OdinObservation obs = odin_.Observe(latent);
+    metrics.detect_seconds += SecondsSince(d0);
+    if (obs.drift) {
+      metrics.drifts_detected += 1;
+      metrics.drift_frames.push_back(frame.truth.frame_index);
+      // ODIN-Specialize would train a model for the promoted cluster; in
+      // the provisioned-models setting the new cluster is served by the
+      // model of its nearest permanent sibling.
+      int promoted = obs.promoted_cluster;
+      int nearest = -1;
+      double best = 0.0;
+      for (int c = 0; c < odin_.num_clusters(); ++c) {
+        if (c == promoted || odin_.cluster(c).model_index() < 0) continue;
+        double d = stats::Euclidean(odin_.cluster(promoted).centroid(),
+                                    odin_.cluster(c).centroid());
+        if (nearest < 0 || d < best) {
+          nearest = c;
+          best = d;
+        }
+      }
+      if (nearest >= 0) {
+        metrics.selections.push_back(
+            registry_->at(odin_.cluster(nearest).model_index()).name);
+      }
+    }
+    // ODIN-Select: models of the assigned clusters (equal-weight
+    // ensemble); frames in the temporary cluster fall back to the model
+    // of the nearest permanent cluster.
+    Clock::time_point s0 = Clock::now();
+    std::vector<int> models = obs.models;
+    std::erase_if(models, [](int m) { return m < 0; });
+    if (models.empty()) {
+      int nearest = -1;
+      double best = 0.0;
+      for (int c = 0; c < odin_.num_clusters(); ++c) {
+        if (odin_.cluster(c).model_index() < 0) continue;
+        double d = odin_.cluster(c).DistanceTo(latent);
+        if (nearest < 0 || d < best) {
+          nearest = c;
+          best = d;
+        }
+      }
+      if (nearest >= 0) models.push_back(odin_.cluster(nearest).model_index());
+    }
+    metrics.select_seconds += SecondsSince(s0);
+    if (config_.run_queries && !models.empty()) {
+      Clock::time_point q0 = Clock::now();
+      SequenceAccuracy& acc = metrics.per_sequence[frame.truth.sequence_id];
+      // Equal-weight ensemble over the selected models' count classifiers.
+      std::vector<float> mixture;
+      for (int m : models) {
+        std::vector<float> p =
+            registry_->at(m).count_model->PredictProba(frame.pixels);
+        if (mixture.empty()) {
+          mixture = p;
+        } else {
+          for (size_t i = 0; i < mixture.size(); ++i) mixture[i] += p[i];
+        }
+      }
+      int predicted = static_cast<int>(
+          std::max_element(mixture.begin(), mixture.end()) -
+          mixture.begin());
+      int truth = detect::CountLabel(
+          frame.truth, registry_->at(models[0]).count_model->num_classes());
+      acc.count_total += 1;
+      acc.invocations += static_cast<int64_t>(models.size());
+      if (predicted == truth) acc.count_correct += 1;
+      if (config_.run_predicate) {
+        // Majority vote of the selected models' predicate classifiers.
+        int votes = 0;
+        int voters = 0;
+        for (int m : models) {
+          if (registry_->at(m).predicate_model == nullptr) continue;
+          votes += registry_->at(m).predicate_model->Predict(frame.pixels);
+          ++voters;
+        }
+        if (voters > 0) {
+          int p = votes * 2 >= voters ? 1 : 0;
+          acc.predicate_total += 1;
+          if (p == detect::PredicateLabel(frame.truth)) {
+            acc.predicate_correct += 1;
+          }
+        }
+      }
+      metrics.query_seconds += SecondsSince(q0);
+    }
+  }
+  metrics.total_seconds = SecondsSince(run_start);
+  return metrics;
+}
+
+Result<PipelineMetrics> StaticDetectorPipeline::RunDetector(
+    detect::SimulatedDetector* detector, video::StreamGenerator* stream,
+    bool run_predicate) {
+  if (detector == nullptr) {
+    return Status::InvalidArgument("detector is null");
+  }
+  PipelineMetrics metrics;
+  Clock::time_point run_start = Clock::now();
+  video::Frame frame;
+  while (stream->Next(&frame)) {
+    metrics.frames += 1;
+    SequenceAccuracy& acc = metrics.per_sequence[frame.truth.sequence_id];
+    int predicted = detector->PredictCount(frame.pixels);
+    int truth = detect::CountLabel(frame.truth, detector->count_classes());
+    acc.count_total += 1;
+    acc.invocations += 1;
+    if (predicted == truth) acc.count_correct += 1;
+    if (run_predicate) {
+      bool p = detector->PredictPredicate(frame.pixels);
+      acc.predicate_total += 1;
+      if (p == frame.truth.BusLeftOfCar()) acc.predicate_correct += 1;
+    }
+  }
+  metrics.total_seconds = SecondsSince(run_start);
+  metrics.query_seconds = metrics.total_seconds;
+  return metrics;
+}
+
+Result<PipelineMetrics> StaticDetectorPipeline::RunOracle(
+    int work_dim, video::StreamGenerator* stream) {
+  PipelineMetrics metrics;
+  detect::OracleAnnotator oracle(work_dim);
+  Clock::time_point run_start = Clock::now();
+  video::Frame frame;
+  while (stream->Next(&frame)) {
+    metrics.frames += 1;
+    SequenceAccuracy& acc = metrics.per_sequence[frame.truth.sequence_id];
+    video::FrameTruth truth = oracle.Annotate(frame);
+    acc.count_total += 1;
+    acc.invocations += 1;
+    // The oracle *is* the ground-truth source: perfect accuracy, as the
+    // paper notes for Mask R-CNN in Fig. 7.
+    if (truth.CarCount() == frame.truth.CarCount()) acc.count_correct += 1;
+    acc.predicate_total += 1;
+    if (truth.BusLeftOfCar() == frame.truth.BusLeftOfCar()) {
+      acc.predicate_correct += 1;
+    }
+  }
+  metrics.total_seconds = SecondsSince(run_start);
+  metrics.query_seconds = metrics.total_seconds;
+  return metrics;
+}
+
+}  // namespace vdrift::pipeline

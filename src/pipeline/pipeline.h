@@ -1,0 +1,187 @@
+#ifndef VDRIFT_PIPELINE_PIPELINE_H_
+#define VDRIFT_PIPELINE_PIPELINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/odin.h"
+#include "common/result.h"
+#include "core/drift_inspector.h"
+#include "core/msbi.h"
+#include "core/msbo.h"
+#include "core/registry.h"
+#include "detect/annotator.h"
+#include "detect/detector.h"
+#include "pipeline/provision.h"
+#include "stats/rng.h"
+#include "video/stream.h"
+
+namespace vdrift::pipeline {
+
+/// \brief Query-accuracy counters for one stream sequence.
+struct SequenceAccuracy {
+  int64_t count_correct = 0;
+  int64_t count_total = 0;
+  int64_t predicate_correct = 0;
+  int64_t predicate_total = 0;
+  int64_t invocations = 0;  ///< Count-model invocations on this sequence.
+
+  /// A_q of the count query (§6.3.1).
+  double CountAq() const {
+    return count_total == 0
+               ? 0.0
+               : static_cast<double>(count_correct) /
+                     static_cast<double>(count_total);
+  }
+  /// A_q of the spatial-constrained query (§6.3.2).
+  double PredicateAq() const {
+    return predicate_total == 0
+               ? 0.0
+               : static_cast<double>(predicate_correct) /
+                     static_cast<double>(predicate_total);
+  }
+  /// Mean model invocations per frame (§6.2's cost metric).
+  double InvocationsPerFrame() const {
+    return count_total == 0
+               ? 0.0
+               : static_cast<double>(invocations) /
+                     static_cast<double>(count_total);
+  }
+};
+
+/// \brief Everything a pipeline run reports.
+struct PipelineMetrics {
+  int64_t frames = 0;
+  int drifts_detected = 0;
+  int new_models_trained = 0;
+  std::vector<int64_t> drift_frames;      ///< Stream indices of detections.
+  std::vector<std::string> selections;    ///< Model picked per drift.
+  int64_t selection_invocations = 0;      ///< Selector-internal invocations.
+  std::map<int, SequenceAccuracy> per_sequence;  ///< Keyed by sequence id.
+
+  double total_seconds = 0.0;
+  double detect_seconds = 0.0;   ///< Time in DI / ODIN-Detect.
+  double select_seconds = 0.0;   ///< Time in MS / ODIN-Select.
+  double query_seconds = 0.0;    ///< Time in the deployed query models.
+
+  /// Aggregates the per-sequence counters.
+  SequenceAccuracy Totals() const;
+};
+
+/// \brief Configuration of the drift-aware pipeline (Fig. 1 architecture).
+struct PipelineConfig {
+  enum class Selector { kMsbo, kMsbi };
+  Selector selector = Selector::kMsbo;
+  int initial_model = 0;
+  conformal::DriftInspectorConfig di;
+  select::MsbiConfig msbi;
+  select::MsboConfig msbo;
+  /// Frames collected after a detection before the selector runs (W_T /
+  /// W_N in the paper; both default to 10 in §6.2).
+  int recovery_window = 10;
+  /// Frames collected to train a new model when no provisioned one fits
+  /// (the paper collects ~5k frames; scaled down here).
+  int new_model_window = 96;
+  bool allow_training_new = true;
+  ProvisionOptions provision;   ///< Used by the trainNewModel path.
+  bool run_queries = true;      ///< Execute count/predicate queries.
+  bool run_predicate = false;   ///< Also score the spatial query.
+  uint64_t seed = 4242;
+};
+
+/// \brief The paper's end-to-end system: DI + (MSBO or MSBI) + deployment.
+///
+/// Frames are routed to the Drift Inspector monitoring the currently
+/// deployed model's distribution; while no drift is detected the deployed
+/// query models process the stream. On a detection, a recovery window of
+/// frames is collected (labeled by the annotation oracle when MSBO is
+/// selected), the Model Selector picks the best provisioned model — or
+/// signals that a new one must be trained (§5.4) — and the pipeline
+/// redeploys and re-arms DI against the new distribution.
+class DriftAwarePipeline {
+ public:
+  /// `registry` must outlive the pipeline. `calibration_samples` holds the
+  /// labeled S_Ti sample per registry entry (MSBO calibration, §5.2.2).
+  DriftAwarePipeline(
+      select::ModelRegistry* registry,
+      std::vector<std::vector<select::LabeledFrame>> calibration_samples,
+      const PipelineConfig& config);
+
+  /// Processes the whole stream; returns metrics.
+  Result<PipelineMetrics> Run(video::StreamGenerator* stream);
+
+  /// The currently deployed model index.
+  int deployed_model() const { return deployed_; }
+
+ private:
+  Status HandleDrift(video::StreamGenerator* stream, PipelineMetrics* metrics);
+  void RecordQueries(const video::Frame& frame, PipelineMetrics* metrics);
+  Status Recalibrate();
+
+  select::ModelRegistry* registry_;
+  std::vector<std::vector<select::LabeledFrame>> calibration_samples_;
+  PipelineConfig config_;
+  select::MsboCalibration calibration_;
+  detect::OracleAnnotator oracle_;
+  stats::Rng rng_;
+  int deployed_ = 0;
+  std::unique_ptr<conformal::DriftInspector> inspector_;
+};
+
+/// \brief The ODIN baseline pipeline: ODIN-Detect + ODIN-Select per frame.
+///
+/// All latents come from one shared encoder (ODIN maintains a single VAE).
+/// Each registry model seeds a permanent cluster from its training frames'
+/// latents; every incoming frame is assigned to zero or more clusters and
+/// processed by the corresponding model (or equal-weight ensemble — the
+/// source of the >1 invocations-per-frame and the accuracy loss in
+/// §6.2/§6.3). Frames no cluster accepts go to the temporary cluster whose
+/// stabilization is ODIN's drift declaration.
+class OdinPipeline {
+ public:
+  struct Config {
+    baseline::OdinConfig odin;
+    int encoder_model = 0;  ///< Registry entry whose VAE encodes frames.
+    bool run_queries = true;
+    bool run_predicate = false;
+  };
+
+  /// `training_frames[i]` are frames of distribution i used to seed
+  /// cluster i (encoded with the shared encoder).
+  OdinPipeline(select::ModelRegistry* registry,
+               const std::vector<std::vector<video::Frame>>& training_frames,
+               const Config& config);
+
+  Result<PipelineMetrics> Run(video::StreamGenerator* stream);
+
+  /// Number of permanent clusters after the run.
+  int num_clusters() const { return odin_.num_clusters(); }
+
+ private:
+  select::ModelRegistry* registry_;
+  Config config_;
+  baseline::OdinDetect odin_;
+};
+
+/// \brief Drift-oblivious single-detector pipelines (YOLOv7 / Mask R-CNN
+/// rows of Table 9 and Figs. 7-8).
+class StaticDetectorPipeline {
+ public:
+  /// YOLOv7 substitute: runs the given detector on every frame.
+  static Result<PipelineMetrics> RunDetector(
+      detect::SimulatedDetector* detector, video::StreamGenerator* stream,
+      bool run_predicate);
+
+  /// Mask R-CNN substitute: the oracle annotator labels every frame (its
+  /// accuracy is 1.0 by construction); `work_dim` sets the simulated
+  /// per-frame segmentation cost.
+  static Result<PipelineMetrics> RunOracle(int work_dim,
+                                           video::StreamGenerator* stream);
+};
+
+}  // namespace vdrift::pipeline
+
+#endif  // VDRIFT_PIPELINE_PIPELINE_H_

@@ -1,0 +1,46 @@
+#include "query/query.h"
+
+#include "common/logging.h"
+#include "detect/annotator.h"
+
+namespace vdrift::query {
+
+CountQuery::CountQuery(std::shared_ptr<nn::ProbabilisticClassifier> model)
+    : model_(std::move(model)) {
+  VDRIFT_CHECK(model_ != nullptr);
+}
+
+void CountQuery::Deploy(std::shared_ptr<nn::ProbabilisticClassifier> model) {
+  VDRIFT_CHECK(model != nullptr);
+  model_ = std::move(model);
+}
+
+QueryResult CountQuery::Evaluate(const video::Frame& frame) const {
+  QueryResult result;
+  result.predicted = model_->Predict(frame.pixels);
+  result.truth = detect::CountLabel(frame.truth, model_->num_classes());
+  result.correct = result.predicted == result.truth;
+  return result;
+}
+
+SpatialQuery::SpatialQuery(std::shared_ptr<nn::ProbabilisticClassifier> model)
+    : model_(std::move(model)) {
+  VDRIFT_CHECK(model_ != nullptr);
+  VDRIFT_CHECK(model_->num_classes() == 2)
+      << "spatial predicate model must be binary";
+}
+
+void SpatialQuery::Deploy(std::shared_ptr<nn::ProbabilisticClassifier> model) {
+  VDRIFT_CHECK(model != nullptr && model->num_classes() == 2);
+  model_ = std::move(model);
+}
+
+QueryResult SpatialQuery::Evaluate(const video::Frame& frame) const {
+  QueryResult result;
+  result.predicted = model_->Predict(frame.pixels);
+  result.truth = detect::PredicateLabel(frame.truth);
+  result.correct = result.predicted == result.truth;
+  return result;
+}
+
+}  // namespace vdrift::query

@@ -1,0 +1,78 @@
+#ifndef VDRIFT_QUERY_QUERY_H_
+#define VDRIFT_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "nn/classifier.h"
+#include "video/frame.h"
+
+namespace vdrift::query {
+
+/// \brief Outcome of evaluating one query on one frame.
+struct QueryResult {
+  int predicted = 0;
+  int truth = 0;
+  bool correct = false;
+};
+
+/// \brief The paper's count query: "number of cars appearing in the video
+/// stream for each frame" (§6.3.1), answered by a per-distribution
+/// classifier over count classes.
+class CountQuery {
+ public:
+  /// `model` answers the query; its class count defines the count bins.
+  explicit CountQuery(std::shared_ptr<nn::ProbabilisticClassifier> model);
+
+  /// Evaluates the query on one frame against its ground truth.
+  QueryResult Evaluate(const video::Frame& frame) const;
+
+  /// Swaps in a newly selected model (after drift recovery).
+  void Deploy(std::shared_ptr<nn::ProbabilisticClassifier> model);
+
+  int count_classes() const { return model_->num_classes(); }
+
+ private:
+  std::shared_ptr<nn::ProbabilisticClassifier> model_;
+};
+
+/// \brief The paper's spatial-constrained query: the predicate "bus is on
+/// the left side of a car" (§6.3.2), answered by a binary classifier.
+class SpatialQuery {
+ public:
+  explicit SpatialQuery(std::shared_ptr<nn::ProbabilisticClassifier> model);
+
+  QueryResult Evaluate(const video::Frame& frame) const;
+  void Deploy(std::shared_ptr<nn::ProbabilisticClassifier> model);
+
+ private:
+  std::shared_ptr<nn::ProbabilisticClassifier> model_;
+};
+
+/// \brief Streaming accuracy accumulator for A_q.
+class AccuracyTracker {
+ public:
+  void Add(bool correct) {
+    ++total_;
+    if (correct) ++correct_;
+  }
+  void Add(const QueryResult& result) { Add(result.correct); }
+
+  int64_t total() const { return total_; }
+  int64_t correct() const { return correct_; }
+  /// The fraction of frames where the prediction matches ground truth.
+  double Aq() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(correct_) /
+                             static_cast<double>(total_);
+  }
+
+ private:
+  int64_t total_ = 0;
+  int64_t correct_ = 0;
+};
+
+}  // namespace vdrift::query
+
+#endif  // VDRIFT_QUERY_QUERY_H_

@@ -1,0 +1,46 @@
+#include "stats/distance.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vdrift::stats {
+
+double SquaredEuclidean(std::span<const float> a, std::span<const float> b) {
+  VDRIFT_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    sum += d * d;
+  }
+  return sum;
+}
+
+double Euclidean(std::span<const float> a, std::span<const float> b) {
+  return std::sqrt(SquaredEuclidean(a, b));
+}
+
+double Manhattan(std::span<const float> a, std::span<const float> b) {
+  VDRIFT_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+  }
+  return sum;
+}
+
+double CosineDistance(std::span<const float> a, std::span<const float> b) {
+  VDRIFT_DCHECK(a.size() == b.size());
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    na += static_cast<double>(a[i]) * static_cast<double>(a[i]);
+    nb += static_cast<double>(b[i]) * static_cast<double>(b[i]);
+  }
+  if (na <= 0.0 || nb <= 0.0) return 1.0;
+  return 1.0 - dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace vdrift::stats

@@ -1,0 +1,23 @@
+#ifndef VDRIFT_STATS_DISTANCE_H_
+#define VDRIFT_STATS_DISTANCE_H_
+
+#include <cstddef>
+#include <span>
+
+namespace vdrift::stats {
+
+/// Squared Euclidean distance between two equal-length vectors.
+double SquaredEuclidean(std::span<const float> a, std::span<const float> b);
+
+/// Euclidean (L2) distance between two equal-length vectors.
+double Euclidean(std::span<const float> a, std::span<const float> b);
+
+/// Manhattan (L1) distance between two equal-length vectors.
+double Manhattan(std::span<const float> a, std::span<const float> b);
+
+/// Cosine distance (1 - cosine similarity); returns 1 for a zero vector.
+double CosineDistance(std::span<const float> a, std::span<const float> b);
+
+}  // namespace vdrift::stats
+
+#endif  // VDRIFT_STATS_DISTANCE_H_

@@ -1,0 +1,50 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vdrift::stats {
+
+Result<Histogram> Histogram::Make(double lo, double hi, int bins) {
+  if (!(lo < hi)) {
+    return Status::InvalidArgument("Histogram range must satisfy lo < hi");
+  }
+  if (bins <= 0) {
+    return Status::InvalidArgument("Histogram needs a positive bin count");
+  }
+  return Histogram(lo, hi, bins);
+}
+
+void Histogram::Add(double x) {
+  double frac = (x - lo_) / (hi_ - lo_);
+  int bin = static_cast<int>(frac * static_cast<double>(counts_.size()));
+  bin = std::clamp(bin, 0, static_cast<int>(counts_.size()) - 1);
+  ++counts_[bin];
+  ++count_;
+}
+
+std::vector<double> Histogram::Pmf(double alpha) const {
+  std::vector<double> pmf(counts_.size(), 0.0);
+  double total = static_cast<double>(count_) +
+                 alpha * static_cast<double>(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    pmf[i] = (static_cast<double>(counts_[i]) + alpha) / total;
+  }
+  return pmf;
+}
+
+double KlDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q) {
+  VDRIFT_DCHECK(p.size() == q.size());
+  double kl = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= 0.0) continue;
+    VDRIFT_DCHECK(q[i] > 0.0);
+    kl += p[i] * std::log(p[i] / q[i]);
+  }
+  return kl;
+}
+
+}  // namespace vdrift::stats

@@ -1,0 +1,53 @@
+#ifndef VDRIFT_STATS_HISTOGRAM_H_
+#define VDRIFT_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace vdrift::stats {
+
+/// \brief Fixed-range, fixed-bin-count histogram over doubles.
+///
+/// The ODIN-Detect baseline maintains a histogram of member-to-centroid
+/// distances per cluster and declares a temporary cluster permanent when the
+/// KL divergence of the histogram before vs. after adding a frame falls
+/// below a threshold (0.007 in the paper's configuration).
+class Histogram {
+ public:
+  /// Creates a histogram covering [lo, hi) with `bins` equal-width bins.
+  /// Values outside the range are clamped into the first/last bin.
+  static Result<Histogram> Make(double lo, double hi, int bins);
+
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Total number of observations.
+  int64_t count() const { return count_; }
+  /// Number of bins.
+  int bins() const { return static_cast<int>(counts_.size()); }
+  /// Raw count in a bin.
+  int64_t bin_count(int i) const { return counts_[i]; }
+
+  /// Probability mass per bin with additive (Laplace) smoothing `alpha`.
+  std::vector<double> Pmf(double alpha = 1e-3) const;
+
+ private:
+  Histogram(double lo, double hi, int bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+  double lo_;
+  double hi_;
+  std::vector<int64_t> counts_;
+  int64_t count_ = 0;
+};
+
+/// KL divergence D(p || q) between two discrete distributions of equal
+/// length. Inputs must be smoothed/normalized (see Histogram::Pmf).
+double KlDivergence(const std::vector<double>& p, const std::vector<double>& q);
+
+}  // namespace vdrift::stats
+
+#endif  // VDRIFT_STATS_HISTOGRAM_H_

@@ -1,0 +1,49 @@
+#include "stats/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdrift::stats {
+
+double KolmogorovSurvival(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  // Alternating series; converges fast for lambda > 0.3.
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    double term = std::exp(-2.0 * j * j * lambda * lambda);
+    sum += sign * term;
+    sign = -sign;
+    if (term < 1e-12) break;
+  }
+  double q = 2.0 * sum;
+  return std::clamp(q, 0.0, 1.0);
+}
+
+KsResult TwoSampleKs(std::vector<double> a, std::vector<double> b) {
+  KsResult result;
+  if (a.empty() || b.empty()) return result;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  size_t ia = 0;
+  size_t ib = 0;
+  double d = 0.0;
+  double na = static_cast<double>(a.size());
+  double nb = static_cast<double>(b.size());
+  while (ia < a.size() && ib < b.size()) {
+    double xa = a[ia];
+    double xb = b[ib];
+    double x = std::min(xa, xb);
+    while (ia < a.size() && a[ia] <= x) ++ia;
+    while (ib < b.size() && b[ib] <= x) ++ib;
+    double fa = static_cast<double>(ia) / na;
+    double fb = static_cast<double>(ib) / nb;
+    d = std::max(d, std::abs(fa - fb));
+  }
+  result.statistic = d;
+  double en = std::sqrt(na * nb / (na + nb));
+  result.p_value = KolmogorovSurvival((en + 0.12 + 0.11 / en) * d);
+  return result;
+}
+
+}  // namespace vdrift::stats

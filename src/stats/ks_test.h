@@ -1,0 +1,28 @@
+#ifndef VDRIFT_STATS_KS_TEST_H_
+#define VDRIFT_STATS_KS_TEST_H_
+
+#include <vector>
+
+namespace vdrift::stats {
+
+/// \brief Result of a two-sample Kolmogorov-Smirnov test.
+struct KsResult {
+  /// Supremum distance between the two empirical CDFs.
+  double statistic = 0.0;
+  /// Asymptotic p-value of the null "both samples share a distribution".
+  double p_value = 1.0;
+};
+
+/// Two-sample KS test. The paper (§2) discusses KS as the classic
+/// non-parametric drift test that is efficient in one dimension but does not
+/// extend to multi-dimensional frames; we provide it both as a sanity
+/// baseline for the drift benches (applied to per-frame summary statistics)
+/// and to test the synthetic stream generators.
+KsResult TwoSampleKs(std::vector<double> a, std::vector<double> b);
+
+/// Asymptotic Kolmogorov distribution survival function Q(lambda).
+double KolmogorovSurvival(double lambda);
+
+}  // namespace vdrift::stats
+
+#endif  // VDRIFT_STATS_KS_TEST_H_

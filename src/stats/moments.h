@@ -1,0 +1,49 @@
+#ifndef VDRIFT_STATS_MOMENTS_H_
+#define VDRIFT_STATS_MOMENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace vdrift::stats {
+
+/// \brief Numerically stable running mean/variance (Welford's algorithm).
+///
+/// Used throughout the evaluation layer: object-count statistics (Table 5),
+/// MSBO threshold calibration (mean/std of cross-distribution Brier scores),
+/// and metric aggregation in the benches.
+class RunningMoments {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one.
+  void Merge(const RunningMoments& other);
+
+  /// Number of observations so far.
+  int64_t count() const { return count_; }
+  /// Sample mean (0 when empty).
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 when fewer than 2 observations).
+  double variance() const;
+  /// Unbiased sample standard deviation.
+  double stddev() const;
+  /// Minimum observation (+inf when empty).
+  double min() const { return min_; }
+  /// Maximum observation (-inf when empty).
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 1e300;
+  double max_ = -1e300;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of the values by linear
+/// interpolation on the sorted order statistics. Empty input returns 0.
+double Quantile(std::vector<double> values, double q);
+
+}  // namespace vdrift::stats
+
+#endif  // VDRIFT_STATS_MOMENTS_H_

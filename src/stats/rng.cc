@@ -1,0 +1,85 @@
+#include "stats/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vdrift::stats {
+
+Rng::Rng(uint64_t seed, uint64_t seq) : state_(0), inc_((seq << 1u) | 1u) {
+  NextUInt32();
+  state_ += seed;
+  NextUInt32();
+}
+
+uint32_t Rng::NextUInt32() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0, 1).
+  uint64_t hi = NextUInt32();
+  uint64_t lo = NextUInt32();
+  uint64_t bits = ((hi << 32) | lo) >> 11;
+  return static_cast<double>(bits) * (1.0 / 9007199254740992.0);
+}
+
+int Rng::NextInt(int lo, int hi) {
+  VDRIFT_DCHECK(lo <= hi);
+  uint32_t range = static_cast<uint32_t>(hi - lo) + 1u;
+  if (range == 0) return lo + static_cast<int>(NextUInt32());
+  return lo + static_cast<int>(NextUInt32() % range);
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_ = mag * std::sin(2.0 * M_PI * u2);
+  has_spare_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+int Rng::NextPoisson(double lambda) {
+  VDRIFT_DCHECK(lambda >= 0.0);
+  if (lambda <= 0.0) return 0;
+  if (lambda > 30.0) {
+    // Gaussian approximation for large lambda.
+    double v = NextGaussian(lambda, std::sqrt(lambda));
+    return v < 0.0 ? 0 : static_cast<int>(v + 0.5);
+  }
+  double l = std::exp(-lambda);
+  int k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= NextDouble();
+  } while (p > l);
+  return k - 1;
+}
+
+void Rng::Shuffle(std::vector<int>* indices) {
+  for (int i = static_cast<int>(indices->size()) - 1; i > 0; --i) {
+    int j = NextInt(0, i);
+    std::swap((*indices)[i], (*indices)[j]);
+  }
+}
+
+Rng Rng::Split() {
+  uint64_t seed = (static_cast<uint64_t>(NextUInt32()) << 32) | NextUInt32();
+  uint64_t seq = (static_cast<uint64_t>(NextUInt32()) << 32) | NextUInt32();
+  return Rng(seed, seq | 1u);
+}
+
+}  // namespace vdrift::stats

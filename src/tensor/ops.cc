@@ -1,0 +1,223 @@
+#include "tensor/ops.h"
+
+namespace vdrift::tensor {
+
+namespace {
+
+void CheckSameShape(const Tensor& a, const Tensor& b) {
+  VDRIFT_CHECK(a.shape() == b.shape())
+      << "shape mismatch: " << a.shape().ToString() << " vs "
+      << b.shape().ToString();
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out = a;
+  float* o = out.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < out.size(); ++i) o[i] += pb[i];
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out = a;
+  float* o = out.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < out.size(); ++i) o[i] -= pb[i];
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out = a;
+  float* o = out.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < out.size(); ++i) o[i] *= pb[i];
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out = a;
+  float* o = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) o[i] *= s;
+  return out;
+}
+
+void AddInPlace(Tensor* a, const Tensor& b) {
+  CheckSameShape(*a, b);
+  float* pa = a->data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a->size(); ++i) pa[i] += pb[i];
+}
+
+void AxpyInPlace(Tensor* a, const Tensor& b, float s) {
+  CheckSameShape(*a, b);
+  float* pa = a->data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a->size(); ++i) pa[i] += s * pb[i];
+}
+
+Tensor Matmul(const Tensor& a, const Tensor& b) {
+  VDRIFT_CHECK(a.shape().ndim() == 2 && b.shape().ndim() == 2);
+  int64_t m = a.shape().dim(0);
+  int64_t k = a.shape().dim(1);
+  VDRIFT_CHECK(b.shape().dim(0) == k)
+      << "matmul inner dim mismatch " << a.shape().ToString() << " x "
+      << b.shape().ToString();
+  int64_t n = b.shape().dim(1);
+  Tensor out(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // i-k-j loop order: streams over contiguous rows of B and C.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = po + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatmulTransposedB(const Tensor& a, const Tensor& b) {
+  VDRIFT_CHECK(a.shape().ndim() == 2 && b.shape().ndim() == 2);
+  int64_t m = a.shape().dim(0);
+  int64_t k = a.shape().dim(1);
+  VDRIFT_CHECK(b.shape().dim(1) == k);
+  int64_t n = b.shape().dim(0);
+  Tensor out(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      po[i * n + j] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor MatmulTransposedA(const Tensor& a, const Tensor& b) {
+  VDRIFT_CHECK(a.shape().ndim() == 2 && b.shape().ndim() == 2);
+  int64_t k = a.shape().dim(0);
+  int64_t m = a.shape().dim(1);
+  VDRIFT_CHECK(b.shape().dim(0) == k);
+  int64_t n = b.shape().dim(1);
+  Tensor out(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      float aik = arow[i];
+      if (aik == 0.0f) continue;
+      float* crow = po + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor Transpose2D(const Tensor& a) {
+  VDRIFT_CHECK(a.shape().ndim() == 2);
+  int64_t m = a.shape().dim(0);
+  int64_t n = a.shape().dim(1);
+  Tensor out(Shape{n, m});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      out[j * m + i] = a[i * n + j];
+    }
+  }
+  return out;
+}
+
+double Sum(const Tensor& a) {
+  double s = 0.0;
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.size(); ++i) s += p[i];
+  return s;
+}
+
+double Mean(const Tensor& a) {
+  if (a.size() == 0) return 0.0;
+  return Sum(a) / static_cast<double>(a.size());
+}
+
+Tensor Im2Col(const Tensor& input, int kh, int kw, int stride, int pad,
+              int out_h, int out_w) {
+  VDRIFT_CHECK(input.shape().ndim() == 3);
+  int64_t channels = input.shape().dim(0);
+  int64_t height = input.shape().dim(1);
+  int64_t width = input.shape().dim(2);
+  int64_t rows = channels * kh * kw;
+  int64_t cols = static_cast<int64_t>(out_h) * out_w;
+  Tensor out(Shape{rows, cols});
+  const float* in = input.data();
+  float* po = out.data();
+  for (int64_t c = 0; c < channels; ++c) {
+    for (int ky = 0; ky < kh; ++ky) {
+      for (int kx = 0; kx < kw; ++kx) {
+        int64_t row = (c * kh + ky) * kw + kx;
+        float* orow = po + row * cols;
+        for (int oy = 0; oy < out_h; ++oy) {
+          int iy = oy * stride + ky - pad;
+          bool y_ok = iy >= 0 && iy < height;
+          for (int ox = 0; ox < out_w; ++ox) {
+            int ix = ox * stride + kx - pad;
+            float v = 0.0f;
+            if (y_ok && ix >= 0 && ix < width) {
+              v = in[(c * height + iy) * width + ix];
+            }
+            orow[oy * out_w + ox] = v;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Col2Im(const Tensor& cols, int channels, int height, int width, int kh,
+              int kw, int stride, int pad, int out_h, int out_w) {
+  VDRIFT_CHECK(cols.shape().ndim() == 2);
+  VDRIFT_CHECK(cols.shape().dim(0) ==
+               static_cast<int64_t>(channels) * kh * kw);
+  VDRIFT_CHECK(cols.shape().dim(1) == static_cast<int64_t>(out_h) * out_w);
+  Tensor out(Shape{channels, height, width});
+  const float* pc = cols.data();
+  float* po = out.data();
+  int64_t ncols = static_cast<int64_t>(out_h) * out_w;
+  for (int c = 0; c < channels; ++c) {
+    for (int ky = 0; ky < kh; ++ky) {
+      for (int kx = 0; kx < kw; ++kx) {
+        int64_t row = (static_cast<int64_t>(c) * kh + ky) * kw + kx;
+        const float* crow = pc + row * ncols;
+        for (int oy = 0; oy < out_h; ++oy) {
+          int iy = oy * stride + ky - pad;
+          if (iy < 0 || iy >= height) continue;
+          for (int ox = 0; ox < out_w; ++ox) {
+            int ix = ox * stride + kx - pad;
+            if (ix < 0 || ix >= width) continue;
+            po[(static_cast<int64_t>(c) * height + iy) * width + ix] +=
+                crow[oy * out_w + ox];
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace vdrift::tensor

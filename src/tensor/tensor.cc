@@ -1,0 +1,43 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vdrift::tensor {
+
+int64_t Shape::NumElements() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) n *= d;
+  return n;
+}
+
+std::string Shape::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << dims_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  VDRIFT_CHECK(static_cast<int64_t>(data_.size()) == shape_.NumElements())
+      << "data size " << data_.size() << " != shape " << shape_.ToString();
+}
+
+Tensor Tensor::Reshaped(Shape new_shape) const {
+  VDRIFT_CHECK(new_shape.NumElements() == shape_.NumElements())
+      << "reshape " << shape_.ToString() << " -> " << new_shape.ToString();
+  Tensor out = *this;
+  out.shape_ = std::move(new_shape);
+  return out;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+}  // namespace vdrift::tensor

@@ -1,0 +1,66 @@
+#include "vae/trainer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "nn/optimizer.h"
+
+namespace vdrift::vae {
+
+Result<std::vector<double>> VaeTrainer::Train(
+    Vae* vae, const std::vector<tensor::Tensor>& frames,
+    stats::Rng* rng) const {
+  if (frames.empty()) {
+    return Status::InvalidArgument("VaeTrainer::Train needs frames");
+  }
+  if (config_.epochs <= 0 || config_.batch_size <= 0) {
+    return Status::InvalidArgument("epochs and batch_size must be positive");
+  }
+  nn::Adam optimizer(vae->Params(), config_.learning_rate);
+  std::vector<int> order(frames.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::vector<double> epoch_losses;
+  epoch_losses.reserve(static_cast<size_t>(config_.epochs));
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    double total = 0.0;
+    int batches = 0;
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(config_.batch_size)) {
+      size_t end = std::min(order.size(),
+                            start + static_cast<size_t>(config_.batch_size));
+      std::vector<tensor::Tensor> batch_frames;
+      batch_frames.reserve(end - start);
+      for (size_t i = start; i < end; ++i) {
+        batch_frames.push_back(frames[static_cast<size_t>(order[i])]);
+      }
+      tensor::Tensor batch = StackFrames(batch_frames);
+      Vae::Losses losses = vae->TrainStep(batch, &optimizer, rng);
+      total += losses.total();
+      ++batches;
+    }
+    double avg = total / std::max(1, batches);
+    epoch_losses.push_back(avg);
+    if (config_.verbose) {
+      VDRIFT_LOG_INFO << "VAE epoch " << epoch << " avg loss " << avg;
+    }
+  }
+  return epoch_losses;
+}
+
+std::vector<std::vector<float>> GenerateLatentSamples(
+    Vae* vae, const std::vector<tensor::Tensor>& frames, int count,
+    stats::Rng* rng) {
+  VDRIFT_CHECK(!frames.empty());
+  std::vector<std::vector<float>> samples;
+  samples.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const tensor::Tensor& frame =
+        frames[static_cast<size_t>(rng->NextInt(0,
+            static_cast<int>(frames.size()) - 1))];
+    samples.push_back(vae->EncodeSample(frame, rng));
+  }
+  return samples;
+}
+
+}  // namespace vdrift::vae

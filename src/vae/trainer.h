@@ -1,0 +1,49 @@
+#ifndef VDRIFT_VAE_TRAINER_H_
+#define VDRIFT_VAE_TRAINER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "stats/rng.h"
+#include "tensor/tensor.h"
+#include "vae/vae.h"
+
+namespace vdrift::vae {
+
+/// \brief Training hyperparameters for the VAE.
+struct TrainerConfig {
+  int epochs = 5;
+  int batch_size = 16;   ///< Matches the paper's batch of 16 images.
+  float learning_rate = 1e-3f;  ///< Adam, as in the paper.
+  bool verbose = false;
+};
+
+/// \brief Trains a VAE on the frames of one distribution T_i.
+///
+/// The VAE is trained once per distribution and never re-trained (§4.2.2);
+/// the Drift Inspector and MSBI only ever *encode* with it afterwards.
+class VaeTrainer {
+ public:
+  explicit VaeTrainer(const TrainerConfig& config) : config_(config) {}
+
+  /// Runs the configured number of epochs over `frames` ([C, H, W] each).
+  /// Returns the per-epoch total loss trajectory.
+  Result<std::vector<double>> Train(Vae* vae,
+                                    const std::vector<tensor::Tensor>& frames,
+                                    stats::Rng* rng) const;
+
+ private:
+  TrainerConfig config_;
+};
+
+/// Draws `count` i.i.d. latent samples Sigma_Ti from the VAE's learned
+/// posterior over the training frames: each draw picks a random training
+/// frame and samples z ~ N(mu(x), sigma(x)^2) (§4.2.2: "we randomly sample
+/// the Normal distribution using the learned mean and standard deviation").
+std::vector<std::vector<float>> GenerateLatentSamples(
+    Vae* vae, const std::vector<tensor::Tensor>& frames, int count,
+    stats::Rng* rng);
+
+}  // namespace vdrift::vae
+
+#endif  // VDRIFT_VAE_TRAINER_H_

@@ -1,0 +1,32 @@
+#include "video/frame.h"
+
+namespace vdrift::video {
+
+int FrameTruth::CarCount() const {
+  int n = 0;
+  for (const ObjectTruth& o : objects) {
+    if (o.cls == ObjectClass::kCar) ++n;
+  }
+  return n;
+}
+
+int FrameTruth::BusCount() const {
+  int n = 0;
+  for (const ObjectTruth& o : objects) {
+    if (o.cls == ObjectClass::kBus) ++n;
+  }
+  return n;
+}
+
+bool FrameTruth::BusLeftOfCar() const {
+  for (const ObjectTruth& bus : objects) {
+    if (bus.cls != ObjectClass::kBus) continue;
+    for (const ObjectTruth& car : objects) {
+      if (car.cls != ObjectClass::kCar) continue;
+      if (bus.cx < car.cx) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace vdrift::video

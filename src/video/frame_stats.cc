@@ -1,0 +1,54 @@
+#include "video/frame_stats.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vdrift::video {
+
+std::vector<float> GlobalFrameStats(const tensor::Tensor& pixels) {
+  VDRIFT_CHECK(pixels.shape().ndim() == 3);
+  int64_t channels = pixels.shape().dim(0);
+  int64_t height = pixels.shape().dim(1);
+  int64_t width = pixels.shape().dim(2);
+  int64_t n = pixels.size();
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double bright = 0.0;
+  double dark = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    double v = pixels[i];
+    sum += v;
+    sum_sq += v * v;
+    if (v > 0.8) bright += 1.0;
+    if (v < 0.2) dark += 1.0;
+  }
+  double mean = sum / static_cast<double>(n);
+  double var = std::max(0.0, sum_sq / static_cast<double>(n) - mean * mean);
+  double grad_x = 0.0;
+  double grad_y = 0.0;
+  int64_t gx_count = 0;
+  int64_t gy_count = 0;
+  for (int64_t c = 0; c < channels; ++c) {
+    for (int64_t y = 0; y < height; ++y) {
+      for (int64_t x = 0; x + 1 < width; ++x) {
+        grad_x += std::abs(pixels.At3(c, y, x + 1) - pixels.At3(c, y, x));
+        ++gx_count;
+      }
+    }
+    for (int64_t y = 0; y + 1 < height; ++y) {
+      for (int64_t x = 0; x < width; ++x) {
+        grad_y += std::abs(pixels.At3(c, y + 1, x) - pixels.At3(c, y, x));
+        ++gy_count;
+      }
+    }
+  }
+  return {static_cast<float>(mean),
+          static_cast<float>(std::sqrt(var)),
+          static_cast<float>(gx_count > 0 ? grad_x / gx_count : 0.0),
+          static_cast<float>(gy_count > 0 ? grad_y / gy_count : 0.0),
+          static_cast<float>(bright / static_cast<double>(n)),
+          static_cast<float>(dark / static_cast<double>(n))};
+}
+
+}  // namespace vdrift::video

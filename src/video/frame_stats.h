@@ -1,0 +1,26 @@
+#ifndef VDRIFT_VIDEO_FRAME_STATS_H_
+#define VDRIFT_VIDEO_FRAME_STATS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace vdrift::video {
+
+/// Number of statistics produced by GlobalFrameStats.
+inline constexpr int kNumFrameStats = 6;
+
+/// \brief Global photometric statistics of one frame.
+///
+/// Returns {mean, std, mean |dx|, mean |dy|, frac(pixels > 0.8),
+/// frac(pixels < 0.2)}. These summarise lighting, contrast, texture
+/// energy and tail mass — exactly the cues that shift under the paper's
+/// drift conditions (day/night, rain streaks, snow speckle, fog) while
+/// staying nearly constant across frames of one condition. The
+/// DistributionProfile appends them (weighted) to the VAE latent to form
+/// the non-conformity scoring embedding.
+std::vector<float> GlobalFrameStats(const tensor::Tensor& pixels);
+
+}  // namespace vdrift::video
+
+#endif  // VDRIFT_VIDEO_FRAME_STATS_H_

@@ -1,0 +1,201 @@
+#include "video/renderer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vdrift::video {
+
+namespace {
+
+// Clamps a normalized coordinate into the visible range.
+float ClampUnit(double v) {
+  return static_cast<float>(std::clamp(v, 0.0, 1.0));
+}
+
+}  // namespace
+
+SceneSpec LerpSpec(const SceneSpec& a, const SceneSpec& b, double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  auto lerp = [t](double x, double y) { return x + (y - x) * t; };
+  SceneSpec out = t < 0.5 ? a : b;  // discrete fields from the nearer spec
+  out.base_luminance = lerp(a.base_luminance, b.base_luminance);
+  out.contrast = lerp(a.contrast, b.contrast);
+  out.weather_intensity = lerp(a.weather_intensity, b.weather_intensity);
+  out.noise_sigma = lerp(a.noise_sigma, b.noise_sigma);
+  out.angle_shift_x = lerp(a.angle_shift_x, b.angle_shift_x);
+  out.angle_shift_y = lerp(a.angle_shift_y, b.angle_shift_y);
+  out.angle_tilt = lerp(a.angle_tilt, b.angle_tilt);
+  out.zoom = lerp(a.zoom, b.zoom);
+  out.jitter = lerp(a.jitter, b.jitter);
+  out.object_rate_mean = lerp(a.object_rate_mean, b.object_rate_mean);
+  out.object_rate_std = lerp(a.object_rate_std, b.object_rate_std);
+  out.bus_fraction = lerp(a.bus_fraction, b.bus_fraction);
+  out.object_brightness = lerp(a.object_brightness, b.object_brightness);
+  return out;
+}
+
+Frame Renderer::Render(const SceneSpec& spec, stats::Rng* rng) const {
+  const int s = image_size_;
+  Frame frame;
+  frame.pixels = tensor::Tensor(tensor::Shape{1, s, s});
+  tensor::Tensor& img = frame.pixels;
+
+  const double lum = spec.base_luminance;
+  // Per-frame camera jitter (dashcam shake).
+  const double jx = spec.jitter * rng->NextGaussian();
+  const double jy = spec.jitter * rng->NextGaussian();
+
+  // Background: sky gradient over the top third, road below.
+  const double horizon = 0.33 + spec.angle_shift_y + jy;
+  for (int y = 0; y < s; ++y) {
+    double ny = static_cast<double>(y) / s;
+    double base;
+    if (ny < horizon) {
+      // Sky fades slightly toward the horizon.
+      base = lum * (1.0 - 0.25 * ny / std::max(1e-6, horizon));
+    } else {
+      // Road: darker than the sky, slightly brighter with depth.
+      base = lum * (0.45 + 0.15 * (ny - horizon));
+    }
+    base = 0.5 + (base - 0.5) * spec.contrast;
+    for (int x = 0; x < s; ++x) {
+      img.At3(0, y, x) = static_cast<float>(std::clamp(base, 0.0, 1.0));
+    }
+  }
+
+  // Lane markings: brighter horizontal bands on the road.
+  for (int lane = 1; lane < spec.lanes; ++lane) {
+    double ly = horizon +
+                (1.0 - horizon) * static_cast<double>(lane) / spec.lanes;
+    int py = static_cast<int>(ly * s);
+    if (py < 0 || py >= s) continue;
+    for (int x = 0; x < s; x += 3) {
+      float v = img.At3(0, py, x);
+      img.At3(0, py, x) = std::clamp(v + 0.15f * static_cast<float>(lum + 0.3),
+                                     0.0f, 1.0f);
+    }
+  }
+
+  // Objects: sample the count from a clamped Gaussian matched to the
+  // dataset's object-per-frame mean/std (Table 5), place on lanes, apply
+  // the viewpoint transform, draw as filled rectangles.
+  int count = static_cast<int>(
+      std::round(rng->NextGaussian(spec.object_rate_mean,
+                                   spec.object_rate_std)));
+  // Vehicles occupy distinct lane slots (cars in a lane queue up rather
+  // than overlap), keeping the object count visually recoverable — the
+  // premise of the paper's count query.
+  const int kSlotsPerLane = 10;
+  int max_objects = spec.lanes * kSlotsPerLane;
+  count = std::clamp(count, 0, max_objects);
+  std::vector<int> slots(static_cast<size_t>(max_objects));
+  for (int i = 0; i < max_objects; ++i) slots[static_cast<size_t>(i)] = i;
+  rng->Shuffle(&slots);
+  // Lighting factor: objects are dimmer at night but remain visible
+  // (headlights / street lighting).
+  const double obj_light = 0.35 + 0.65 * lum;
+  for (int i = 0; i < count; ++i) {
+    ObjectTruth obj;
+    bool is_bus = rng->NextBernoulli(spec.bus_fraction);
+    obj.cls = is_bus ? ObjectClass::kBus : ObjectClass::kCar;
+    // Slot placement: lane band + horizontal slot with jitter inside it.
+    int slot = slots[static_cast<size_t>(i)];
+    int lane = slot / kSlotsPerLane;
+    int pos = slot % kSlotsPerLane;
+    double base_y = horizon +
+                    (1.0 - horizon) * (static_cast<double>(lane) + 0.5) /
+                        spec.lanes;
+    double base_x = (static_cast<double>(pos) + 0.2 +
+                     0.6 * rng->NextDouble()) /
+                    kSlotsPerLane;
+    // Viewpoint transform: zoom about the center, shift, tilt.
+    double cx = 0.5 + (base_x - 0.5) * spec.zoom + spec.angle_shift_x +
+                spec.angle_tilt * (base_y - 0.5) + jx;
+    double cy = 0.5 + (base_y - 0.5) * spec.zoom + spec.angle_shift_y + jy;
+    if (cx < -0.1 || cx > 1.1 || cy < -0.1 || cy > 1.1) continue;
+    obj.cx = ClampUnit(cx);
+    obj.cy = ClampUnit(cy);
+    // Geometry: buses are larger; mild perspective scaling with depth
+    // (cy). Size variance is kept moderate so object mass stays a usable
+    // counting cue for the classifiers, as vehicle footprints are in real
+    // fixed-camera traffic footage.
+    double depth = 0.8 + 0.3 * obj.cy;
+    double w = (is_bus ? 0.20 : 0.11) * depth * spec.zoom *
+               (1.0 + 0.08 * rng->NextGaussian());
+    double h = (is_bus ? 0.11 : 0.06) * depth * spec.zoom *
+               (1.0 + 0.08 * rng->NextGaussian());
+    obj.w = static_cast<float>(std::clamp(w, 0.02, 0.45));
+    obj.h = static_cast<float>(std::clamp(h, 0.02, 0.30));
+    // Draw the body.
+    double albedo = spec.object_brightness *
+                    (is_bus ? 1.1 : 1.0) *
+                    (0.92 + 0.16 * rng->NextDouble());
+    float value = static_cast<float>(std::clamp(albedo * obj_light, 0.0, 1.0));
+    int x0 = static_cast<int>((obj.cx - obj.w / 2) * s);
+    int x1 = static_cast<int>((obj.cx + obj.w / 2) * s);
+    int y0 = static_cast<int>((obj.cy - obj.h / 2) * s);
+    int y1 = static_cast<int>((obj.cy + obj.h / 2) * s);
+    for (int y = std::max(0, y0); y <= std::min(s - 1, y1); ++y) {
+      for (int x = std::max(0, x0); x <= std::min(s - 1, x1); ++x) {
+        img.At3(0, y, x) = value;
+      }
+    }
+    // Headlights at night: two bright pixels at the object's front.
+    if (lum < 0.3 && y1 >= 0 && y1 < s) {
+      if (x0 >= 0 && x0 < s) img.At3(0, y1, x0) = 0.95f;
+      if (x1 >= 0 && x1 < s) img.At3(0, y1, x1) = 0.95f;
+    }
+    frame.truth.objects.push_back(obj);
+  }
+
+  // Weather overlay.
+  const double wi = spec.weather_intensity;
+  switch (spec.weather) {
+    case Weather::kClear:
+      break;
+    case Weather::kRain: {
+      // Semi-transparent vertical streaks.
+      int streaks = static_cast<int>(wi * s * 0.8);
+      for (int k = 0; k < streaks; ++k) {
+        int x = rng->NextInt(0, s - 1);
+        int y_start = rng->NextInt(0, s - 1);
+        int len = rng->NextInt(3, 8);
+        for (int y = y_start; y < std::min(s, y_start + len); ++y) {
+          float v = img.At3(0, y, x);
+          img.At3(0, y, x) = std::clamp(v * 0.8f + 0.12f, 0.0f, 1.0f);
+        }
+      }
+      break;
+    }
+    case Weather::kSnow: {
+      // Bright speckles.
+      int flakes = static_cast<int>(wi * s * s * 0.05);
+      for (int k = 0; k < flakes; ++k) {
+        int x = rng->NextInt(0, s - 1);
+        int y = rng->NextInt(0, s - 1);
+        img.At3(0, y, x) = std::clamp(
+            img.At3(0, y, x) + 0.5f + 0.3f * rng->NextFloat(), 0.0f, 1.0f);
+      }
+      break;
+    }
+    case Weather::kFog: {
+      for (int64_t i = 0; i < img.size(); ++i) {
+        img[i] = static_cast<float>(img[i] * (1.0 - wi) + 0.75 * wi);
+      }
+      break;
+    }
+  }
+
+  // Sensor noise.
+  if (spec.noise_sigma > 0.0) {
+    for (int64_t i = 0; i < img.size(); ++i) {
+      img[i] = static_cast<float>(std::clamp(
+          img[i] + spec.noise_sigma * rng->NextGaussian(), 0.0, 1.0));
+    }
+  }
+  return frame;
+}
+
+}  // namespace vdrift::video

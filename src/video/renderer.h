@@ -1,0 +1,34 @@
+#ifndef VDRIFT_VIDEO_RENDERER_H_
+#define VDRIFT_VIDEO_RENDERER_H_
+
+#include "stats/rng.h"
+#include "video/frame.h"
+#include "video/scene.h"
+
+namespace vdrift::video {
+
+/// \brief Renders frames from a SceneSpec.
+///
+/// The rendering model: a sky/road gradient background with lane markings,
+/// rectangular vehicles placed on lanes (with per-class geometry), a
+/// viewpoint transform (shift / tilt / zoom), a weather overlay (rain
+/// streaks, snow speckles, or fog wash), camera jitter, and Gaussian sensor
+/// noise. Ground truth records the post-transform object geometry, so
+/// oracle annotation is exact by construction.
+class Renderer {
+ public:
+  /// `image_size` is the square frame side in pixels.
+  explicit Renderer(int image_size = 32) : image_size_(image_size) {}
+
+  /// Renders one frame from `spec`, drawing randomness from `rng`.
+  Frame Render(const SceneSpec& spec, stats::Rng* rng) const;
+
+  int image_size() const { return image_size_; }
+
+ private:
+  int image_size_;
+};
+
+}  // namespace vdrift::video
+
+#endif  // VDRIFT_VIDEO_RENDERER_H_

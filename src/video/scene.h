@@ -1,0 +1,54 @@
+#ifndef VDRIFT_VIDEO_SCENE_H_
+#define VDRIFT_VIDEO_SCENE_H_
+
+#include <string>
+
+namespace vdrift::video {
+
+/// \brief Weather overlay applied by the renderer.
+enum class Weather : int { kClear = 0, kRain = 1, kSnow = 2, kFog = 3 };
+
+/// \brief Parameters of one frame distribution F_k.
+///
+/// A SceneSpec is the synthetic stand-in for the conditions that cause data
+/// drift in the paper: time of day (base_luminance), weather (noise +
+/// overlay), camera viewpoint (shift / tilt / zoom — Detrac and Tokyo angle
+/// changes), and camera motion (jitter — BDD dashcams). Frames rendered
+/// from the same spec are i.i.d. given the spec; switching specs is a
+/// covariate shift, exactly the mechanism DI must detect.
+struct SceneSpec {
+  std::string name;
+
+  // Lighting.
+  double base_luminance = 0.55;  ///< Sky brightness; ~0.15 at night.
+  double contrast = 1.0;
+
+  // Weather.
+  Weather weather = Weather::kClear;
+  double weather_intensity = 0.0;  ///< Streak/speckle/fog strength in [0,1].
+  double noise_sigma = 0.02;       ///< Per-pixel Gaussian sensor noise.
+
+  // Camera viewpoint (angle changes in Detrac / Tokyo).
+  double angle_shift_x = 0.0;  ///< Horizontal layout shift (normalized).
+  double angle_shift_y = 0.0;  ///< Vertical layout shift (normalized).
+  double angle_tilt = 0.0;     ///< Skew: x displacement proportional to y.
+  double zoom = 1.0;           ///< Scale about the frame center.
+  double jitter = 0.0;         ///< Per-frame random camera shake (dashcam).
+
+  // Traffic density (matched to Table 5 object-per-frame statistics).
+  double object_rate_mean = 9.2;
+  double object_rate_std = 6.4;
+  double bus_fraction = 0.15;  ///< Probability an object is a bus.
+
+  // Scene layout.
+  int lanes = 3;                     ///< Horizontal road bands.
+  double object_brightness = 0.85;   ///< Object albedo before lighting.
+};
+
+/// Linear interpolation between two specs; used by the slow-drift stream
+/// (Fig. 4's gradual day-to-night transition). `t` in [0, 1].
+SceneSpec LerpSpec(const SceneSpec& a, const SceneSpec& b, double t);
+
+}  // namespace vdrift::video
+
+#endif  // VDRIFT_VIDEO_SCENE_H_

@@ -1,0 +1,107 @@
+#include "video/stream.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vdrift::video {
+
+StreamGenerator::StreamGenerator(std::vector<Segment> segments, int image_size,
+                                 uint64_t seed)
+    : segments_(std::move(segments)),
+      renderer_(image_size),
+      seed_(seed),
+      rng_(seed) {
+  VDRIFT_CHECK(!segments_.empty());
+  int64_t cum = 0;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    VDRIFT_CHECK(segments_[i].length > 0);
+    if (i > 0) drift_points_.push_back(cum);
+    cum += segments_[i].length;
+  }
+  total_ = cum;
+}
+
+bool StreamGenerator::Next(Frame* frame) {
+  if (position_ >= total_) return false;
+  while (within_segment_ >=
+         segments_[static_cast<size_t>(segment_index_)].length) {
+    ++segment_index_;
+    within_segment_ = 0;
+  }
+  *frame = renderer_.Render(
+      segments_[static_cast<size_t>(segment_index_)].spec, &rng_);
+  frame->truth.sequence_id = segment_index_;
+  frame->truth.frame_index = position_;
+  ++position_;
+  ++within_segment_;
+  return true;
+}
+
+void StreamGenerator::Reset() {
+  rng_ = stats::Rng(seed_);
+  position_ = 0;
+  segment_index_ = 0;
+  within_segment_ = 0;
+}
+
+SlowDriftStream::SlowDriftStream(SceneSpec from, SceneSpec to, int64_t length,
+                                 double transition_fraction, int image_size,
+                                 uint64_t seed)
+    : from_(std::move(from)),
+      to_(std::move(to)),
+      length_(length),
+      transition_fraction_(std::clamp(transition_fraction, 0.01, 1.0)),
+      renderer_(image_size),
+      seed_(seed),
+      rng_(seed) {
+  VDRIFT_CHECK(length_ > 1);
+  // t crosses 0.5 exactly at the stream midpoint by construction.
+  nominal_drift_ = length_ / 2;
+}
+
+double SlowDriftStream::MixAt(int64_t index) const {
+  double pos = static_cast<double>(index) / static_cast<double>(length_ - 1);
+  double start = 0.5 - transition_fraction_ / 2.0;
+  double t = (pos - start) / transition_fraction_;
+  return std::clamp(t, 0.0, 1.0);
+}
+
+bool SlowDriftStream::Next(Frame* frame) {
+  if (position_ >= length_) return false;
+  double t = MixAt(position_);
+  SceneSpec spec = LerpSpec(from_, to_, t);
+  *frame = renderer_.Render(spec, &rng_);
+  frame->truth.sequence_id = t < 0.5 ? 0 : 1;
+  frame->truth.frame_index = position_;
+  ++position_;
+  return true;
+}
+
+void SlowDriftStream::Reset() {
+  rng_ = stats::Rng(seed_);
+  position_ = 0;
+}
+
+std::vector<Frame> GenerateFrames(const SceneSpec& spec, int count,
+                                  int image_size, uint64_t seed) {
+  Renderer renderer(image_size);
+  stats::Rng rng(seed);
+  std::vector<Frame> frames;
+  frames.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Frame f = renderer.Render(spec, &rng);
+    f.truth.frame_index = i;
+    frames.push_back(std::move(f));
+  }
+  return frames;
+}
+
+std::vector<tensor::Tensor> PixelsOf(const std::vector<Frame>& frames) {
+  std::vector<tensor::Tensor> pixels;
+  pixels.reserve(frames.size());
+  for (const Frame& f : frames) pixels.push_back(f.pixels);
+  return pixels;
+}
+
+}  // namespace vdrift::video

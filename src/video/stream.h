@@ -1,0 +1,103 @@
+#ifndef VDRIFT_VIDEO_STREAM_H_
+#define VDRIFT_VIDEO_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.h"
+#include "video/frame.h"
+#include "video/renderer.h"
+#include "video/scene.h"
+
+namespace vdrift::video {
+
+/// \brief One stationary stretch of the stream: a spec and its length.
+struct Segment {
+  SceneSpec spec;
+  int64_t length = 0;
+};
+
+/// \brief An unbounded-style video stream built from segments.
+///
+/// Models the paper's problem statement: frames f_1..f_theta ~ F_k, then
+/// f_{theta+1}.. ~ F_{k+1} and so on. The segment boundaries are the ground
+/// truth drift points theta that the Drift Inspector must locate.
+class StreamGenerator {
+ public:
+  StreamGenerator(std::vector<Segment> segments, int image_size,
+                  uint64_t seed);
+
+  /// Produces the next frame; returns false once the stream is exhausted.
+  bool Next(Frame* frame);
+
+  /// Index of the next frame to be produced (frames produced so far).
+  int64_t position() const { return position_; }
+
+  /// Total frames in the stream.
+  int64_t total_frames() const { return total_; }
+
+  /// Global frame indices at which the distribution changes (the first
+  /// frame of every segment after the first).
+  const std::vector<int64_t>& drift_points() const { return drift_points_; }
+
+  /// Sequence id (segment index) the next frame will belong to.
+  int current_sequence() const { return segment_index_; }
+
+  /// Restarts the stream with the same seed (bit-identical replay).
+  void Reset();
+
+ private:
+  std::vector<Segment> segments_;
+  Renderer renderer_;
+  uint64_t seed_;
+  stats::Rng rng_;
+  int64_t position_ = 0;
+  int64_t total_ = 0;
+  int segment_index_ = 0;
+  int64_t within_segment_ = 0;
+  std::vector<int64_t> drift_points_;
+};
+
+/// \brief A gradual transition between two distributions (Fig. 4).
+///
+/// Renders `length` frames whose spec is LerpSpec(from, to, t) with t
+/// ramping linearly from 0 to 1 across the middle `transition_fraction` of
+/// the stream (plateaus at each end). The nominal drift point — the
+/// "sunset" moment used as ground truth — is the frame where t crosses 0.5.
+class SlowDriftStream {
+ public:
+  SlowDriftStream(SceneSpec from, SceneSpec to, int64_t length,
+                  double transition_fraction, int image_size, uint64_t seed);
+
+  bool Next(Frame* frame);
+  int64_t position() const { return position_; }
+  int64_t total_frames() const { return length_; }
+  /// Frame index where the interpolation parameter crosses 0.5.
+  int64_t nominal_drift_point() const { return nominal_drift_; }
+  /// Interpolation parameter for a given frame index.
+  double MixAt(int64_t index) const;
+  void Reset();
+
+ private:
+  SceneSpec from_;
+  SceneSpec to_;
+  int64_t length_;
+  double transition_fraction_;
+  Renderer renderer_;
+  uint64_t seed_;
+  stats::Rng rng_;
+  int64_t position_ = 0;
+  int64_t nominal_drift_ = 0;
+};
+
+/// Renders `count` i.i.d. frames from one spec — the synthetic counterpart
+/// of a model's training set T_i.
+std::vector<Frame> GenerateFrames(const SceneSpec& spec, int count,
+                                  int image_size, uint64_t seed);
+
+/// Extracts just the pixel tensors from frames.
+std::vector<tensor::Tensor> PixelsOf(const std::vector<Frame>& frames);
+
+}  // namespace vdrift::video
+
+#endif  // VDRIFT_VIDEO_STREAM_H_

@@ -1,0 +1,517 @@
+// Tests for the conformal drift-detection core: point sets, p-values
+// (including the Theorem 4.1 uniformity property), betting functions
+// (integral constraints, martingale property), thresholds, the conformal
+// martingale, and the Drift Inspector end to end on synthetic streams.
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/betting.h"
+#include "core/drift_inspector.h"
+#include "core/martingale.h"
+#include "core/point_set.h"
+#include "core/profile.h"
+#include "core/pvalue.h"
+#include "core/threshold.h"
+#include "stats/ks_test.h"
+#include "video/frame_stats.h"
+#include "stats/moments.h"
+#include "stats/rng.h"
+#include "vae/trainer.h"
+#include "video/datasets.h"
+#include "video/stream.h"
+
+namespace vdrift::conformal {
+namespace {
+
+using stats::Rng;
+
+std::vector<std::vector<float>> GaussianCloud(int n, int dim, double mean,
+                                              double std, Rng* rng) {
+  std::vector<std::vector<float>> points;
+  points.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::vector<float> p(static_cast<size_t>(dim));
+    for (float& v : p) {
+      v = static_cast<float>(rng->NextGaussian(mean, std));
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+TEST(PointSetTest, RejectsBadInput) {
+  EXPECT_FALSE(PointSet::Build({}, 3).ok());
+  EXPECT_FALSE(PointSet::Build({{1.0f, 2.0f}}, 0).ok());
+  EXPECT_FALSE(PointSet::Build({{1.0f, 2.0f}, {1.0f}}, 1).ok());
+  EXPECT_FALSE(PointSet::Build({{}}, 1).ok());
+}
+
+TEST(PointSetTest, BuildsWithScores) {
+  Rng rng(1);
+  PointSet set =
+      PointSet::Build(GaussianCloud(50, 3, 0.0, 1.0, &rng), 5).ValueOrDie();
+  EXPECT_EQ(set.size(), 50);
+  EXPECT_EQ(set.dim(), 3);
+  EXPECT_EQ(set.k(), 5);
+  ASSERT_EQ(set.scores().size(), 50u);
+  for (double s : set.scores()) EXPECT_GT(s, 0.0);
+  // Sorted copy is ascending.
+  for (size_t i = 1; i < set.sorted_scores().size(); ++i) {
+    EXPECT_LE(set.sorted_scores()[i - 1], set.sorted_scores()[i]);
+  }
+}
+
+TEST(PointSetTest, OutlierScoresHigherThanInlier) {
+  Rng rng(2);
+  PointSet set =
+      PointSet::Build(GaussianCloud(100, 2, 0.0, 1.0, &rng), 5).ValueOrDie();
+  std::vector<float> inlier{0.1f, -0.1f};
+  std::vector<float> outlier{8.0f, 8.0f};
+  EXPECT_GT(set.KnnScore(outlier), set.KnnScore(inlier) * 3.0);
+}
+
+TEST(PointSetTest, KnnScoreUsesOnlyKNearest) {
+  // Points on a line; query at 0. With k=1 the score is the distance to
+  // the closest point only.
+  std::vector<std::vector<float>> points{{1.0f}, {2.0f}, {10.0f}};
+  PointSet set = PointSet::Build(points, 1).ValueOrDie();
+  std::vector<float> q{0.0f};
+  EXPECT_DOUBLE_EQ(set.KnnScore(q), 1.0);
+  PointSet set2 = PointSet::Build(points, 2).ValueOrDie();
+  EXPECT_DOUBLE_EQ(set2.KnnScore(q), 1.5);
+}
+
+TEST(PointSetTest, KLargerThanSetIsClamped) {
+  std::vector<std::vector<float>> points{{0.0f}, {2.0f}};
+  PointSet set = PointSet::Build(points, 10).ValueOrDie();
+  std::vector<float> q{1.0f};
+  EXPECT_DOUBLE_EQ(set.KnnScore(q), 1.0);  // average of {1, 1}
+}
+
+TEST(PValueTest, StrangeObservationGetsSmallP) {
+  Rng rng(3);
+  std::vector<double> sorted{1.0, 2.0, 3.0, 4.0, 5.0};
+  // a_f far above every reference score -> p = 0.
+  EXPECT_DOUBLE_EQ(ComputePValue(100.0, sorted, &rng), 0.0);
+  // a_f below every reference score -> p = 1.
+  EXPECT_DOUBLE_EQ(ComputePValue(0.5, sorted, &rng), 1.0);
+  // a_f in the middle: 2 of 5 greater -> p in [0.4, 0.6) with the tie term.
+  double p = ComputePValue(3.0, sorted, &rng);
+  EXPECT_GE(p, 0.4);
+  EXPECT_LT(p, 0.6);
+}
+
+// Theorem 4.1: when observations are i.i.d. from the reference
+// distribution, conformal p-values are (marginally) uniform on [0,1].
+// Against a single finite reference draw the p-value law fluctuates with
+// the draw, so we pool p-values across many independent reference sets —
+// testing the marginal law the theorem speaks about — and KS-compare
+// against a uniform sample.
+TEST(PValueTest, UniformUnderExchangeability) {
+  Rng rng(4);
+  std::vector<double> pvalues;
+  for (int rep = 0; rep < 20; ++rep) {
+    PointSet set =
+        PointSet::Build(GaussianCloud(150, 4, 0.0, 1.0, &rng), 5)
+            .ValueOrDie();
+    for (int i = 0; i < 60; ++i) {
+      std::vector<float> x(4);
+      for (float& v : x) v = static_cast<float>(rng.NextGaussian());
+      pvalues.push_back(
+          ComputePValue(set.KnnScore(x), set.sorted_scores(), &rng));
+    }
+  }
+  std::vector<double> uniform;
+  for (size_t i = 0; i < pvalues.size(); ++i) {
+    uniform.push_back(rng.NextDouble());
+  }
+  stats::KsResult ks = stats::TwoSampleKs(pvalues, uniform);
+  EXPECT_GT(ks.p_value, 0.005)
+      << "conformal p-values not uniform under the null, KS=" << ks.statistic;
+}
+
+TEST(PValueTest, SmallUnderDrift) {
+  Rng rng(5);
+  PointSet set =
+      PointSet::Build(GaussianCloud(200, 4, 0.0, 1.0, &rng), 5).ValueOrDie();
+  stats::RunningMoments m;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<float> x(4);
+    for (float& v : x) v = static_cast<float>(rng.NextGaussian(5.0, 1.0));
+    m.Add(ComputePValue(set.KnnScore(x), set.sorted_scores(), &rng));
+  }
+  EXPECT_LT(m.mean(), 0.05);
+}
+
+// Betting-function properties. For the multiplicative family the bet
+// g(p) = exp(Increment(p)) must integrate to ~1 over [0,1]; for the
+// additive family Increment itself must integrate to ~0 (Eq. 10).
+TEST(BettingTest, PowerBetIntegratesToOne) {
+  PowerLogBetting betting(0.5, 1e-6);
+  double integral = 0.0;
+  const int kSteps = 200000;
+  for (int i = 0; i < kSteps; ++i) {
+    double p = (i + 0.5) / kSteps;
+    integral += std::exp(betting.Increment(p)) / kSteps;
+  }
+  EXPECT_NEAR(integral, 1.0, 0.01);
+}
+
+TEST(BettingTest, ShiftedOddIntegratesToZero) {
+  ShiftedOddBetting betting(4.0);
+  double integral = 0.0;
+  const int kSteps = 100000;
+  for (int i = 0; i < kSteps; ++i) {
+    double p = (i + 0.5) / kSteps;
+    integral += betting.Increment(p) / kSteps;
+  }
+  EXPECT_NEAR(integral, 0.0, 1e-6);
+}
+
+TEST(BettingTest, SmallPYieldsPositiveIncrement) {
+  PowerLogBetting power(0.5, 1e-3);
+  ShiftedOddBetting odd(4.0);
+  MixtureLogBetting mixture(1e-3);
+  for (const BettingFunction* b :
+       {static_cast<const BettingFunction*>(&power),
+        static_cast<const BettingFunction*>(&odd),
+        static_cast<const BettingFunction*>(&mixture)}) {
+    EXPECT_GT(b->Increment(0.0), 0.5) << b->name();
+    EXPECT_LT(b->Increment(0.9), 0.0) << b->name();
+    EXPECT_GE(b->MaxIncrement(), b->Increment(0.0)) << b->name();
+  }
+}
+
+TEST(BettingTest, NegativeDriftUnderUniformP) {
+  // E[Increment] under uniform p must be <= 0 for every family, so the
+  // max(0,.)-reflected statistic stays near zero on exchangeable data.
+  Rng rng(6);
+  PowerLogBetting power(0.5, 1e-3);
+  ShiftedOddBetting odd(4.0);
+  MixtureLogBetting mixture(1e-3);
+  for (const BettingFunction* b :
+       {static_cast<const BettingFunction*>(&power),
+        static_cast<const BettingFunction*>(&odd),
+        static_cast<const BettingFunction*>(&mixture)}) {
+    stats::RunningMoments m;
+    for (int i = 0; i < 50000; ++i) m.Add(b->Increment(rng.NextDouble()));
+    EXPECT_LE(m.mean(), 0.01) << b->name();
+  }
+}
+
+TEST(BettingDeathTest, PowerRejectsBadEpsilon) {
+  EXPECT_DEATH(PowerLogBetting(0.0), "epsilon");
+  EXPECT_DEATH(PowerLogBetting(1.0), "epsilon");
+}
+
+TEST(ThresholdTest, PaperFormulaMatchesWorkedExample) {
+  // Paper §4.3.1: W=2, r=0.5 gives "the right part of the inequality
+  // becomes 4".
+  EXPECT_DOUBLE_EQ(Threshold(ThresholdPolicy::kPaper, 2, 0.5), 4.0);
+}
+
+TEST(ThresholdTest, HoeffdingTighterThanPaper) {
+  for (int w : {1, 2, 3, 8}) {
+    for (double r : {0.1, 0.5, 0.9}) {
+      EXPECT_LT(Threshold(ThresholdPolicy::kHoeffding, w, r),
+                Threshold(ThresholdPolicy::kPaper, w, r));
+    }
+  }
+}
+
+TEST(ThresholdTest, MonotoneInWindowAndSignificance) {
+  EXPECT_LT(Threshold(ThresholdPolicy::kPaper, 2, 0.5),
+            Threshold(ThresholdPolicy::kPaper, 4, 0.5));
+  EXPECT_LT(Threshold(ThresholdPolicy::kPaper, 3, 0.9),
+            Threshold(ThresholdPolicy::kPaper, 3, 0.1));
+}
+
+TEST(MartingaleTest, StaysNearZeroUnderUniformP) {
+  Rng rng(7);
+  auto betting = MakeDefaultBetting();
+  ConformalMartingale martingale(betting.get(), 3, 0.5);
+  int false_alarms = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (martingale.Update(rng.NextDouble())) ++false_alarms;
+  }
+  // Expected false alarms with the default bet are ~1e-2 over this stream.
+  EXPECT_LE(false_alarms, 1)
+      << "martingale fired on exchangeable data " << false_alarms
+      << " times";
+  EXPECT_LT(martingale.value(), 10.0);
+}
+
+TEST(MartingaleTest, FiresQuicklyUnderSmallP) {
+  auto betting = MakeDefaultBetting();
+  ConformalMartingale martingale(betting.get(), 3, 0.5);
+  int frames = 0;
+  bool fired = false;
+  for (int i = 0; i < 50 && !fired; ++i) {
+    fired = martingale.Update(0.0);
+    ++frames;
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_LE(frames, 10);
+}
+
+TEST(MartingaleTest, ResetClearsState) {
+  auto betting = MakeDefaultBetting();
+  ConformalMartingale martingale(betting.get(), 3, 0.5);
+  for (int i = 0; i < 3; ++i) martingale.Update(0.0);
+  EXPECT_GT(martingale.value(), 0.0);
+  martingale.Reset();
+  EXPECT_DOUBLE_EQ(martingale.value(), 0.0);
+  EXPECT_EQ(martingale.count(), 0);
+}
+
+TEST(MartingaleTest, NeverNegative) {
+  auto betting = MakeDefaultBetting();
+  ConformalMartingale martingale(betting.get(), 3, 0.5);
+  Rng rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    martingale.Update(0.5 + 0.5 * rng.NextDouble());  // benign p-values
+    EXPECT_GE(martingale.value(), 0.0);
+  }
+}
+
+// Empirical martingale property: under uniform p-values the *unclipped*
+// multiplicative martingale M_n = prod g(p_i) has E[M_n] = M_0 = 1 for
+// every n (Eq. 6). Checked by Monte-Carlo over many short paths.
+TEST(MartingaleTest, ExpectationPreservedUnderNull) {
+  Rng rng(9);
+  PowerLogBetting betting(0.5, 1e-12);
+  const int kPaths = 20000;
+  const int kSteps = 5;
+  stats::RunningMoments endpoint;
+  for (int path = 0; path < kPaths; ++path) {
+    double log_m = 0.0;
+    for (int i = 0; i < kSteps; ++i) {
+      log_m += betting.Increment(rng.NextDouble());
+    }
+    endpoint.Add(std::exp(log_m));
+  }
+  EXPECT_NEAR(endpoint.mean(), 1.0, 0.05);
+}
+
+// Parameterized sweep over betting functions and threshold policies: on a
+// point-cloud drift the inspector must stay silent before the change and
+// fire within a bounded number of frames after it.
+struct DriftParam {
+  int betting_kind;  // 0=power, 1=odd, 2=mixture
+  ThresholdPolicy policy;
+  int window;
+};
+
+class MartingaleDriftSweep : public ::testing::TestWithParam<DriftParam> {};
+
+TEST_P(MartingaleDriftSweep, DetectsCloudShift) {
+  DriftParam param = GetParam();
+  std::shared_ptr<const BettingFunction> betting;
+  switch (param.betting_kind) {
+    case 0:
+      betting = std::make_shared<PowerLogBetting>(0.7, 1e-3);
+      break;
+    case 1:
+      // Bounded additive bet: needs a wider window so W * max-increment
+      // can clear the threshold (see DESIGN.md on the additive family).
+      betting = std::make_shared<ShiftedOddBetting>(2.0);
+      break;
+    default:
+      betting = std::make_shared<MixtureLogBetting>(1e-3);
+      break;
+  }
+  Rng rng(100 + param.betting_kind);
+  PointSet set =
+      PointSet::Build(GaussianCloud(200, 4, 0.0, 1.0, &rng), 5).ValueOrDie();
+  ConformalMartingale martingale(betting.get(), param.window, 0.5,
+                                 param.policy);
+  // Pre-drift: 500 in-distribution points, no alarm.
+  int pre_alarms = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<float> x(4);
+    for (float& v : x) v = static_cast<float>(rng.NextGaussian());
+    double p = ComputePValue(set.KnnScore(x), set.sorted_scores(), &rng);
+    if (martingale.Update(p)) ++pre_alarms;
+  }
+  EXPECT_LE(pre_alarms, 1) << "false alarms before drift";
+  // Post-drift: shifted cloud, must fire fast.
+  int frames_to_detect = -1;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<float> x(4);
+    for (float& v : x) v = static_cast<float>(rng.NextGaussian(4.0, 1.0));
+    double p = ComputePValue(set.KnnScore(x), set.sorted_scores(), &rng);
+    if (martingale.Update(p)) {
+      frames_to_detect = i + 1;
+      break;
+    }
+  }
+  ASSERT_GT(frames_to_detect, 0) << "drift never detected";
+  EXPECT_LE(frames_to_detect, 40);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BettingAndThreshold, MartingaleDriftSweep,
+    ::testing::Values(DriftParam{0, ThresholdPolicy::kPaper, 3},
+                      DriftParam{0, ThresholdPolicy::kHoeffding, 3},
+                      DriftParam{1, ThresholdPolicy::kPaper, 12},
+                      DriftParam{2, ThresholdPolicy::kPaper, 3},
+                      DriftParam{2, ThresholdPolicy::kHoeffding, 4}));
+
+// --- DistributionProfile + DriftInspector on real rendered frames. ---
+
+DistributionProfile::Options SmallProfileOptions() {
+  DistributionProfile::Options options;
+  options.vae.image_size = 32;
+  options.vae.latent_dim = 8;
+  options.vae.base_filters = 4;
+  options.trainer.epochs = 30;
+  options.sigma_size = 120;
+  options.k = 5;
+  return options;
+}
+
+TEST(ProfileTest, BuildValidatesInput) {
+  Rng rng(10);
+  EXPECT_FALSE(
+      DistributionProfile::Build("x", {}, SmallProfileOptions(), &rng).ok());
+  DistributionProfile::Options bad = SmallProfileOptions();
+  bad.sigma_size = 3;
+  video::SceneSpec spec;
+  std::vector<tensor::Tensor> frames =
+      video::PixelsOf(video::GenerateFrames(spec, 8, 32, 1));
+  EXPECT_FALSE(DistributionProfile::Build("x", frames, bad, &rng).ok());
+}
+
+TEST(ProfileTest, EncodeDimIsLatentPlusStats) {
+  Rng rng(11);
+  video::SceneSpec spec;
+  std::vector<tensor::Tensor> frames =
+      video::PixelsOf(video::GenerateFrames(spec, 32, 32, 2));
+  auto profile = DistributionProfile::Build("day", frames,
+                                            SmallProfileOptions(), &rng)
+                     .ValueOrDie();
+  EXPECT_EQ(profile->name(), "day");
+  EXPECT_EQ(profile->sigma().size(), 120);
+  // Scoring embedding = latent (8) + standardized global stats (6).
+  EXPECT_EQ(profile->Encode(frames[0]).size(),
+            8u + static_cast<size_t>(video::kNumFrameStats));
+  EXPECT_EQ(profile->sigma().dim(), 8 + video::kNumFrameStats);
+}
+
+TEST(ProfileTest, StatsWeightZeroKeepsRawLatent) {
+  Rng rng(15);
+  video::SceneSpec spec;
+  std::vector<tensor::Tensor> frames =
+      video::PixelsOf(video::GenerateFrames(spec, 32, 32, 8));
+  DistributionProfile::Options options = SmallProfileOptions();
+  options.stats_weight = 0.0;
+  auto profile =
+      DistributionProfile::Build("raw", frames, options, &rng).ValueOrDie();
+  EXPECT_EQ(profile->Encode(frames[0]).size(), 8u);
+  EXPECT_EQ(profile->sigma().dim(), 8);
+}
+
+TEST(DriftInspectorTest, SilentOnOwnDistributionFiresOnOther) {
+  Rng rng(12);
+  video::SyntheticDataset ds = video::MakeBddSynthetic(0.01);
+  // Enough training frames that the scoring-embedding standardisation is
+  // estimated reliably (with ~64 frames the per-stat std estimates are
+  // noisy and fresh frames look mildly non-exchangeable).
+  std::vector<tensor::Tensor> day_frames =
+      video::PixelsOf(video::GenerateFrames(ds.SpecOf("Day"), 220, 32, 3));
+  auto profile =
+      DistributionProfile::Build("Day", day_frames, SmallProfileOptions(),
+                                 &rng)
+          .ValueOrDie();
+  DriftInspectorConfig config;  // W=3, r=0.5, paper defaults
+  DriftInspector inspector(profile.get(), config);
+
+  // Fresh Day frames: no drift should be declared over a long stretch.
+  std::vector<video::Frame> more_day =
+      video::GenerateFrames(ds.SpecOf("Day"), 300, 32, 4);
+  int false_alarms = 0;
+  for (const video::Frame& f : more_day) {
+    if (inspector.Observe(f.pixels).drift) ++false_alarms;
+  }
+  EXPECT_LE(false_alarms, 2) << "DI fires on its own distribution";
+
+  // Night frames: drift must be detected within a small number of frames.
+  inspector.Reset();
+  std::vector<video::Frame> night =
+      video::GenerateFrames(ds.SpecOf("Night"), 100, 32, 5);
+  int frames_to_detect = -1;
+  for (size_t i = 0; i < night.size(); ++i) {
+    if (inspector.Observe(night[i].pixels).drift) {
+      frames_to_detect = static_cast<int>(i) + 1;
+      break;
+    }
+  }
+  ASSERT_GT(frames_to_detect, 0) << "DI missed the Day->Night drift";
+  EXPECT_LE(frames_to_detect, 50);
+}
+
+TEST(DriftInspectorTest, ObservationFieldsPopulated) {
+  Rng rng(13);
+  video::SceneSpec spec;
+  std::vector<tensor::Tensor> frames =
+      video::PixelsOf(video::GenerateFrames(spec, 48, 32, 6));
+  auto profile = DistributionProfile::Build("x", frames,
+                                            SmallProfileOptions(), &rng)
+                     .ValueOrDie();
+  DriftInspector inspector(profile.get(), DriftInspectorConfig{});
+  DriftInspector::Observation obs = inspector.Observe(frames[0]);
+  EXPECT_GT(obs.nonconformity, 0.0);
+  EXPECT_GE(obs.p_value, 0.0);
+  EXPECT_LE(obs.p_value, 1.0);
+  EXPECT_GE(obs.martingale, 0.0);
+  EXPECT_EQ(inspector.frames_seen(), 1);
+  inspector.Reset();
+  EXPECT_EQ(inspector.frames_seen(), 0);
+  EXPECT_DOUBLE_EQ(inspector.martingale_value(), 0.0);
+}
+
+TEST(DriftInspectorTest, DeterministicForSameSeed) {
+  // Observe uses the inspector's RNG for both the sampled encoding and the
+  // p-value tie-break, so two inspectors with the same seed must agree
+  // frame for frame.
+  Rng rng(14);
+  video::SceneSpec spec;
+  std::vector<tensor::Tensor> frames =
+      video::PixelsOf(video::GenerateFrames(spec, 48, 32, 7));
+  auto profile = DistributionProfile::Build("x", frames,
+                                            SmallProfileOptions(), &rng)
+                     .ValueOrDie();
+  DriftInspector a(profile.get(), DriftInspectorConfig{}, 555);
+  DriftInspector b(profile.get(), DriftInspectorConfig{}, 555);
+  for (int i = 0; i < 5; ++i) {
+    auto obs_a = a.Observe(frames[static_cast<size_t>(i)]);
+    auto obs_b = b.Observe(frames[static_cast<size_t>(i)]);
+    EXPECT_DOUBLE_EQ(obs_a.nonconformity, obs_b.nonconformity);
+    EXPECT_DOUBLE_EQ(obs_a.p_value, obs_b.p_value);
+    EXPECT_DOUBLE_EQ(obs_a.martingale, obs_b.martingale);
+  }
+}
+
+TEST(DriftInspectorTest, ObserveLatentAcceptsExternalEmbedding) {
+  Rng rng(16);
+  video::SceneSpec spec;
+  std::vector<tensor::Tensor> frames =
+      video::PixelsOf(video::GenerateFrames(spec, 48, 32, 9));
+  auto profile = DistributionProfile::Build("x", frames,
+                                            SmallProfileOptions(), &rng)
+                     .ValueOrDie();
+  DriftInspector inspector(profile.get(), DriftInspectorConfig{}, 556);
+  std::vector<float> z = profile->Encode(frames[0]);
+  auto obs = inspector.ObserveLatent(z);
+  EXPECT_GE(obs.p_value, 0.0);
+  EXPECT_LE(obs.p_value, 1.0);
+  EXPECT_GT(obs.nonconformity, 0.0);
+  EXPECT_EQ(inspector.frames_seen(), 1);
+}
+
+}  // namespace
+}  // namespace vdrift::conformal

@@ -1,0 +1,73 @@
+// Tests for the global frame statistics that augment the scoring
+// embedding (see DistributionProfile).
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+#include "tensor/tensor.h"
+#include "video/datasets.h"
+#include "video/frame_stats.h"
+#include "video/stream.h"
+
+namespace vdrift::video {
+namespace {
+
+TEST(FrameStatsTest, ConstantImage) {
+  tensor::Tensor img(tensor::Shape{1, 8, 8}, 0.5f);
+  std::vector<float> s = GlobalFrameStats(img);
+  ASSERT_EQ(s.size(), static_cast<size_t>(kNumFrameStats));
+  EXPECT_FLOAT_EQ(s[0], 0.5f);   // mean
+  EXPECT_NEAR(s[1], 0.0f, 1e-4); // std
+  EXPECT_FLOAT_EQ(s[2], 0.0f);   // |dx|
+  EXPECT_FLOAT_EQ(s[3], 0.0f);   // |dy|
+  EXPECT_FLOAT_EQ(s[4], 0.0f);   // bright fraction
+  EXPECT_FLOAT_EQ(s[5], 0.0f);   // dark fraction
+}
+
+TEST(FrameStatsTest, BrightAndDarkFractions) {
+  tensor::Tensor img(tensor::Shape{1, 2, 2},
+                     std::vector<float>{0.9f, 0.9f, 0.1f, 0.5f});
+  std::vector<float> s = GlobalFrameStats(img);
+  EXPECT_FLOAT_EQ(s[4], 0.5f);   // two of four > 0.8
+  EXPECT_FLOAT_EQ(s[5], 0.25f);  // one of four < 0.2
+}
+
+TEST(FrameStatsTest, GradientsDetectTexture) {
+  // Vertical stripes: high |dx|, zero |dy|.
+  tensor::Tensor stripes(tensor::Shape{1, 4, 4});
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      stripes.At3(0, y, x) = (x % 2 == 0) ? 0.0f : 1.0f;
+    }
+  }
+  std::vector<float> s = GlobalFrameStats(stripes);
+  EXPECT_GT(s[2], 0.9f);
+  EXPECT_FLOAT_EQ(s[3], 0.0f);
+}
+
+TEST(FrameStatsTest, SeparatesDayFromNight) {
+  SyntheticDataset ds = MakeBddSynthetic(0.01);
+  Frame day = GenerateFrames(ds.SpecOf("Day"), 1, 32, 1)[0];
+  Frame night = GenerateFrames(ds.SpecOf("Night"), 1, 32, 2)[0];
+  std::vector<float> s_day = GlobalFrameStats(day.pixels);
+  std::vector<float> s_night = GlobalFrameStats(night.pixels);
+  EXPECT_GT(s_day[0], s_night[0] + 0.2f) << "mean brightness should differ";
+  EXPECT_GT(s_night[5], s_day[5] + 0.3f) << "night should be mostly dark";
+}
+
+TEST(FrameStatsTest, StableWithinASequence) {
+  SyntheticDataset ds = MakeBddSynthetic(0.01);
+  std::vector<Frame> frames = GenerateFrames(ds.SpecOf("Rain"), 30, 32, 3);
+  float min_mean = 1.0f;
+  float max_mean = 0.0f;
+  for (const Frame& f : frames) {
+    float m = GlobalFrameStats(f.pixels)[0];
+    min_mean = std::min(min_mean, m);
+    max_mean = std::max(max_mean, m);
+  }
+  EXPECT_LT(max_mean - min_mean, 0.1f)
+      << "within-sequence brightness should be stable";
+}
+
+}  // namespace
+}  // namespace vdrift::video

@@ -1,0 +1,504 @@
+// Tests for the neural-network stack. The load-bearing tests are the
+// finite-difference gradient checks on every layer and loss, plus
+// end-to-end convergence tests (linear regression, XOR, a small conv net).
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/init.h"
+#include "nn/layer.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+#include "nn/serialize.h"
+#include "stats/moments.h"
+#include "stats/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace vdrift::nn {
+namespace {
+
+using stats::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor RandomTensor(Shape shape, Rng* rng, double scale = 1.0) {
+  Tensor t(shape);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->NextGaussian(0.0, scale));
+  }
+  return t;
+}
+
+// Scalar objective used by the gradient checks: sum of elementwise square
+// of the layer output, i.e. L = sum(y^2), dL/dy = 2y.
+double Objective(const Tensor& y) {
+  double s = 0.0;
+  for (int64_t i = 0; i < y.size(); ++i) {
+    s += static_cast<double>(y[i]) * y[i];
+  }
+  return s;
+}
+
+Tensor ObjectiveGrad(const Tensor& y) {
+  Tensor g = y;
+  for (int64_t i = 0; i < g.size(); ++i) g[i] *= 2.0f;
+  return g;
+}
+
+// Verifies analytic input- and parameter-gradients of `layer` against
+// central finite differences on L = sum(Forward(x)^2).
+void CheckLayerGradients(Layer* layer, const Tensor& input, float tol) {
+  Tensor x = input;
+  for (Parameter* p : layer->Params()) p->ZeroGrad();
+  Tensor y = layer->Forward(x);
+  Tensor grad_in = layer->Backward(ObjectiveGrad(y));
+  ASSERT_EQ(grad_in.shape(), x.shape());
+
+  const float eps = 1e-3f;
+  // Input gradient.
+  for (int64_t i = 0; i < x.size(); ++i) {
+    Tensor xp = x;
+    Tensor xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    double fp = Objective(layer->Forward(xp));
+    double fm = Objective(layer->Forward(xm));
+    double numeric = (fp - fm) / (2.0 * eps);
+    ASSERT_NEAR(grad_in[i], numeric, tol)
+        << layer->name() << " input grad at " << i;
+  }
+  // Parameter gradients.
+  std::vector<Parameter*> params = layer->Params();
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Parameter* p = params[pi];
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      float saved = p->value[i];
+      p->value[i] = saved + eps;
+      double fp = Objective(layer->Forward(x));
+      p->value[i] = saved - eps;
+      double fm = Objective(layer->Forward(x));
+      p->value[i] = saved;
+      double numeric = (fp - fm) / (2.0 * eps);
+      ASSERT_NEAR(p->grad[i], numeric, tol)
+          << layer->name() << " param " << pi << " grad at " << i;
+    }
+  }
+}
+
+TEST(LinearTest, ForwardMatchesManualComputation) {
+  Rng rng(1);
+  Linear lin(2, 3, &rng);
+  // Overwrite weights with known values: W = [[1,2],[3,4],[5,6]], b=[1,1,1].
+  Parameter* w = lin.Params()[0];
+  Parameter* b = lin.Params()[1];
+  for (int i = 0; i < 6; ++i) w->value[i] = static_cast<float>(i + 1);
+  b->value.Fill(1.0f);
+  Tensor x(Shape{1, 2}, std::vector<float>{1.0f, 2.0f});
+  Tensor y = lin.Forward(x);
+  EXPECT_FLOAT_EQ(y.At2(0, 0), 1 * 1 + 2 * 2 + 1);
+  EXPECT_FLOAT_EQ(y.At2(0, 1), 3 * 1 + 4 * 2 + 1);
+  EXPECT_FLOAT_EQ(y.At2(0, 2), 5 * 1 + 6 * 2 + 1);
+}
+
+TEST(LinearTest, GradientsMatchFiniteDifferences) {
+  Rng rng(2);
+  Linear lin(4, 3, &rng);
+  Tensor x = RandomTensor(Shape{2, 4}, &rng);
+  CheckLayerGradients(&lin, x, 2e-2f);
+}
+
+TEST(Conv2dTest, KnownKernelForward) {
+  Rng rng(3);
+  Conv2d conv(1, 1, 2, 1, 0, &rng);
+  // Kernel = all ones, bias = 0: output is the 2x2 box sum.
+  conv.Params()[0]->value.Fill(1.0f);
+  conv.Params()[1]->value.Fill(0.0f);
+  Tensor x(Shape{1, 1, 3, 3},
+           std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor y = conv.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.At4(0, 0, 0, 0), 1 + 2 + 4 + 5);
+  EXPECT_FLOAT_EQ(y.At4(0, 0, 0, 1), 2 + 3 + 5 + 6);
+  EXPECT_FLOAT_EQ(y.At4(0, 0, 1, 0), 4 + 5 + 7 + 8);
+  EXPECT_FLOAT_EQ(y.At4(0, 0, 1, 1), 5 + 6 + 8 + 9);
+}
+
+TEST(Conv2dTest, StrideAndPaddingShapes) {
+  Rng rng(4);
+  Conv2d conv(2, 5, 3, 2, 1, &rng);
+  Tensor x = RandomTensor(Shape{3, 2, 8, 8}, &rng);
+  Tensor y = conv.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{3, 5, 4, 4}));
+}
+
+TEST(Conv2dTest, GradientsMatchFiniteDifferences) {
+  Rng rng(5);
+  Conv2d conv(2, 3, 3, 2, 1, &rng);
+  Tensor x = RandomTensor(Shape{2, 2, 5, 5}, &rng, 0.5);
+  CheckLayerGradients(&conv, x, 5e-2f);
+}
+
+TEST(ReLUTest, ForwardAndGradient) {
+  ReLU relu;
+  Tensor x(Shape{1, 4}, std::vector<float>{-1.0f, 0.0f, 2.0f, -3.0f});
+  Tensor y = relu.Forward(x);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+  Tensor g(Shape{1, 4}, std::vector<float>{1.0f, 1.0f, 1.0f, 1.0f});
+  Tensor gx = relu.Backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[2], 1.0f);
+}
+
+TEST(SigmoidTest, GradientsMatchFiniteDifferences) {
+  Rng rng(6);
+  Sigmoid sig;
+  Tensor x = RandomTensor(Shape{2, 5}, &rng);
+  CheckLayerGradients(&sig, x, 1e-2f);
+}
+
+TEST(TanhTest, GradientsMatchFiniteDifferences) {
+  Rng rng(7);
+  Tanh tanh_layer;
+  Tensor x = RandomTensor(Shape{2, 5}, &rng);
+  CheckLayerGradients(&tanh_layer, x, 1e-2f);
+}
+
+TEST(FlattenTest, RoundTrip) {
+  Flatten flatten;
+  Rng rng(8);
+  Tensor x = RandomTensor(Shape{2, 3, 4, 4}, &rng);
+  Tensor y = flatten.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 48}));
+  Tensor back = flatten.Backward(y);
+  EXPECT_EQ(back.shape(), x.shape());
+  for (int64_t i = 0; i < x.size(); ++i) EXPECT_EQ(back[i], x[i]);
+}
+
+TEST(Upsample2xTest, ForwardValuesAndBackwardSums) {
+  Upsample2x up;
+  Tensor x(Shape{1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  Tensor y = up.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 4, 4}));
+  EXPECT_FLOAT_EQ(y.At4(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(y.At4(0, 0, 0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(y.At4(0, 0, 1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(y.At4(0, 0, 3, 3), 4.0f);
+  Tensor g(Shape{1, 1, 4, 4}, 1.0f);
+  Tensor gx = up.Backward(g);
+  EXPECT_FLOAT_EQ(gx.At4(0, 0, 0, 0), 4.0f);
+}
+
+TEST(Upsample2xTest, GradientsMatchFiniteDifferences) {
+  Rng rng(9);
+  Upsample2x up;
+  Tensor x = RandomTensor(Shape{1, 2, 3, 3}, &rng);
+  CheckLayerGradients(&up, x, 1e-2f);
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(10);
+  Tensor logits = RandomTensor(Shape{4, 6}, &rng, 3.0);
+  Tensor p = Softmax(logits);
+  for (int64_t i = 0; i < 4; ++i) {
+    double sum = 0.0;
+    for (int64_t j = 0; j < 6; ++j) {
+      EXPECT_GT(p.At2(i, j), 0.0f);
+      sum += p.At2(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxTest, NumericallyStableForLargeLogits) {
+  Tensor logits(Shape{1, 3}, std::vector<float>{1000.0f, 1001.0f, 999.0f});
+  Tensor p = Softmax(logits);
+  EXPECT_FALSE(std::isnan(p[0]));
+  EXPECT_GT(p.At2(0, 1), p.At2(0, 0));
+}
+
+TEST(CrossEntropyTest, PerfectPredictionHasLowLoss) {
+  Tensor logits(Shape{2, 3},
+                std::vector<float>{20.0f, 0.0f, 0.0f, 0.0f, 20.0f, 0.0f});
+  LossResult r = SoftmaxCrossEntropy(logits, {0, 1});
+  EXPECT_LT(r.loss, 1e-6);
+}
+
+TEST(CrossEntropyTest, GradientMatchesFiniteDifferences) {
+  Rng rng(11);
+  Tensor logits = RandomTensor(Shape{3, 4}, &rng);
+  std::vector<int> labels{1, 3, 0};
+  LossResult r = SoftmaxCrossEntropy(logits, labels);
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < logits.size(); ++i) {
+    Tensor lp = logits;
+    Tensor lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    double numeric = (SoftmaxCrossEntropy(lp, labels).loss -
+                      SoftmaxCrossEntropy(lm, labels).loss) /
+                     (2.0 * eps);
+    EXPECT_NEAR(r.grad[i], numeric, 1e-3);
+  }
+}
+
+TEST(BceTest, MatchedDistributionsHaveMinimalLoss) {
+  Tensor p(Shape{1, 4}, std::vector<float>{0.999f, 0.001f, 0.999f, 0.001f});
+  Tensor t(Shape{1, 4}, std::vector<float>{1.0f, 0.0f, 1.0f, 0.0f});
+  LossResult good = BinaryCrossEntropy(p, t);
+  Tensor bad_p(Shape{1, 4}, std::vector<float>{0.5f, 0.5f, 0.5f, 0.5f});
+  LossResult bad = BinaryCrossEntropy(bad_p, t);
+  EXPECT_LT(good.loss, bad.loss);
+}
+
+TEST(BceTest, GradientMatchesFiniteDifferences) {
+  Rng rng(12);
+  Tensor p(Shape{2, 3});
+  Tensor t(Shape{2, 3});
+  for (int64_t i = 0; i < p.size(); ++i) {
+    p[i] = 0.2f + 0.6f * rng.NextFloat();
+    t[i] = rng.NextFloat() < 0.5f ? 0.0f : 1.0f;
+  }
+  LossResult r = BinaryCrossEntropy(p, t);
+  const float eps = 1e-4f;
+  for (int64_t i = 0; i < p.size(); ++i) {
+    Tensor pp = p;
+    Tensor pm = p;
+    pp[i] += eps;
+    pm[i] -= eps;
+    double numeric = (BinaryCrossEntropy(pp, t).loss -
+                      BinaryCrossEntropy(pm, t).loss) /
+                     (2.0 * eps);
+    EXPECT_NEAR(r.grad[i], numeric, 1e-2);
+  }
+}
+
+TEST(MseTest, ValueAndGradient) {
+  Tensor pred(Shape{1, 2}, std::vector<float>{1.0f, 3.0f});
+  Tensor target(Shape{1, 2}, std::vector<float>{0.0f, 1.0f});
+  LossResult r = MeanSquaredError(pred, target);
+  EXPECT_NEAR(r.loss, (1.0 + 4.0) / 2.0, 1e-6);
+  EXPECT_NEAR(r.grad[0], 2.0f * 1.0f / 2.0f, 1e-6);
+  EXPECT_NEAR(r.grad[1], 2.0f * 2.0f / 2.0f, 1e-6);
+}
+
+TEST(SgdTest, ConvergesOnLinearRegression) {
+  Rng rng(13);
+  Sequential net;
+  net.Add<Linear>(1, 1, &rng);
+  Sgd opt(net.Params(), 0.05f);
+  // Fit y = 3x - 1.
+  for (int step = 0; step < 500; ++step) {
+    Tensor x(Shape{8, 1});
+    Tensor y(Shape{8, 1});
+    for (int i = 0; i < 8; ++i) {
+      float xv = rng.NextFloat() * 2.0f - 1.0f;
+      x[i] = xv;
+      y[i] = 3.0f * xv - 1.0f;
+    }
+    opt.ZeroGrad();
+    Tensor pred = net.Forward(x);
+    LossResult r = MeanSquaredError(pred, y);
+    net.Backward(r.grad);
+    opt.Step();
+  }
+  Parameter* w = net.Params()[0];
+  Parameter* b = net.Params()[1];
+  EXPECT_NEAR(w->value[0], 3.0f, 0.05f);
+  EXPECT_NEAR(b->value[0], -1.0f, 0.05f);
+}
+
+TEST(AdamTest, SolvesXor) {
+  Rng rng(14);
+  Sequential net;
+  net.Add<Linear>(2, 8, &rng);
+  net.Add<Tanh>();
+  net.Add<Linear>(8, 2, &rng);
+  Adam opt(net.Params(), 0.02f);
+  const float xs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const std::vector<int> labels{0, 1, 1, 0};
+  for (int step = 0; step < 400; ++step) {
+    Tensor x(Shape{4, 2});
+    for (int i = 0; i < 4; ++i) {
+      x.At2(i, 0) = xs[i][0];
+      x.At2(i, 1) = xs[i][1];
+    }
+    opt.ZeroGrad();
+    Tensor logits = net.Forward(x);
+    LossResult r = SoftmaxCrossEntropy(logits, labels);
+    net.Backward(r.grad);
+    opt.Step();
+  }
+  Tensor x(Shape{4, 2});
+  for (int i = 0; i < 4; ++i) {
+    x.At2(i, 0) = xs[i][0];
+    x.At2(i, 1) = xs[i][1];
+  }
+  Tensor logits = net.Forward(x);
+  for (int i = 0; i < 4; ++i) {
+    int pred = logits.At2(i, 0) > logits.At2(i, 1) ? 0 : 1;
+    EXPECT_EQ(pred, labels[static_cast<size_t>(i)]) << "sample " << i;
+  }
+}
+
+TEST(AdamTest, ConvNetLearnsBrightVsDark) {
+  // A 2-class toy image problem: bright-center vs dark-center 8x8 images.
+  Rng rng(15);
+  Sequential net;
+  net.Add<Conv2d>(1, 4, 3, 2, 1, &rng);
+  net.Add<ReLU>();
+  net.Add<Flatten>();
+  net.Add<Linear>(4 * 4 * 4, 2, &rng);
+  Adam opt(net.Params(), 0.01f);
+  auto make_batch = [&](int n, Tensor* x, std::vector<int>* labels) {
+    *x = Tensor(Shape{n, 1, 8, 8});
+    labels->clear();
+    for (int i = 0; i < n; ++i) {
+      int label = rng.NextBernoulli(0.5) ? 1 : 0;
+      labels->push_back(label);
+      for (int64_t h = 0; h < 8; ++h) {
+        for (int64_t w = 0; w < 8; ++w) {
+          float base = label == 1 && h >= 2 && h < 6 && w >= 2 && w < 6
+                           ? 0.9f
+                           : 0.1f;
+          x->At4(i, 0, h, w) =
+              std::clamp(base + 0.05f * static_cast<float>(rng.NextGaussian()),
+                         0.0f, 1.0f);
+        }
+      }
+    }
+  };
+  for (int step = 0; step < 120; ++step) {
+    Tensor x;
+    std::vector<int> labels;
+    make_batch(16, &x, &labels);
+    opt.ZeroGrad();
+    Tensor logits = net.Forward(x);
+    LossResult r = SoftmaxCrossEntropy(logits, labels);
+    net.Backward(r.grad);
+    opt.Step();
+  }
+  Tensor x;
+  std::vector<int> labels;
+  make_batch(64, &x, &labels);
+  Tensor logits = net.Forward(x);
+  int correct = 0;
+  for (int i = 0; i < 64; ++i) {
+    int pred = logits.At2(i, 0) > logits.At2(i, 1) ? 0 : 1;
+    if (pred == labels[static_cast<size_t>(i)]) ++correct;
+  }
+  EXPECT_GE(correct, 58) << "conv net failed to learn a separable problem";
+}
+
+TEST(SequentialTest, ParamsAggregatesAllLayers) {
+  Rng rng(16);
+  Sequential net;
+  net.Add<Linear>(3, 4, &rng);
+  net.Add<ReLU>();
+  net.Add<Linear>(4, 2, &rng);
+  EXPECT_EQ(net.Params().size(), 4u);  // 2 weights + 2 biases
+  EXPECT_EQ(net.NumParameters(), 3 * 4 + 4 + 4 * 2 + 2);
+}
+
+TEST(SerializeTest, SaveLoadRoundTrip) {
+  Rng rng(17);
+  Sequential a;
+  a.Add<Linear>(3, 4, &rng);
+  a.Add<ReLU>();
+  a.Add<Linear>(4, 2, &rng);
+  Sequential b;
+  b.Add<Linear>(3, 4, &rng);
+  b.Add<ReLU>();
+  b.Add<Linear>(4, 2, &rng);
+  std::stringstream stream;
+  ASSERT_TRUE(SaveParameters(&a, &stream).ok());
+  ASSERT_TRUE(LoadParameters(&b, &stream).ok());
+  Tensor x = RandomTensor(Shape{2, 3}, &rng);
+  Tensor ya = a.Forward(x);
+  Tensor yb = b.Forward(x);
+  for (int64_t i = 0; i < ya.size(); ++i) EXPECT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+TEST(SerializeTest, ConvNetRoundTrip) {
+  Rng rng(170);
+  auto build = [&]() {
+    Sequential net;
+    net.Add<Conv2d>(1, 4, 3, 2, 1, &rng);
+    net.Add<ReLU>();
+    net.Add<Conv2d>(4, 8, 3, 2, 1, &rng);
+    net.Add<Flatten>();
+    net.Add<Linear>(8 * 4 * 4, 3, &rng);
+    return net;
+  };
+  Sequential a = build();
+  Sequential b = build();
+  std::stringstream stream;
+  ASSERT_TRUE(SaveParameters(&a, &stream).ok());
+  ASSERT_TRUE(LoadParameters(&b, &stream).ok());
+  Tensor x = RandomTensor(Shape{2, 1, 16, 16}, &rng);
+  Tensor ya = a.Forward(x);
+  Tensor yb = b.Forward(x);
+  for (int64_t i = 0; i < ya.size(); ++i) EXPECT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+TEST(SerializeTest, LoadRejectsMismatchedArchitecture) {
+  Rng rng(18);
+  Sequential a;
+  a.Add<Linear>(3, 4, &rng);
+  Sequential b;
+  b.Add<Linear>(3, 5, &rng);
+  std::stringstream stream;
+  ASSERT_TRUE(SaveParameters(&a, &stream).ok());
+  EXPECT_FALSE(LoadParameters(&b, &stream).ok());
+}
+
+TEST(SerializeTest, LoadRejectsGarbage) {
+  Sequential a;
+  std::stringstream stream;
+  stream << "not a model";
+  EXPECT_FALSE(LoadParameters(&a, &stream).ok());
+}
+
+TEST(CopyParametersTest, CopiesValues) {
+  Rng rng(19);
+  Sequential a;
+  a.Add<Linear>(2, 2, &rng);
+  Sequential b;
+  b.Add<Linear>(2, 2, &rng);
+  ASSERT_TRUE(CopyParameters(&a, &b).ok());
+  Tensor x = RandomTensor(Shape{1, 2}, &rng);
+  Tensor ya = a.Forward(x);
+  Tensor yb = b.Forward(x);
+  for (int64_t i = 0; i < ya.size(); ++i) EXPECT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+TEST(InitTest, HeInitVarianceScaled) {
+  Rng rng(20);
+  Tensor w(Shape{1000, 50});
+  HeInit(&w, 50, &rng);
+  stats::RunningMoments m;
+  for (int64_t i = 0; i < w.size(); ++i) m.Add(w[i]);
+  EXPECT_NEAR(m.mean(), 0.0, 0.01);
+  EXPECT_NEAR(m.stddev(), std::sqrt(2.0 / 50.0), 0.01);
+}
+
+TEST(InitTest, XavierInitBounded) {
+  Rng rng(21);
+  Tensor w(Shape{100, 20});
+  XavierInit(&w, 20, 100, &rng);
+  double limit = std::sqrt(6.0 / 120.0);
+  for (int64_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::abs(w[i]), limit + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace vdrift::nn

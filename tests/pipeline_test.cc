@@ -1,0 +1,229 @@
+// End-to-end integration tests: the drift-aware pipeline (DI + MSBO/MSBI)
+// on multi-sequence streams, the trainNewModel path, the ODIN baseline
+// pipeline, and the static-detector pipelines.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "benchutil/workbench.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/provision.h"
+#include "stats/rng.h"
+#include "video/datasets.h"
+#include "video/stream.h"
+
+namespace vdrift::pipeline {
+namespace {
+
+// One shared workbench: a Tokyo-like 3-model registry (cheapest to train).
+class PipelineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    benchutil::WorkbenchOptions options =
+        benchutil::DefaultWorkbenchOptions();
+    options.dataset_scale = 0.008;  // ~120 frames per sequence
+    options.cache_dir = "";         // tests never touch the bench cache
+    options.train_frames = 220;
+    bench_ = benchutil::BuildWorkbench("Tokyo", options).ValueOrDie()
+                 .release();
+  }
+
+  static void TearDownTestSuite() {
+    delete bench_;
+    bench_ = nullptr;
+  }
+
+  static PipelineConfig BaseConfig(PipelineConfig::Selector selector) {
+    PipelineConfig config;
+    config.selector = selector;
+    config.provision = benchutil::DefaultWorkbenchOptions().provision;
+    config.allow_training_new = false;
+    return config;
+  }
+
+  static benchutil::Workbench* bench_;
+};
+
+benchutil::Workbench* PipelineFixture::bench_ = nullptr;
+
+TEST_F(PipelineFixture, MsboPipelineTracksSequences) {
+  video::StreamGenerator stream = bench_->dataset.MakeStream();
+  PipelineConfig config = BaseConfig(PipelineConfig::Selector::kMsbo);
+  DriftAwarePipeline pipeline(&bench_->registry,
+                              bench_->calibration_samples, config);
+  PipelineMetrics metrics = pipeline.Run(&stream).ValueOrDie();
+  EXPECT_EQ(metrics.frames, bench_->dataset.total_frames());
+  // Two real drifts (3 sequences); a handful of re-detections are
+  // tolerable, silence is not.
+  EXPECT_GE(metrics.drifts_detected, 2);
+  EXPECT_LE(metrics.drifts_detected, 6);
+  // The count query must be clearly better than chance overall.
+  SequenceAccuracy totals = metrics.Totals();
+  EXPECT_GT(totals.CountAq(), 0.3);
+  // Exactly one model invocation per frame (the §6.2 claim for MS).
+  EXPECT_EQ(totals.invocations, metrics.frames);
+  EXPECT_GT(metrics.total_seconds, 0.0);
+}
+
+TEST_F(PipelineFixture, MsboSelectsTheMatchingModelAtEachDrift) {
+  video::StreamGenerator stream = bench_->dataset.MakeStream();
+  PipelineConfig config = BaseConfig(PipelineConfig::Selector::kMsbo);
+  DriftAwarePipeline pipeline(&bench_->registry,
+                              bench_->calibration_samples, config);
+  PipelineMetrics metrics = pipeline.Run(&stream).ValueOrDie();
+  ASSERT_GE(metrics.selections.size(), 2u);
+  // The first selection (drift into sequence 1) must be "Angle 2", the
+  // second "Angle 3".
+  EXPECT_EQ(metrics.selections[0], "Angle 2");
+  EXPECT_EQ(metrics.selections[1], "Angle 3");
+}
+
+TEST_F(PipelineFixture, MsbiPipelineRunsAndSelects) {
+  video::StreamGenerator stream = bench_->dataset.MakeStream();
+  PipelineConfig config = BaseConfig(PipelineConfig::Selector::kMsbi);
+  DriftAwarePipeline pipeline(&bench_->registry,
+                              bench_->calibration_samples, config);
+  PipelineMetrics metrics = pipeline.Run(&stream).ValueOrDie();
+  EXPECT_GE(metrics.drifts_detected, 2);
+  ASSERT_GE(metrics.selections.size(), 1u);
+  EXPECT_EQ(metrics.selections[0], "Angle 2");
+}
+
+TEST_F(PipelineFixture, DetectionLatencyIsSmall) {
+  video::StreamGenerator stream = bench_->dataset.MakeStream();
+  PipelineConfig config = BaseConfig(PipelineConfig::Selector::kMsbo);
+  DriftAwarePipeline pipeline(&bench_->registry,
+                              bench_->calibration_samples, config);
+  PipelineMetrics metrics = pipeline.Run(&stream).ValueOrDie();
+  const std::vector<int64_t>& truth = stream.drift_points();
+  ASSERT_GE(metrics.drift_frames.size(), 2u);
+  // First detection after the first true drift point, within 60 frames.
+  EXPECT_GE(metrics.drift_frames[0], truth[0]);
+  EXPECT_LE(metrics.drift_frames[0], truth[0] + 60);
+}
+
+TEST_F(PipelineFixture, OdinPipelineRunsWithEnsembles) {
+  video::StreamGenerator stream = bench_->dataset.MakeStream();
+  OdinPipeline::Config config;
+  OdinPipeline odin(&bench_->registry, bench_->training_frames, config);
+  PipelineMetrics metrics = odin.Run(&stream).ValueOrDie();
+  EXPECT_EQ(metrics.frames, bench_->dataset.total_frames());
+  SequenceAccuracy totals = metrics.Totals();
+  // ODIN may invoke more than one model per frame (ensembles).
+  EXPECT_GE(totals.invocations, metrics.frames);
+  EXPECT_GT(totals.CountAq(), 0.1);
+}
+
+TEST_F(PipelineFixture, OdinUsesMoreInvocationsThanMs) {
+  video::StreamGenerator s1 = bench_->dataset.MakeStream();
+  PipelineConfig config = BaseConfig(PipelineConfig::Selector::kMsbo);
+  DriftAwarePipeline ms(&bench_->registry, bench_->calibration_samples,
+                        config);
+  PipelineMetrics ms_metrics = ms.Run(&s1).ValueOrDie();
+  video::StreamGenerator s2 = bench_->dataset.MakeStream();
+  OdinPipeline odin(&bench_->registry, bench_->training_frames,
+                    OdinPipeline::Config{});
+  PipelineMetrics odin_metrics = odin.Run(&s2).ValueOrDie();
+  EXPECT_GE(odin_metrics.Totals().invocations,
+            ms_metrics.Totals().invocations);
+}
+
+TEST_F(PipelineFixture, MsBeatsDriftObliviousDetectorOnAccuracy) {
+  // The YOLO substitute is trained on sequence 0 only; after the drifts
+  // its accuracy must fall below the drift-aware pipeline's.
+  stats::Rng rng(55);
+  detect::SimulatedDetector::Config det_config;
+  det_config.base_filters = 12;
+  detect::SimulatedDetector detector(det_config, &rng);
+  detect::ClassifierTrainConfig tc;
+  tc.epochs = 10;
+  ASSERT_TRUE(detector.Train(bench_->training_frames[0], tc, &rng).ok());
+  video::StreamGenerator s1 = bench_->dataset.MakeStream();
+  PipelineMetrics yolo =
+      StaticDetectorPipeline::RunDetector(&detector, &s1, false)
+          .ValueOrDie();
+  video::StreamGenerator s2 = bench_->dataset.MakeStream();
+  PipelineConfig config = BaseConfig(PipelineConfig::Selector::kMsbo);
+  DriftAwarePipeline ms(&bench_->registry, bench_->calibration_samples,
+                        config);
+  PipelineMetrics ours = ms.Run(&s2).ValueOrDie();
+  EXPECT_GT(ours.Totals().CountAq(), yolo.Totals().CountAq());
+}
+
+TEST_F(PipelineFixture, OraclePipelineIsPerfect) {
+  video::StreamGenerator stream = bench_->dataset.MakeStream();
+  PipelineMetrics metrics =
+      StaticDetectorPipeline::RunOracle(16, &stream).ValueOrDie();
+  EXPECT_EQ(metrics.frames, bench_->dataset.total_frames());
+  EXPECT_DOUBLE_EQ(metrics.Totals().CountAq(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.Totals().PredicateAq(), 1.0);
+}
+
+TEST_F(PipelineFixture, StaticDetectorRejectsNull) {
+  video::StreamGenerator stream = bench_->dataset.MakeStream();
+  EXPECT_FALSE(
+      StaticDetectorPipeline::RunDetector(nullptr, &stream, false).ok());
+}
+
+TEST(TrainNewModelTest, PipelineProvisionsOnUnseenDistribution) {
+  // Registry knows only Day; the stream drifts into Night. With training
+  // enabled the pipeline must detect, fail selection, and train a new
+  // model, after which the stream continues under the learned model.
+  stats::Rng rng(77);
+  video::SyntheticDataset ds = video::MakeBddSynthetic(0.004);
+  ProvisionOptions provision = benchutil::DefaultWorkbenchOptions().provision;
+  provision.classifier_train.epochs = 8;
+  std::vector<video::Frame> day_frames =
+      video::GenerateFrames(ds.SpecOf("Day"), 200, 32, 500);
+  select::ModelRegistry registry;
+  registry.Add(
+      ProvisionModel("Day", day_frames, provision, &rng).ValueOrDie());
+  std::vector<std::vector<select::LabeledFrame>> samples;
+  samples.push_back(MakeLabeledSample(day_frames, 8, 24, &rng));
+
+  PipelineConfig config;
+  config.selector = PipelineConfig::Selector::kMsbo;
+  config.provision = provision;
+  config.allow_training_new = true;
+  config.new_model_window = 80;
+  video::StreamGenerator stream(
+      {{ds.SpecOf("Day"), 120}, {ds.SpecOf("Night"), 260}}, 32, 321);
+  DriftAwarePipeline pipeline(&registry, samples, config);
+  PipelineMetrics metrics = pipeline.Run(&stream).ValueOrDie();
+  EXPECT_GE(metrics.drifts_detected, 1);
+  EXPECT_GE(metrics.new_models_trained, 1);
+  EXPECT_EQ(registry.size(), 1 + metrics.new_models_trained);
+  ASSERT_FALSE(metrics.selections.empty());
+  EXPECT_EQ(metrics.selections[0].rfind("learned-", 0), 0u)
+      << "first selection should be a freshly trained model, got "
+      << metrics.selections[0];
+}
+
+TEST(ProvisionTest, RejectsBadInput) {
+  stats::Rng rng(1);
+  ProvisionOptions options = DefaultProvisionOptions();
+  EXPECT_FALSE(ProvisionModel("x", {}, options, &rng).ok());
+  options.ensemble_size = 0;
+  video::SceneSpec spec;
+  std::vector<video::Frame> frames = video::GenerateFrames(spec, 4, 32, 2);
+  EXPECT_FALSE(ProvisionModel("x", frames, options, &rng).ok());
+}
+
+TEST(ProvisionTest, MakeLabeledSampleSizesAndRange) {
+  stats::Rng rng(2);
+  video::SceneSpec spec;
+  std::vector<video::Frame> frames = video::GenerateFrames(spec, 10, 32, 3);
+  std::vector<select::LabeledFrame> sample =
+      MakeLabeledSample(frames, 8, 25, &rng);
+  ASSERT_EQ(sample.size(), 25u);
+  for (const auto& lf : sample) {
+    EXPECT_GE(lf.label, 0);
+    EXPECT_LT(lf.label, 8);
+  }
+  EXPECT_TRUE(MakeLabeledSample({}, 8, 5, &rng).empty());
+}
+
+}  // namespace
+}  // namespace vdrift::pipeline

@@ -1,0 +1,308 @@
+// Tests for the statistics substrate: RNG, distances, moments, histograms,
+// KL divergence, and the two-sample KS test.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/distance.h"
+#include "stats/histogram.h"
+#include "stats/ks_test.h"
+#include "stats/moments.h"
+#include "stats/rng.h"
+
+namespace vdrift::stats {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123, 7);
+  Rng b(123, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUInt32(), b.NextUInt32());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(123, 7);
+  Rng b(124, 7);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUInt32() == b.NextUInt32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, DoubleMeanNearHalf) {
+  Rng rng(2);
+  RunningMoments m;
+  for (int i = 0; i < 20000; ++i) m.Add(rng.NextDouble());
+  EXPECT_NEAR(m.mean(), 0.5, 0.01);
+  EXPECT_NEAR(m.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(RngTest, IntRespectsBounds) {
+  Rng rng(3);
+  std::vector<int> seen(7, 0);
+  for (int i = 0; i < 7000; ++i) {
+    int v = rng.NextInt(2, 8);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 8);
+    ++seen[v - 2];
+  }
+  for (int c : seen) EXPECT_GT(c, 700);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(4);
+  RunningMoments m;
+  for (int i = 0; i < 50000; ++i) m.Add(rng.NextGaussian(3.0, 2.0));
+  EXPECT_NEAR(m.mean(), 3.0, 0.05);
+  EXPECT_NEAR(m.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, PoissonMeanMatchesLambda) {
+  Rng rng(5);
+  for (double lambda : {0.5, 3.0, 9.2, 40.0}) {
+    RunningMoments m;
+    for (int i = 0; i < 20000; ++i) m.Add(rng.NextPoisson(lambda));
+    EXPECT_NEAR(m.mean(), lambda, 0.15 * lambda + 0.05) << "lambda=" << lambda;
+  }
+}
+
+TEST(RngTest, PoissonZeroLambdaIsZero) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextPoisson(0.0), 0);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(7);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(8);
+  Rng b = a.Split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUInt32() == b.NextUInt32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(DistanceTest, EuclideanKnownValues) {
+  std::vector<float> a{0.0f, 0.0f};
+  std::vector<float> b{3.0f, 4.0f};
+  EXPECT_DOUBLE_EQ(Euclidean(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredEuclidean(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Manhattan(a, b), 7.0);
+}
+
+TEST(DistanceTest, IdenticalVectorsAreZeroDistance) {
+  std::vector<float> a{1.5f, -2.0f, 0.25f};
+  EXPECT_DOUBLE_EQ(Euclidean(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(Manhattan(a, a), 0.0);
+  EXPECT_NEAR(CosineDistance(a, a), 0.0, 1e-12);
+}
+
+TEST(DistanceTest, CosineOrthogonalIsOne) {
+  std::vector<float> a{1.0f, 0.0f};
+  std::vector<float> b{0.0f, 2.0f};
+  EXPECT_NEAR(CosineDistance(a, b), 1.0, 1e-12);
+}
+
+TEST(DistanceTest, CosineZeroVectorIsOne) {
+  std::vector<float> a{0.0f, 0.0f};
+  std::vector<float> b{1.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(CosineDistance(a, b), 1.0);
+}
+
+TEST(MomentsTest, EmptyMomentsAreZero) {
+  RunningMoments m;
+  EXPECT_EQ(m.count(), 0);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+}
+
+TEST(MomentsTest, KnownSample) {
+  RunningMoments m;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.Add(x);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_NEAR(m.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.min(), 2.0);
+  EXPECT_DOUBLE_EQ(m.max(), 9.0);
+}
+
+TEST(MomentsTest, MergeMatchesSequential) {
+  Rng rng(10);
+  RunningMoments all;
+  RunningMoments a;
+  RunningMoments b;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextGaussian();
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
+}
+
+TEST(QuantileTest, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(HistogramTest, RejectsBadArguments) {
+  EXPECT_FALSE(Histogram::Make(1.0, 1.0, 4).ok());
+  EXPECT_FALSE(Histogram::Make(2.0, 1.0, 4).ok());
+  EXPECT_FALSE(Histogram::Make(0.0, 1.0, 0).ok());
+}
+
+TEST(HistogramTest, BinsAndClamping) {
+  Histogram h = Histogram::Make(0.0, 1.0, 4).ValueOrDie();
+  h.Add(0.1);   // bin 0
+  h.Add(0.3);   // bin 1
+  h.Add(0.6);   // bin 2
+  h.Add(0.9);   // bin 3
+  h.Add(-5.0);  // clamped to bin 0
+  h.Add(5.0);   // clamped to bin 3
+  EXPECT_EQ(h.count(), 6);
+  EXPECT_EQ(h.bin_count(0), 2);
+  EXPECT_EQ(h.bin_count(1), 1);
+  EXPECT_EQ(h.bin_count(2), 1);
+  EXPECT_EQ(h.bin_count(3), 2);
+}
+
+TEST(HistogramTest, PmfSumsToOne) {
+  Histogram h = Histogram::Make(0.0, 10.0, 8).ValueOrDie();
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) h.Add(rng.NextDouble() * 10.0);
+  std::vector<double> pmf = h.Pmf();
+  double sum = 0.0;
+  for (double p : pmf) {
+    EXPECT_GT(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(KlTest, IdenticalDistributionsHaveZeroKl) {
+  std::vector<double> p{0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(KlDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST(KlTest, KlIsNonNegativeAndAsymmetric) {
+  std::vector<double> p{0.7, 0.2, 0.1};
+  std::vector<double> q{0.1, 0.2, 0.7};
+  EXPECT_GT(KlDivergence(p, q), 0.0);
+  EXPECT_GT(KlDivergence(q, p), 0.0);
+}
+
+TEST(KlTest, HistogramKlDropsAsClusterStabilizes) {
+  // Mirrors the ODIN promotion rule: as a cluster accumulates samples from a
+  // stationary distribution, the before/after-add KL divergence shrinks.
+  Rng rng(12);
+  Histogram h = Histogram::Make(0.0, 1.0, 16).ValueOrDie();
+  for (int i = 0; i < 10; ++i) h.Add(rng.NextDouble());
+  std::vector<double> before_small = h.Pmf();
+  h.Add(rng.NextDouble());
+  double kl_small = KlDivergence(h.Pmf(), before_small);
+  for (int i = 0; i < 2000; ++i) h.Add(rng.NextDouble());
+  std::vector<double> before_big = h.Pmf();
+  h.Add(rng.NextDouble());
+  double kl_big = KlDivergence(h.Pmf(), before_big);
+  EXPECT_LT(kl_big, kl_small);
+  EXPECT_LT(kl_big, 0.007);
+}
+
+TEST(KsTest, SameDistributionHighPValue) {
+  Rng rng(13);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng.NextGaussian());
+    b.push_back(rng.NextGaussian());
+  }
+  KsResult r = TwoSampleKs(a, b);
+  EXPECT_LT(r.statistic, 0.15);
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(KsTest, ShiftedDistributionLowPValue) {
+  Rng rng(14);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng.NextGaussian(0.0, 1.0));
+    b.push_back(rng.NextGaussian(1.0, 1.0));
+  }
+  KsResult r = TwoSampleKs(a, b);
+  EXPECT_GT(r.statistic, 0.3);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTest, EmptyInputIsNeutral) {
+  KsResult r = TwoSampleKs({}, {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(KsTest, KolmogorovSurvivalMonotone) {
+  double prev = 1.0;
+  for (double lam = 0.1; lam < 3.0; lam += 0.1) {
+    double q = KolmogorovSurvival(lam);
+    EXPECT_LE(q, prev + 1e-12);
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 1.0);
+    prev = q;
+  }
+}
+
+// Property sweep: the KS test should reject at rate ~alpha under the null.
+class KsCalibration : public ::testing::TestWithParam<int> {};
+
+TEST_P(KsCalibration, FalsePositiveRateNearAlpha) {
+  int n = GetParam();
+  Rng rng(100 + n);
+  int rejects = 0;
+  const int kTrials = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < n; ++i) {
+      a.push_back(rng.NextDouble());
+      b.push_back(rng.NextDouble());
+    }
+    if (TwoSampleKs(a, b).p_value < 0.05) ++rejects;
+  }
+  double rate = static_cast<double>(rejects) / kTrials;
+  EXPECT_LT(rate, 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleSizes, KsCalibration,
+                         ::testing::Values(50, 100, 200, 400));
+
+}  // namespace
+}  // namespace vdrift::stats

@@ -1,0 +1,238 @@
+// Tests for the tensor library: shape handling, elementwise ops, matrix
+// products (checked against a naive reference), and im2col/col2im.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace vdrift::tensor {
+namespace {
+
+using stats::Rng;
+
+Tensor RandomTensor(Shape shape, Rng* rng) {
+  Tensor t(shape);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->NextGaussian());
+  }
+  return t;
+}
+
+Tensor NaiveMatmul(const Tensor& a, const Tensor& b) {
+  int64_t m = a.shape().dim(0);
+  int64_t k = a.shape().dim(1);
+  int64_t n = b.shape().dim(1);
+  Tensor out(Shape{m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += a.At2(i, kk) * b.At2(kk, j);
+      }
+      out.At2(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+void ExpectTensorsNear(const Tensor& a, const Tensor& b, float tol) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i], b[i], tol) << "at flat index " << i;
+  }
+}
+
+TEST(ShapeTest, NumElementsAndToString) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.ndim(), 3);
+  EXPECT_EQ(s.NumElements(), 24);
+  EXPECT_EQ(s.ToString(), "[2, 3, 4]");
+  EXPECT_EQ(Shape{}.NumElements(), 1);
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_NE((Shape{2, 3}), (Shape{3, 2}));
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t(Shape{2, 2});
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FillAndIndexing) {
+  Tensor t(Shape{2, 3});
+  t.Fill(1.5f);
+  EXPECT_EQ(t.At2(1, 2), 1.5f);
+  t.At2(0, 1) = 7.0f;
+  EXPECT_EQ(t[1], 7.0f);
+}
+
+TEST(TensorTest, At3RowMajorLayout) {
+  Tensor t(Shape{2, 3, 4});
+  t.At3(1, 2, 3) = 9.0f;
+  EXPECT_EQ(t[(1 * 3 + 2) * 4 + 3], 9.0f);
+}
+
+TEST(TensorTest, At4RowMajorLayout) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.At4(1, 2, 3, 4) = 8.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 8.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t(Shape{2, 6});
+  for (int64_t i = 0; i < 12; ++i) t[i] = static_cast<float>(i);
+  Tensor r = t.Reshaped(Shape{3, 4});
+  EXPECT_EQ(r.shape(), (Shape{3, 4}));
+  for (int64_t i = 0; i < 12; ++i) EXPECT_EQ(r[i], static_cast<float>(i));
+}
+
+TEST(TensorDeathTest, ReshapeSizeMismatchAborts) {
+  Tensor t(Shape{2, 2});
+  EXPECT_DEATH(t.Reshaped(Shape{3, 2}), "reshape");
+}
+
+TEST(TensorDeathTest, DataSizeMismatchAborts) {
+  EXPECT_DEATH(Tensor(Shape{2, 2}, std::vector<float>{1.0f}), "data size");
+}
+
+TEST(OpsTest, AddSubMul) {
+  Tensor a(Shape{3}, std::vector<float>{1.0f, 2.0f, 3.0f});
+  Tensor b(Shape{3}, std::vector<float>{4.0f, 5.0f, 6.0f});
+  Tensor sum = Add(a, b);
+  Tensor diff = Sub(b, a);
+  Tensor prod = Mul(a, b);
+  EXPECT_EQ(sum[0], 5.0f);
+  EXPECT_EQ(sum[2], 9.0f);
+  EXPECT_EQ(diff[1], 3.0f);
+  EXPECT_EQ(prod[2], 18.0f);
+}
+
+TEST(OpsTest, ScaleAndAxpy) {
+  Tensor a(Shape{2}, std::vector<float>{1.0f, -2.0f});
+  Tensor s = Scale(a, 3.0f);
+  EXPECT_EQ(s[0], 3.0f);
+  EXPECT_EQ(s[1], -6.0f);
+  Tensor b(Shape{2}, std::vector<float>{10.0f, 10.0f});
+  AxpyInPlace(&b, a, 2.0f);
+  EXPECT_EQ(b[0], 12.0f);
+  EXPECT_EQ(b[1], 6.0f);
+}
+
+TEST(OpsTest, SumAndMean) {
+  Tensor a(Shape{4}, std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_DOUBLE_EQ(Sum(a), 10.0);
+  EXPECT_DOUBLE_EQ(Mean(a), 2.5);
+  EXPECT_DOUBLE_EQ(Mean(Tensor()), 0.0);
+}
+
+TEST(OpsTest, MatmulKnownValues) {
+  Tensor a(Shape{2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor b(Shape{3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+  Tensor c = Matmul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_EQ(c.At2(0, 0), 58.0f);
+  EXPECT_EQ(c.At2(0, 1), 64.0f);
+  EXPECT_EQ(c.At2(1, 0), 139.0f);
+  EXPECT_EQ(c.At2(1, 1), 154.0f);
+}
+
+TEST(OpsTest, Transpose2D) {
+  Tensor a(Shape{2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose2D(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t.At2(0, 1), 4.0f);
+  EXPECT_EQ(t.At2(2, 0), 3.0f);
+}
+
+// Property sweep: all matmul variants agree with the naive reference over
+// random shapes.
+class MatmulProperty : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulProperty, MatchesNaiveReference) {
+  auto [m, k, n] = GetParam();
+  Rng rng(m * 10007 + k * 101 + n);
+  Tensor a = RandomTensor(Shape{m, k}, &rng);
+  Tensor b = RandomTensor(Shape{k, n}, &rng);
+  Tensor expect = NaiveMatmul(a, b);
+  ExpectTensorsNear(Matmul(a, b), expect, 1e-4f);
+  ExpectTensorsNear(MatmulTransposedB(a, Transpose2D(b)), expect, 1e-4f);
+  ExpectTensorsNear(MatmulTransposedA(Transpose2D(a), b), expect, 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulProperty,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{2, 3, 4},
+                      std::tuple{5, 1, 7}, std::tuple{8, 8, 8},
+                      std::tuple{3, 17, 5}, std::tuple{16, 9, 16}));
+
+TEST(Im2ColTest, OutDimFormula) {
+  EXPECT_EQ(ConvOutDim(32, 3, 2, 1), 16);
+  EXPECT_EQ(ConvOutDim(32, 3, 1, 1), 32);
+  EXPECT_EQ(ConvOutDim(5, 3, 1, 0), 3);
+}
+
+TEST(Im2ColTest, IdentityKernelReproducesInput) {
+  // 1x1 kernel, stride 1, no padding: im2col is the flattened image.
+  Rng rng(42);
+  Tensor img = RandomTensor(Shape{2, 4, 4}, &rng);
+  Tensor cols = Im2Col(img, 1, 1, 1, 0, 4, 4);
+  EXPECT_EQ(cols.shape(), (Shape{2, 16}));
+  for (int64_t i = 0; i < img.size(); ++i) EXPECT_EQ(cols[i], img[i]);
+}
+
+TEST(Im2ColTest, PatchContents) {
+  // 3x3 image, 2x2 kernel, stride 1, no padding -> 4 patches.
+  Tensor img(Shape{1, 3, 3}, std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor cols = Im2Col(img, 2, 2, 1, 0, 2, 2);
+  EXPECT_EQ(cols.shape(), (Shape{4, 4}));
+  // First patch (top-left) down the first column: 1, 2, 4, 5.
+  EXPECT_EQ(cols.At2(0, 0), 1.0f);
+  EXPECT_EQ(cols.At2(1, 0), 2.0f);
+  EXPECT_EQ(cols.At2(2, 0), 4.0f);
+  EXPECT_EQ(cols.At2(3, 0), 5.0f);
+  // Last patch (bottom-right): 5, 6, 8, 9.
+  EXPECT_EQ(cols.At2(0, 3), 5.0f);
+  EXPECT_EQ(cols.At2(3, 3), 9.0f);
+}
+
+TEST(Im2ColTest, PaddingProducesZeros) {
+  Tensor img(Shape{1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  Tensor cols = Im2Col(img, 3, 3, 1, 1, 2, 2);
+  // Top-left patch's first row is entirely padding.
+  EXPECT_EQ(cols.At2(0, 0), 0.0f);
+  EXPECT_EQ(cols.At2(1, 0), 0.0f);
+  EXPECT_EQ(cols.At2(2, 0), 0.0f);
+  // Center of top-left patch is the (0,0) pixel.
+  EXPECT_EQ(cols.At2(4, 0), 1.0f);
+}
+
+// Property: col2im(im2col(x)) multiplies each pixel by the number of patches
+// covering it. With stride == kernel (non-overlapping), that count is 1.
+TEST(Im2ColTest, Col2ImRoundTripNonOverlapping) {
+  Rng rng(43);
+  Tensor img = RandomTensor(Shape{3, 8, 8}, &rng);
+  int out = ConvOutDim(8, 2, 2, 0);
+  Tensor cols = Im2Col(img, 2, 2, 2, 0, out, out);
+  Tensor back = Col2Im(cols, 3, 8, 8, 2, 2, 2, 0, out, out);
+  ExpectTensorsNear(back, img, 1e-6f);
+}
+
+TEST(Im2ColTest, Col2ImAccumulatesOverlaps) {
+  Tensor img(Shape{1, 3, 3}, 1.0f);
+  // 2x2 kernel, stride 1: center pixel is covered by 4 patches.
+  int out = ConvOutDim(3, 2, 1, 0);
+  Tensor cols = Im2Col(img, 2, 2, 1, 0, out, out);
+  Tensor back = Col2Im(cols, 1, 3, 3, 2, 2, 1, 0, out, out);
+  EXPECT_EQ(back.At3(0, 1, 1), 4.0f);
+  EXPECT_EQ(back.At3(0, 0, 0), 1.0f);
+  EXPECT_EQ(back.At3(0, 0, 1), 2.0f);
+}
+
+}  // namespace
+}  // namespace vdrift::tensor

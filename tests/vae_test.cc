@@ -1,0 +1,242 @@
+// Tests for the variational autoencoder: shape plumbing, training-loss
+// descent, latent-space behaviour (same-distribution frames embed close,
+// different-distribution frames embed far), and the Sigma_Ti sampler.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/optimizer.h"
+#include "stats/distance.h"
+#include "stats/moments.h"
+#include "stats/rng.h"
+#include "tensor/tensor.h"
+#include "vae/trainer.h"
+#include "vae/vae.h"
+#include "video/datasets.h"
+#include "video/stream.h"
+
+namespace vdrift::vae {
+namespace {
+
+using stats::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+// Small config so the tests stay fast on one core.
+VaeConfig SmallConfig() {
+  VaeConfig config;
+  config.image_size = 16;
+  config.latent_dim = 4;
+  config.base_filters = 4;
+  return config;
+}
+
+std::vector<Tensor> NoisyBlobs(int count, float center, Rng* rng) {
+  std::vector<Tensor> frames;
+  for (int i = 0; i < count; ++i) {
+    Tensor f(Shape{1, 16, 16});
+    for (int64_t j = 0; j < f.size(); ++j) {
+      f[j] = std::clamp(
+          center + 0.1f * static_cast<float>(rng->NextGaussian()), 0.0f, 1.0f);
+    }
+    frames.push_back(std::move(f));
+  }
+  return frames;
+}
+
+TEST(VaeTest, ForwardShapes) {
+  Rng rng(1);
+  Vae vae(SmallConfig(), &rng);
+  Tensor batch(Shape{3, 1, 16, 16}, 0.5f);
+  Vae::ForwardResult fwd = vae.Forward(batch, &rng);
+  EXPECT_EQ(fwd.recon.shape(), batch.shape());
+  EXPECT_EQ(fwd.mu.shape(), (Shape{3, 4}));
+  EXPECT_EQ(fwd.logvar.shape(), (Shape{3, 4}));
+  EXPECT_EQ(fwd.z.shape(), (Shape{3, 4}));
+}
+
+TEST(VaeTest, ReconstructionInUnitInterval) {
+  Rng rng(2);
+  Vae vae(SmallConfig(), &rng);
+  Tensor batch(Shape{2, 1, 16, 16}, 0.3f);
+  Vae::ForwardResult fwd = vae.Forward(batch, &rng);
+  for (int64_t i = 0; i < fwd.recon.size(); ++i) {
+    EXPECT_GT(fwd.recon[i], 0.0f);
+    EXPECT_LT(fwd.recon[i], 1.0f);
+  }
+}
+
+TEST(VaeTest, TrainingReducesLoss) {
+  Rng rng(3);
+  Vae vae(SmallConfig(), &rng);
+  std::vector<Tensor> frames = NoisyBlobs(64, 0.7f, &rng);
+  TrainerConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 16;
+  VaeTrainer trainer(tc);
+  std::vector<double> losses =
+      VaeTrainer(tc).Train(&vae, frames, &rng).ValueOrDie();
+  ASSERT_EQ(losses.size(), 8u);
+  // Targets are noisy continuous pixels, so the BCE floor is high; require
+  // a clear descent rather than a large ratio.
+  EXPECT_LT(losses.back(), losses.front() * 0.98)
+      << "VAE loss did not descend: " << losses.front() << " -> "
+      << losses.back();
+}
+
+TEST(VaeTest, TrainRejectsEmptyInput) {
+  Rng rng(4);
+  Vae vae(SmallConfig(), &rng);
+  TrainerConfig tc;
+  VaeTrainer trainer(tc);
+  EXPECT_FALSE(trainer.Train(&vae, {}, &rng).ok());
+}
+
+TEST(VaeTest, TrainRejectsBadHyperparameters) {
+  Rng rng(5);
+  Vae vae(SmallConfig(), &rng);
+  std::vector<Tensor> frames = NoisyBlobs(4, 0.5f, &rng);
+  TrainerConfig tc;
+  tc.epochs = 0;
+  EXPECT_FALSE(VaeTrainer(tc).Train(&vae, frames, &rng).ok());
+}
+
+TEST(VaeTest, EncodeMeanIsDeterministic) {
+  Rng rng(6);
+  Vae vae(SmallConfig(), &rng);
+  Tensor frame(Shape{1, 16, 16}, 0.4f);
+  std::vector<float> a = vae.EncodeMean(frame);
+  std::vector<float> b = vae.EncodeMean(frame);
+  ASSERT_EQ(a.size(), 4u);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(VaeTest, EncodeSampleVaries) {
+  Rng rng(7);
+  Vae vae(SmallConfig(), &rng);
+  Tensor frame(Shape{1, 16, 16}, 0.4f);
+  std::vector<float> a = vae.EncodeSample(frame, &rng);
+  std::vector<float> b = vae.EncodeSample(frame, &rng);
+  double dist = stats::Euclidean(a, b);
+  EXPECT_GT(dist, 0.0);
+}
+
+TEST(VaeTest, DecodeShape) {
+  Rng rng(8);
+  Vae vae(SmallConfig(), &rng);
+  Tensor img = vae.Decode({0.1f, -0.2f, 0.3f, 0.0f});
+  EXPECT_EQ(img.shape(), (Shape{1, 16, 16}));
+}
+
+TEST(VaeTest, LatentSeparatesDistributions) {
+  // After training on two visually distinct distributions, the encoder
+  // should map frames of the same distribution closer together than frames
+  // of different distributions. This is the property DI's non-conformity
+  // scoring relies on.
+  Rng rng(9);
+  Vae vae(SmallConfig(), &rng);
+  std::vector<Tensor> bright = NoisyBlobs(48, 0.8f, &rng);
+  std::vector<Tensor> dark = NoisyBlobs(48, 0.2f, &rng);
+  std::vector<Tensor> all = bright;
+  all.insert(all.end(), dark.begin(), dark.end());
+  TrainerConfig tc;
+  tc.epochs = 6;
+  VaeTrainer(tc).Train(&vae, all, &rng).ValueOrDie();
+
+  auto centroid = [&](const std::vector<Tensor>& frames) {
+    std::vector<double> c(4, 0.0);
+    for (const Tensor& f : frames) {
+      std::vector<float> z = vae.EncodeMean(f);
+      for (size_t i = 0; i < z.size(); ++i) c[i] += z[i];
+    }
+    for (double& v : c) v /= static_cast<double>(frames.size());
+    return c;
+  };
+  std::vector<double> cb = centroid(bright);
+  std::vector<double> cd = centroid(dark);
+  double between = 0.0;
+  for (size_t i = 0; i < cb.size(); ++i) {
+    between += (cb[i] - cd[i]) * (cb[i] - cd[i]);
+  }
+  between = std::sqrt(between);
+
+  // Average within-distribution distance to own centroid.
+  auto spread = [&](const std::vector<Tensor>& frames,
+                    const std::vector<double>& c) {
+    double total = 0.0;
+    for (const Tensor& f : frames) {
+      std::vector<float> z = vae.EncodeMean(f);
+      double d = 0.0;
+      for (size_t i = 0; i < z.size(); ++i) {
+        d += (z[i] - c[i]) * (z[i] - c[i]);
+      }
+      total += std::sqrt(d);
+    }
+    return total / static_cast<double>(frames.size());
+  };
+  double within = 0.5 * (spread(bright, cb) + spread(dark, cd));
+  EXPECT_GT(between, 2.0 * within)
+      << "latent space does not separate the two distributions: between="
+      << between << " within=" << within;
+}
+
+TEST(VaeTest, GenerateLatentSamplesCountAndDim) {
+  Rng rng(10);
+  Vae vae(SmallConfig(), &rng);
+  std::vector<Tensor> frames = NoisyBlobs(8, 0.5f, &rng);
+  std::vector<std::vector<float>> samples =
+      GenerateLatentSamples(&vae, frames, 37, &rng);
+  ASSERT_EQ(samples.size(), 37u);
+  for (const auto& z : samples) EXPECT_EQ(z.size(), 4u);
+}
+
+TEST(VaeTest, LatentSamplesAreDispersed) {
+  // Sigma_Ti must not collapse to one point; the conformal p-values need a
+  // non-degenerate reference sample.
+  Rng rng(11);
+  Vae vae(SmallConfig(), &rng);
+  std::vector<Tensor> frames = NoisyBlobs(32, 0.5f, &rng);
+  TrainerConfig tc;
+  tc.epochs = 3;
+  VaeTrainer(tc).Train(&vae, frames, &rng).ValueOrDie();
+  std::vector<std::vector<float>> samples =
+      GenerateLatentSamples(&vae, frames, 64, &rng);
+  stats::RunningMoments m;
+  for (size_t i = 1; i < samples.size(); ++i) {
+    m.Add(stats::Euclidean(samples[i - 1], samples[i]));
+  }
+  EXPECT_GT(m.mean(), 1e-4);
+}
+
+TEST(StackFramesTest, LayoutAndShape) {
+  Tensor a(Shape{1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  Tensor b(Shape{1, 2, 2}, std::vector<float>{5, 6, 7, 8});
+  Tensor batch = StackFrames({a, b});
+  EXPECT_EQ(batch.shape(), (Shape{2, 1, 2, 2}));
+  EXPECT_EQ(batch.At4(0, 0, 0, 0), 1.0f);
+  EXPECT_EQ(batch.At4(1, 0, 1, 1), 8.0f);
+}
+
+TEST(VaeOnSyntheticFramesTest, TrainsOnRenderedFrames) {
+  // End-to-end smoke: the VAE trains on renderer output without numerical
+  // trouble and the loss decreases.
+  Rng rng(12);
+  VaeConfig config;
+  config.image_size = 32;
+  config.latent_dim = 8;
+  config.base_filters = 4;
+  Vae vae(config, &rng);
+  video::SceneSpec day = video::MakeBddSynthetic(0.01).SpecOf("Day");
+  std::vector<video::Frame> frames = video::GenerateFrames(day, 48, 32, 99);
+  TrainerConfig tc;
+  tc.epochs = 3;
+  std::vector<double> losses =
+      VaeTrainer(tc).Train(&vae, video::PixelsOf(frames), &rng).ValueOrDie();
+  EXPECT_LT(losses.back(), losses.front());
+  for (double l : losses) EXPECT_TRUE(std::isfinite(l));
+}
+
+}  // namespace
+}  // namespace vdrift::vae
