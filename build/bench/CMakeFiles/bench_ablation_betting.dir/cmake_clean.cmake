@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_betting.dir/bench_ablation_betting.cc.o"
+  "CMakeFiles/bench_ablation_betting.dir/bench_ablation_betting.cc.o.d"
+  "bench_ablation_betting"
+  "bench_ablation_betting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_betting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

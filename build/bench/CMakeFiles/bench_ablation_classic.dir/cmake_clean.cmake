@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_classic.dir/bench_ablation_classic.cc.o"
+  "CMakeFiles/bench_ablation_classic.dir/bench_ablation_classic.cc.o.d"
+  "bench_ablation_classic"
+  "bench_ablation_classic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_classic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

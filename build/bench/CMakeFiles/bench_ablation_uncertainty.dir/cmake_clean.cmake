@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_uncertainty.dir/bench_ablation_uncertainty.cc.o"
+  "CMakeFiles/bench_ablation_uncertainty.dir/bench_ablation_uncertainty.cc.o.d"
+  "bench_ablation_uncertainty"
+  "bench_ablation_uncertainty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

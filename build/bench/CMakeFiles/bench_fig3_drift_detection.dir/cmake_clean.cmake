@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_drift_detection.dir/bench_fig3_drift_detection.cc.o"
+  "CMakeFiles/bench_fig3_drift_detection.dir/bench_fig3_drift_detection.cc.o.d"
+  "bench_fig3_drift_detection"
+  "bench_fig3_drift_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_drift_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

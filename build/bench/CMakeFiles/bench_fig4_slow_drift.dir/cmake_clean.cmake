@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_slow_drift.dir/bench_fig4_slow_drift.cc.o"
+  "CMakeFiles/bench_fig4_slow_drift.dir/bench_fig4_slow_drift.cc.o.d"
+  "bench_fig4_slow_drift"
+  "bench_fig4_slow_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_slow_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_model_invocations.dir/bench_fig6_model_invocations.cc.o"
+  "CMakeFiles/bench_fig6_model_invocations.dir/bench_fig6_model_invocations.cc.o.d"
+  "bench_fig6_model_invocations"
+  "bench_fig6_model_invocations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_model_invocations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_selection_per_frame.dir/bench_table7_selection_per_frame.cc.o"
+  "CMakeFiles/bench_table7_selection_per_frame.dir/bench_table7_selection_per_frame.cc.o.d"
+  "bench_table7_selection_per_frame"
+  "bench_table7_selection_per_frame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_selection_per_frame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table7_selection_per_frame.
+# This may be replaced when dependencies are built.

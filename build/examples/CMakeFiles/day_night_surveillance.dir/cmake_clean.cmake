@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/day_night_surveillance.dir/day_night_surveillance.cpp.o"
+  "CMakeFiles/day_night_surveillance.dir/day_night_surveillance.cpp.o.d"
+  "day_night_surveillance"
+  "day_night_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/day_night_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

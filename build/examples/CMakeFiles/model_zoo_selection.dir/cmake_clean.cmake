@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_zoo_selection.dir/model_zoo_selection.cpp.o"
+  "CMakeFiles/model_zoo_selection.dir/model_zoo_selection.cpp.o.d"
+  "model_zoo_selection"
+  "model_zoo_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_zoo_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

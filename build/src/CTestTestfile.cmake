@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("tensor")
+subdirs("nn")
+subdirs("vae")
+subdirs("video")
+subdirs("core")
+subdirs("detect")
+subdirs("baseline")
+subdirs("pipeline")
+subdirs("query")
+subdirs("benchutil")

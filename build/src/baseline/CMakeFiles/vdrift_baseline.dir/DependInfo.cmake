@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/classic.cc" "src/baseline/CMakeFiles/vdrift_baseline.dir/classic.cc.o" "gcc" "src/baseline/CMakeFiles/vdrift_baseline.dir/classic.cc.o.d"
+  "/root/repo/src/baseline/odin.cc" "src/baseline/CMakeFiles/vdrift_baseline.dir/odin.cc.o" "gcc" "src/baseline/CMakeFiles/vdrift_baseline.dir/odin.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/vdrift_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vdrift_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

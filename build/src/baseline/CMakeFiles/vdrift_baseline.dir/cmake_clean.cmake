@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdrift_baseline.dir/classic.cc.o"
+  "CMakeFiles/vdrift_baseline.dir/classic.cc.o.d"
+  "CMakeFiles/vdrift_baseline.dir/odin.cc.o"
+  "CMakeFiles/vdrift_baseline.dir/odin.cc.o.d"
+  "libvdrift_baseline.a"
+  "libvdrift_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdrift_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdrift_benchutil.dir/experiments.cc.o"
+  "CMakeFiles/vdrift_benchutil.dir/experiments.cc.o.d"
+  "CMakeFiles/vdrift_benchutil.dir/table.cc.o"
+  "CMakeFiles/vdrift_benchutil.dir/table.cc.o.d"
+  "CMakeFiles/vdrift_benchutil.dir/workbench.cc.o"
+  "CMakeFiles/vdrift_benchutil.dir/workbench.cc.o.d"
+  "libvdrift_benchutil.a"
+  "libvdrift_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdrift_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdrift_common.dir/logging.cc.o"
+  "CMakeFiles/vdrift_common.dir/logging.cc.o.d"
+  "CMakeFiles/vdrift_common.dir/status.cc.o"
+  "CMakeFiles/vdrift_common.dir/status.cc.o.d"
+  "libvdrift_common.a"
+  "libvdrift_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdrift_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/betting.cc" "src/core/CMakeFiles/vdrift_core.dir/betting.cc.o" "gcc" "src/core/CMakeFiles/vdrift_core.dir/betting.cc.o.d"
+  "/root/repo/src/core/drift_inspector.cc" "src/core/CMakeFiles/vdrift_core.dir/drift_inspector.cc.o" "gcc" "src/core/CMakeFiles/vdrift_core.dir/drift_inspector.cc.o.d"
+  "/root/repo/src/core/ensemble.cc" "src/core/CMakeFiles/vdrift_core.dir/ensemble.cc.o" "gcc" "src/core/CMakeFiles/vdrift_core.dir/ensemble.cc.o.d"
+  "/root/repo/src/core/martingale.cc" "src/core/CMakeFiles/vdrift_core.dir/martingale.cc.o" "gcc" "src/core/CMakeFiles/vdrift_core.dir/martingale.cc.o.d"
+  "/root/repo/src/core/msbi.cc" "src/core/CMakeFiles/vdrift_core.dir/msbi.cc.o" "gcc" "src/core/CMakeFiles/vdrift_core.dir/msbi.cc.o.d"
+  "/root/repo/src/core/msbo.cc" "src/core/CMakeFiles/vdrift_core.dir/msbo.cc.o" "gcc" "src/core/CMakeFiles/vdrift_core.dir/msbo.cc.o.d"
+  "/root/repo/src/core/point_set.cc" "src/core/CMakeFiles/vdrift_core.dir/point_set.cc.o" "gcc" "src/core/CMakeFiles/vdrift_core.dir/point_set.cc.o.d"
+  "/root/repo/src/core/profile.cc" "src/core/CMakeFiles/vdrift_core.dir/profile.cc.o" "gcc" "src/core/CMakeFiles/vdrift_core.dir/profile.cc.o.d"
+  "/root/repo/src/core/pvalue.cc" "src/core/CMakeFiles/vdrift_core.dir/pvalue.cc.o" "gcc" "src/core/CMakeFiles/vdrift_core.dir/pvalue.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/core/CMakeFiles/vdrift_core.dir/registry.cc.o" "gcc" "src/core/CMakeFiles/vdrift_core.dir/registry.cc.o.d"
+  "/root/repo/src/core/threshold.cc" "src/core/CMakeFiles/vdrift_core.dir/threshold.cc.o" "gcc" "src/core/CMakeFiles/vdrift_core.dir/threshold.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vae/CMakeFiles/vdrift_vae.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/vdrift_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vdrift_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vdrift_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/vdrift_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vdrift_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdrift_core.dir/betting.cc.o"
+  "CMakeFiles/vdrift_core.dir/betting.cc.o.d"
+  "CMakeFiles/vdrift_core.dir/drift_inspector.cc.o"
+  "CMakeFiles/vdrift_core.dir/drift_inspector.cc.o.d"
+  "CMakeFiles/vdrift_core.dir/ensemble.cc.o"
+  "CMakeFiles/vdrift_core.dir/ensemble.cc.o.d"
+  "CMakeFiles/vdrift_core.dir/martingale.cc.o"
+  "CMakeFiles/vdrift_core.dir/martingale.cc.o.d"
+  "CMakeFiles/vdrift_core.dir/msbi.cc.o"
+  "CMakeFiles/vdrift_core.dir/msbi.cc.o.d"
+  "CMakeFiles/vdrift_core.dir/msbo.cc.o"
+  "CMakeFiles/vdrift_core.dir/msbo.cc.o.d"
+  "CMakeFiles/vdrift_core.dir/point_set.cc.o"
+  "CMakeFiles/vdrift_core.dir/point_set.cc.o.d"
+  "CMakeFiles/vdrift_core.dir/profile.cc.o"
+  "CMakeFiles/vdrift_core.dir/profile.cc.o.d"
+  "CMakeFiles/vdrift_core.dir/pvalue.cc.o"
+  "CMakeFiles/vdrift_core.dir/pvalue.cc.o.d"
+  "CMakeFiles/vdrift_core.dir/registry.cc.o"
+  "CMakeFiles/vdrift_core.dir/registry.cc.o.d"
+  "CMakeFiles/vdrift_core.dir/threshold.cc.o"
+  "CMakeFiles/vdrift_core.dir/threshold.cc.o.d"
+  "libvdrift_core.a"
+  "libvdrift_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdrift_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

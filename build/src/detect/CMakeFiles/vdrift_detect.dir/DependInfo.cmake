@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/annotator.cc" "src/detect/CMakeFiles/vdrift_detect.dir/annotator.cc.o" "gcc" "src/detect/CMakeFiles/vdrift_detect.dir/annotator.cc.o.d"
+  "/root/repo/src/detect/detector.cc" "src/detect/CMakeFiles/vdrift_detect.dir/detector.cc.o" "gcc" "src/detect/CMakeFiles/vdrift_detect.dir/detector.cc.o.d"
+  "/root/repo/src/detect/image_classifier.cc" "src/detect/CMakeFiles/vdrift_detect.dir/image_classifier.cc.o" "gcc" "src/detect/CMakeFiles/vdrift_detect.dir/image_classifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/vdrift_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/vae/CMakeFiles/vdrift_vae.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vdrift_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/vdrift_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vdrift_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vdrift_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdrift_detect.dir/annotator.cc.o"
+  "CMakeFiles/vdrift_detect.dir/annotator.cc.o.d"
+  "CMakeFiles/vdrift_detect.dir/detector.cc.o"
+  "CMakeFiles/vdrift_detect.dir/detector.cc.o.d"
+  "CMakeFiles/vdrift_detect.dir/image_classifier.cc.o"
+  "CMakeFiles/vdrift_detect.dir/image_classifier.cc.o.d"
+  "libvdrift_detect.a"
+  "libvdrift_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdrift_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdrift_nn.dir/dropout.cc.o"
+  "CMakeFiles/vdrift_nn.dir/dropout.cc.o.d"
+  "CMakeFiles/vdrift_nn.dir/init.cc.o"
+  "CMakeFiles/vdrift_nn.dir/init.cc.o.d"
+  "CMakeFiles/vdrift_nn.dir/layers.cc.o"
+  "CMakeFiles/vdrift_nn.dir/layers.cc.o.d"
+  "CMakeFiles/vdrift_nn.dir/loss.cc.o"
+  "CMakeFiles/vdrift_nn.dir/loss.cc.o.d"
+  "CMakeFiles/vdrift_nn.dir/optimizer.cc.o"
+  "CMakeFiles/vdrift_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/vdrift_nn.dir/sequential.cc.o"
+  "CMakeFiles/vdrift_nn.dir/sequential.cc.o.d"
+  "CMakeFiles/vdrift_nn.dir/serialize.cc.o"
+  "CMakeFiles/vdrift_nn.dir/serialize.cc.o.d"
+  "libvdrift_nn.a"
+  "libvdrift_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdrift_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

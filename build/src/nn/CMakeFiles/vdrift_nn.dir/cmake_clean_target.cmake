@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvdrift_nn.a"
+)

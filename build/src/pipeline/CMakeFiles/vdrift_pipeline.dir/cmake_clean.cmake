@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdrift_pipeline.dir/pipeline.cc.o"
+  "CMakeFiles/vdrift_pipeline.dir/pipeline.cc.o.d"
+  "CMakeFiles/vdrift_pipeline.dir/provision.cc.o"
+  "CMakeFiles/vdrift_pipeline.dir/provision.cc.o.d"
+  "libvdrift_pipeline.a"
+  "libvdrift_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdrift_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdrift_query.dir/query.cc.o"
+  "CMakeFiles/vdrift_query.dir/query.cc.o.d"
+  "libvdrift_query.a"
+  "libvdrift_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdrift_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdrift_stats.dir/distance.cc.o"
+  "CMakeFiles/vdrift_stats.dir/distance.cc.o.d"
+  "CMakeFiles/vdrift_stats.dir/histogram.cc.o"
+  "CMakeFiles/vdrift_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/vdrift_stats.dir/ks_test.cc.o"
+  "CMakeFiles/vdrift_stats.dir/ks_test.cc.o.d"
+  "CMakeFiles/vdrift_stats.dir/moments.cc.o"
+  "CMakeFiles/vdrift_stats.dir/moments.cc.o.d"
+  "CMakeFiles/vdrift_stats.dir/rng.cc.o"
+  "CMakeFiles/vdrift_stats.dir/rng.cc.o.d"
+  "libvdrift_stats.a"
+  "libvdrift_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdrift_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdrift_tensor.dir/ops.cc.o"
+  "CMakeFiles/vdrift_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/vdrift_tensor.dir/tensor.cc.o"
+  "CMakeFiles/vdrift_tensor.dir/tensor.cc.o.d"
+  "libvdrift_tensor.a"
+  "libvdrift_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdrift_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

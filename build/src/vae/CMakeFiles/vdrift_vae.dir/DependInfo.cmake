@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vae/trainer.cc" "src/vae/CMakeFiles/vdrift_vae.dir/trainer.cc.o" "gcc" "src/vae/CMakeFiles/vdrift_vae.dir/trainer.cc.o.d"
+  "/root/repo/src/vae/vae.cc" "src/vae/CMakeFiles/vdrift_vae.dir/vae.cc.o" "gcc" "src/vae/CMakeFiles/vdrift_vae.dir/vae.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/vdrift_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/vdrift_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vdrift_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vdrift_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdrift_vae.dir/trainer.cc.o"
+  "CMakeFiles/vdrift_vae.dir/trainer.cc.o.d"
+  "CMakeFiles/vdrift_vae.dir/vae.cc.o"
+  "CMakeFiles/vdrift_vae.dir/vae.cc.o.d"
+  "libvdrift_vae.a"
+  "libvdrift_vae.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdrift_vae.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

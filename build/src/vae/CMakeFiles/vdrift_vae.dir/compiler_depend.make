@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vdrift_vae.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/datasets.cc" "src/video/CMakeFiles/vdrift_video.dir/datasets.cc.o" "gcc" "src/video/CMakeFiles/vdrift_video.dir/datasets.cc.o.d"
+  "/root/repo/src/video/frame.cc" "src/video/CMakeFiles/vdrift_video.dir/frame.cc.o" "gcc" "src/video/CMakeFiles/vdrift_video.dir/frame.cc.o.d"
+  "/root/repo/src/video/frame_stats.cc" "src/video/CMakeFiles/vdrift_video.dir/frame_stats.cc.o" "gcc" "src/video/CMakeFiles/vdrift_video.dir/frame_stats.cc.o.d"
+  "/root/repo/src/video/renderer.cc" "src/video/CMakeFiles/vdrift_video.dir/renderer.cc.o" "gcc" "src/video/CMakeFiles/vdrift_video.dir/renderer.cc.o.d"
+  "/root/repo/src/video/stream.cc" "src/video/CMakeFiles/vdrift_video.dir/stream.cc.o" "gcc" "src/video/CMakeFiles/vdrift_video.dir/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/vdrift_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vdrift_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vdrift_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

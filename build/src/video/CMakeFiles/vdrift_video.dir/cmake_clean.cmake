@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdrift_video.dir/datasets.cc.o"
+  "CMakeFiles/vdrift_video.dir/datasets.cc.o.d"
+  "CMakeFiles/vdrift_video.dir/frame.cc.o"
+  "CMakeFiles/vdrift_video.dir/frame.cc.o.d"
+  "CMakeFiles/vdrift_video.dir/frame_stats.cc.o"
+  "CMakeFiles/vdrift_video.dir/frame_stats.cc.o.d"
+  "CMakeFiles/vdrift_video.dir/renderer.cc.o"
+  "CMakeFiles/vdrift_video.dir/renderer.cc.o.d"
+  "CMakeFiles/vdrift_video.dir/stream.cc.o"
+  "CMakeFiles/vdrift_video.dir/stream.cc.o.d"
+  "libvdrift_video.a"
+  "libvdrift_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdrift_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conformal_test.dir/conformal_test.cc.o"
+  "CMakeFiles/conformal_test.dir/conformal_test.cc.o.d"
+  "conformal_test"
+  "conformal_test.pdb"
+  "conformal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conformal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

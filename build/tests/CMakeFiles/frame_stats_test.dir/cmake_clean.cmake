@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_stats_test.dir/frame_stats_test.cc.o"
+  "CMakeFiles/frame_stats_test.dir/frame_stats_test.cc.o.d"
+  "frame_stats_test"
+  "frame_stats_test.pdb"
+  "frame_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pipeline_test.cc" "tests/CMakeFiles/pipeline_test.dir/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/pipeline_test.dir/pipeline_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/vdrift_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchutil/CMakeFiles/vdrift_benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vdrift_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/vdrift_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vdrift_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vae/CMakeFiles/vdrift_vae.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/vdrift_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/vdrift_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/vdrift_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vdrift_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vdrift_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vae_test.dir/vae_test.cc.o"
+  "CMakeFiles/vae_test.dir/vae_test.cc.o.d"
+  "vae_test"
+  "vae_test.pdb"
+  "vae_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vae_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

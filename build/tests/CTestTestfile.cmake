@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/vae_test[1]_include.cmake")
+include("/root/repo/build/tests/video_test[1]_include.cmake")
+include("/root/repo/build/tests/conformal_test[1]_include.cmake")
+include("/root/repo/build/tests/detect_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/frame_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/benchutil_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/dropout_test[1]_include.cmake")
+add_test(select_test "/root/repo/build/tests/select_test")
+set_tests_properties(select_test PROPERTIES  TIMEOUT "1200" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;31;vdrift_add_suite_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pipeline_test "/root/repo/build/tests/pipeline_test")
+set_tests_properties(pipeline_test PROPERTIES  TIMEOUT "1200" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;33;vdrift_add_suite_test;/root/repo/tests/CMakeLists.txt;0;")
