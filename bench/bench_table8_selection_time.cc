@@ -6,24 +6,27 @@
 // Detrac 8.3 / 19.6 / 446.8, Tokyo 4.6 / 13.4 / 656.1 — MS one order of
 // magnitude faster overall. Absolute values differ at CPU scale; the
 // orders-of-magnitude gap is the reproduced shape.
+//
+// Set VDRIFT_BENCH_DATASET to run a single dataset (e.g. "Tokyo");
+// VDRIFT_METRICS_JSON overrides the metrics report path.
 
-#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
+#include "benchutil/metrics_report.h"
 #include "benchutil/table.h"
 #include "benchutil/workbench.h"
 #include "core/msbi.h"
 #include "core/msbo.h"
 #include "detect/annotator.h"
 #include "baseline/odin.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "video/stream.h"
 
 namespace {
-using Clock = std::chrono::steady_clock;
-double Seconds(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 struct PaperRow {
   const char* dataset;
@@ -42,16 +45,26 @@ int main() {
   using namespace vdrift;
   benchutil::Banner("Table 8: model selection time (s) per dataset");
   benchutil::WorkbenchOptions options = benchutil::DefaultWorkbenchOptions();
+  const char* only = std::getenv("VDRIFT_BENCH_DATASET");
   benchutil::Table table({"Dataset", "Models", "MSBO", "MSBI", "ODIN-Select",
                           "paper (MSBO/MSBI/ODIN)"});
+  // The selectors also record their own vdrift.select.* spans into this
+  // registry; the bench's wall-clock histograms join them in the report.
+  obs::MetricsRegistry& reg = obs::Global();
   for (const PaperRow& paper : kPaper) {
+    if (only != nullptr && std::string(only) != paper.dataset) continue;
     auto bench =
         benchutil::BuildWorkbench(paper.dataset, options).ValueOrDie();
     int m = bench->registry.size();
+    std::string prefix = std::string("table8.") + paper.dataset;
+    obs::Histogram& msbo_hist =
+        reg.GetHistogram(prefix + ".msbo_select_seconds");
+    obs::Histogram& msbi_hist =
+        reg.GetHistogram(prefix + ".msbi_select_seconds");
+    obs::Histogram& odin_hist =
+        reg.GetHistogram(prefix + ".odin_frame_seconds");
 
     // MSBO / MSBI: one selection per drift (m-1 drifts in the stream).
-    double msbo_seconds = 0.0;
-    double msbi_seconds = 0.0;
     select::Msbo msbo(&bench->registry, bench->calibration,
                       select::MsboConfig{});
     select::Msbi msbi(&bench->registry, select::MsbiConfig{});
@@ -65,13 +78,17 @@ int main() {
         labeled.push_back({f.pixels, detect::CountLabel(f.truth, 8)});
         pixels.push_back(f.pixels);
       }
-      Clock::time_point t0 = Clock::now();
-      (void)msbo.Select(labeled).ValueOrDie();
-      msbo_seconds += Seconds(t0);
-      t0 = Clock::now();
-      (void)msbi.Select(pixels).ValueOrDie();
-      msbi_seconds += Seconds(t0);
+      {
+        obs::ScopedTimer timer(&msbo_hist);
+        (void)msbo.Select(labeled).ValueOrDie();
+      }
+      {
+        obs::ScopedTimer timer(&msbi_hist);
+        (void)msbi.Select(pixels).ValueOrDie();
+      }
     }
+    double msbo_seconds = msbo_hist.sum();
+    double msbi_seconds = msbi_hist.sum();
 
     // ODIN-Select: cluster assignment on every stream frame.
     const conformal::DistributionProfile& encoder =
@@ -90,12 +107,12 @@ int main() {
     }
     video::StreamGenerator stream = bench->dataset.MakeStream();
     video::Frame frame;
-    Clock::time_point t0 = Clock::now();
     while (stream.Next(&frame)) {
+      obs::ScopedTimer timer(&odin_hist);
       std::vector<float> z = encoder.Encode(frame.pixels);
       odin.Observe(z);
     }
-    double odin_seconds = Seconds(t0);
+    double odin_seconds = odin_hist.sum();
 
     char ref[96];
     std::snprintf(ref, sizeof(ref), "%.2f / %.2f / %.1f", paper.msbo,
@@ -106,5 +123,7 @@ int main() {
                   benchutil::Fmt(odin_seconds, 3), ref});
   }
   table.Print();
+  benchutil::PrintMetricsTable(obs::Global());
+  benchutil::EmitMetricsJson(obs::Global(), nullptr, "metrics_table8.json");
   return 0;
 }

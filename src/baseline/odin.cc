@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "stats/distance.h"
 #include "stats/histogram.h"
 #include "stats/moments.h"
@@ -80,28 +82,33 @@ int OdinDetect::AddPermanentCluster(
 }
 
 OdinObservation OdinDetect::Observe(std::span<const float> latent) {
-  OdinObservation obs;
+  // Per-frame ODIN-Detect latency (post-encode): the all-clusters scan
+  // plus band/KL bookkeeping that drives the Table 6 comparison.
+  obs::ScopedTimer timer(
+      &obs::Global().GetHistogram("vdrift.odin.observe_seconds"));
+  obs::Global().GetCounter("vdrift.odin.frames").Increment();
+  OdinObservation observation;
   // Try every permanent cluster (this per-cluster scan is ODIN's per-frame
   // cost driver — §6.2.2 reports ~3.2 ms per cluster per frame).
   for (size_t c = 0; c < clusters_.size(); ++c) {
     double dist = clusters_[c].DistanceTo(latent);
     if (clusters_[c].Accepts(dist)) {
-      obs.assigned_clusters.push_back(static_cast<int>(c));
+      observation.assigned_clusters.push_back(static_cast<int>(c));
     }
   }
-  if (!obs.assigned_clusters.empty()) {
-    for (int c : obs.assigned_clusters) {
+  if (!observation.assigned_clusters.empty()) {
+    for (int c : observation.assigned_clusters) {
       clusters_[static_cast<size_t>(c)].Add(latent);
       int model = clusters_[static_cast<size_t>(c)].model_index();
-      if (std::find(obs.models.begin(), obs.models.end(), model) ==
-          obs.models.end()) {
-        obs.models.push_back(model);
+      if (std::find(observation.models.begin(), observation.models.end(),
+                    model) == observation.models.end()) {
+        observation.models.push_back(model);
       }
     }
-    return obs;
+    return observation;
   }
   // No permanent cluster takes the frame: temporary-cluster path.
-  obs.in_temporary = true;
+  observation.in_temporary = true;
   if (temporary_ == nullptr) {
     temporary_ = std::make_unique<OdinCluster>(dim_, config_);
   }
@@ -117,10 +124,11 @@ OdinObservation OdinDetect::Observe(std::span<const float> latent) {
     temporary_->set_model_index(next_model_index_);
     clusters_.push_back(std::move(*temporary_));
     temporary_.reset();
-    obs.drift = true;
-    obs.promoted_cluster = static_cast<int>(clusters_.size()) - 1;
+    observation.drift = true;
+    observation.promoted_cluster = static_cast<int>(clusters_.size()) - 1;
+    obs::Global().GetCounter("vdrift.odin.promotions").Increment();
   }
-  return obs;
+  return observation;
 }
 
 }  // namespace vdrift::baseline

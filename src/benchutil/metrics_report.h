@@ -1,0 +1,25 @@
+#ifndef VDRIFT_BENCHUTIL_METRICS_REPORT_H_
+#define VDRIFT_BENCHUTIL_METRICS_REPORT_H_
+
+#include <string>
+
+#include "obs/episode_trace.h"
+#include "obs/metrics.h"
+
+namespace vdrift::benchutil {
+
+/// Renders the registry as human-readable tables (counters/gauges, then
+/// histograms with count/mean/p50/p90/p99/sum) and prints them to stdout.
+void PrintMetricsTable(const obs::MetricsRegistry& registry);
+
+/// Writes the JSON metrics report (registry + optional episode trace) to
+/// `path` — resolved from the VDRIFT_METRICS_JSON env var when set,
+/// `default_path` otherwise — and prints where it went. Returns the path
+/// written (empty on failure, with the error printed).
+std::string EmitMetricsJson(const obs::MetricsRegistry& registry,
+                            const obs::EpisodeRecorder* episodes,
+                            const std::string& default_path);
+
+}  // namespace vdrift::benchutil
+
+#endif  // VDRIFT_BENCHUTIL_METRICS_REPORT_H_

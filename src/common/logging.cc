@@ -1,9 +1,11 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+
 namespace vdrift {
 namespace {
-
-LogLevel g_log_level = LogLevel::kInfo;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -19,13 +21,52 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+LogLevel LevelFromEnv() {
+  LogLevel level = LogLevel::kInfo;
+  const char* env = std::getenv("VDRIFT_LOG_LEVEL");
+  if (env != nullptr) ParseLogLevel(env, &level);
+  return level;
+}
+
+// Lazily env-initialised; atomic so logging threads never race SetLogLevel.
+std::atomic<int>& LevelStore() {
+  static std::atomic<int> level{static_cast<int>(LevelFromEnv())};
+  return level;
+}
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_log_level = level; }
+bool ParseLogLevel(const std::string& name, LogLevel* level) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "0") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn" || lower == "2") {
+    *level = LogLevel::kWarning;
+  } else if (lower == "fatal" || lower == "3") {
+    *level = LogLevel::kFatal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void SetLogLevel(LogLevel level) {
+  LevelStore().store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
 namespace internal {
 
-LogLevel GetLogLevel() { return g_log_level; }
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(
+      LevelStore().load(std::memory_order_relaxed));
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
@@ -34,7 +75,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (level_ >= GetLogLevel() || level_ == LogLevel::kFatal) {
-    std::cerr << stream_.str() << std::endl;
+    // One fwrite per line: concurrent log lines interleave whole, never
+    // mid-line (POSIX stdio streams lock around each call).
+    stream_ << '\n';
+    std::string line = stream_.str();
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

@@ -13,9 +13,17 @@ namespace vdrift {
 /// \brief Severity of a log line.
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kFatal = 3 };
 
+/// Parses a level name ("debug"/"info"/"warning"/"fatal", case-insensitive,
+/// or a bare digit 0-3). Returns false and leaves `level` untouched on
+/// unknown names.
+bool ParseLogLevel(const std::string& name, LogLevel* level);
+
 namespace internal {
 
-/// Minimum level that is actually emitted; settable via SetLogLevel.
+/// Minimum level that is actually emitted. Initialised from the
+/// VDRIFT_LOG_LEVEL environment variable on first use (default kInfo),
+/// settable via SetLogLevel; reads and writes are atomic, so threads may
+/// log and adjust the level concurrently.
 LogLevel GetLogLevel();
 
 /// \brief Accumulates one log line and flushes to stderr on destruction.

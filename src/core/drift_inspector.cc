@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace vdrift::conformal {
 
@@ -28,6 +30,10 @@ DriftInspector::DriftInspector(const DistributionProfile* profile,
 
 DriftInspector::Observation DriftInspector::Observe(
     const tensor::Tensor& pixels) {
+  // The per-frame DI latency of Table 6: VAE encode + K-NN score +
+  // p-value + martingale update, end to end.
+  obs::ScopedTimer timer(
+      &obs::Global().GetHistogram("vdrift.di.observe_seconds"));
   // Sampled encoding: matches the generation law of Sigma_Ti, keeping
   // own-distribution p-values exchangeable (see DistributionProfile).
   std::vector<float> latent = profile_->EncodeSampled(pixels, &rng_);
@@ -36,16 +42,25 @@ DriftInspector::Observation DriftInspector::Observe(
 
 DriftInspector::Observation DriftInspector::ObserveLatent(
     std::span<const float> latent) {
-  Observation obs;
-  obs.nonconformity = profile_->sigma().KnnScore(latent);
-  obs.p_value =
-      ComputePValue(obs.nonconformity, profile_->sigma().sorted_scores(),
-                    &rng_);
-  obs.drift = martingale_.Update(obs.p_value);
-  obs.martingale = martingale_.value();
-  obs.window_delta = martingale_.last_window_delta();
+  Observation observation;
+  observation.nonconformity = profile_->sigma().KnnScore(latent);
+  observation.p_value = ComputePValue(
+      observation.nonconformity, profile_->sigma().sorted_scores(), &rng_);
+  observation.drift = martingale_.Update(observation.p_value);
+  observation.bet = martingale_.last_bet();
+  observation.martingale = martingale_.value();
+  observation.window_delta = martingale_.last_window_delta();
   ++frames_seen_;
-  return obs;
+  obs::Global().GetCounter("vdrift.di.frames").Increment();
+  if (observation.drift) {
+    obs::Global().GetCounter("vdrift.di.drifts").Increment();
+  }
+  if (recorder_ != nullptr) {
+    recorder_->RecordFrame({frames_seen_, observation.martingale,
+                            observation.p_value, observation.bet,
+                            observation.window_delta, observation.drift});
+  }
+  return observation;
 }
 
 void DriftInspector::Reset() {

@@ -9,6 +9,7 @@
 #include "core/profile.h"
 #include "core/pvalue.h"
 #include "core/threshold.h"
+#include "obs/episode_trace.h"
 #include "stats/rng.h"
 #include "tensor/tensor.h"
 
@@ -41,6 +42,7 @@ class DriftInspector {
   struct Observation {
     double nonconformity = 0.0;  ///< a_f.
     double p_value = 0.0;        ///< Eq. 1.
+    double bet = 0.0;            ///< Betting-function increment b(p).
     double martingale = 0.0;     ///< S[iter].
     double window_delta = 0.0;   ///< |S[iter] - S[iter-window]|.
     bool drift = false;
@@ -70,12 +72,19 @@ class DriftInspector {
   /// Clears the martingale state (after a drift has been handled).
   void Reset();
 
+  /// Streams every observation into `recorder` (null disables; default).
+  /// The recorder must outlive the inspector; the pipeline shares one
+  /// recorder across the inspectors it re-arms so episodes survive
+  /// redeployments.
+  void set_recorder(obs::EpisodeRecorder* recorder) { recorder_ = recorder; }
+
  private:
   const DistributionProfile* profile_;
   std::shared_ptr<const BettingFunction> betting_;
   ConformalMartingale martingale_;
   stats::Rng rng_;
   int64_t frames_seen_ = 0;
+  obs::EpisodeRecorder* recorder_ = nullptr;
 };
 
 }  // namespace vdrift::conformal

@@ -19,7 +19,8 @@ ConformalMartingale::ConformalMartingale(const BettingFunction* betting,
 }
 
 bool ConformalMartingale::Update(double p) {
-  current_ = std::max(0.0, current_ + betting_->Increment(p));
+  last_bet_ = betting_->Increment(p);
+  current_ = std::max(0.0, current_ + last_bet_);
   ++count_;
   history_.push_back(current_);
   // Keep S[i-W] .. S[i]; when fewer than W observations exist, compare
@@ -35,6 +36,7 @@ void ConformalMartingale::Reset() {
   current_ = 0.0;
   count_ = 0;
   last_delta_ = 0.0;
+  last_bet_ = 0.0;
   history_.clear();
   history_.push_back(0.0);
 }

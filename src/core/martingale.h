@@ -35,6 +35,10 @@ class ConformalMartingale {
   double threshold() const { return threshold_; }
   /// The most recent windowed difference |S[i] - S[i-W]|.
   double last_window_delta() const { return last_delta_; }
+  /// The betting-function increment b(p) of the most recent Update —
+  /// exposed so the drift-episode telemetry can record what the
+  /// martingale actually staked on each frame.
+  double last_bet() const { return last_bet_; }
 
   /// Clears all state (used after a drift is handled).
   void Reset();
@@ -46,6 +50,7 @@ class ConformalMartingale {
   double current_ = 0.0;
   int64_t count_ = 0;
   double last_delta_ = 0.0;
+  double last_bet_ = 0.0;
   // S values of the last `window_` + 1 observations; front is S[i - W].
   std::deque<double> history_;
 };

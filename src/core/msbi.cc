@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace vdrift::select {
 
@@ -47,6 +49,8 @@ Result<Selection> Msbi::Select(
   if (window.empty()) {
     return Status::InvalidArgument("MSBI needs a non-empty window");
   }
+  obs::TraceSpan span(&obs::Global(), "vdrift.select.msbi.select_seconds");
+  obs::Global().GetCounter("vdrift.select.msbi.selections").Increment();
   if (registry_->empty()) {
     Selection selection;
     selection.train_new_model = true;
@@ -61,6 +65,7 @@ Result<Selection> Msbi::Select(
       std::min<int>(config_.window_n, static_cast<int>(window.size()));
   double r = config_.r;
   while (true) {
+    obs::Global().GetCounter("vdrift.select.msbi.rounds").Increment();
     std::vector<int> survivors =
         Round(window, candidates, r, &selection.invocations);
     if (survivors.empty()) {
@@ -68,7 +73,7 @@ Result<Selection> Msbi::Select(
       // lines 9-10).
       selection.train_new_model = true;
       selection.score = r;
-      return selection;
+      break;
     }
     if (survivors.size() == 1 || r + config_.r_step > config_.r_max) {
       // Unique survivor, or r saturated: break ties arbitrarily (§5.1:
@@ -76,11 +81,18 @@ Result<Selection> Msbi::Select(
       // significance level").
       selection.model_index = survivors.front();
       selection.score = r;
-      return selection;
+      break;
     }
     candidates = std::move(survivors);
     r += config_.r_step;
   }
+  obs::Global()
+      .GetCounter("vdrift.select.msbi.invocations")
+      .Increment(selection.invocations);
+  if (selection.train_new_model) {
+    obs::Global().GetCounter("vdrift.select.msbi.train_new").Increment();
+  }
+  return selection;
 }
 
 }  // namespace vdrift::select

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "stats/moments.h"
 
 namespace vdrift::select {
@@ -92,6 +94,8 @@ Result<Selection> Msbo::Select(const std::vector<LabeledFrame>& window) const {
   if (window.empty()) {
     return Status::InvalidArgument("MSBO needs a non-empty window");
   }
+  obs::TraceSpan span(&obs::Global(), "vdrift.select.msbo.select_seconds");
+  obs::Global().GetCounter("vdrift.select.msbo.selections").Increment();
   if (registry_->empty()) {
     Selection selection;
     selection.train_new_model = true;
@@ -129,7 +133,12 @@ Result<Selection> Msbo::Select(const std::vector<LabeledFrame>& window) const {
     // Even the most confident model is no more certain than it typically
     // is on foreign data: unseen distribution (Alg. 3 line 17).
     selection.train_new_model = true;
+    obs::Global().GetCounter("vdrift.select.msbo.train_new").Increment();
   }
+  obs::Global()
+      .GetCounter("vdrift.select.msbo.invocations")
+      .Increment(selection.invocations);
+  obs::Global().GetGauge("vdrift.select.msbo.best_brier").Set(best_brier);
   return selection;
 }
 

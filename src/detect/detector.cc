@@ -1,6 +1,7 @@
 #include "detect/detector.h"
 
 #include "detect/annotator.h"
+#include "obs/metrics.h"
 #include "video/stream.h"
 
 namespace vdrift::detect {
@@ -48,10 +49,12 @@ Status SimulatedDetector::Train(const std::vector<video::Frame>& frames,
 }
 
 int SimulatedDetector::PredictCount(const tensor::Tensor& pixels) {
+  obs::Global().GetCounter("vdrift.detect.invocations").Increment();
   return count_head_.Predict(pixels);
 }
 
 bool SimulatedDetector::PredictPredicate(const tensor::Tensor& pixels) {
+  obs::Global().GetCounter("vdrift.detect.invocations").Increment();
   return predicate_head_.Predict(pixels) == 1;
 }
 

@@ -7,6 +7,8 @@
 #include "nn/layers.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "vae/vae.h"
 
 namespace vdrift::detect {
@@ -60,6 +62,8 @@ Result<std::vector<double>> ImageClassifier::Train(
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
   std::vector<double> epoch_losses;
   for (int epoch = 0; epoch < train_config.epochs; ++epoch) {
+    obs::ScopedTimer epoch_timer(
+        &obs::Global().GetHistogram("vdrift.train.classifier.epoch_seconds"));
     rng->Shuffle(&order);
     double total = 0.0;
     int batches = 0;
@@ -84,6 +88,10 @@ Result<std::vector<double>> ImageClassifier::Train(
       ++batches;
     }
     epoch_losses.push_back(total / std::max(1, batches));
+    obs::Global()
+        .GetGauge("vdrift.train.classifier.epoch_loss")
+        .Set(epoch_losses.back());
+    obs::Global().GetCounter("vdrift.train.classifier.epochs").Increment();
   }
   SetDropoutTraining(false);
   return epoch_losses;

@@ -1,0 +1,118 @@
+#include "obs/episode_trace.h"
+
+#include "common/logging.h"
+#include "obs/json.h"
+
+namespace vdrift::obs {
+
+EpisodeRecorder::EpisodeRecorder(const EpisodeRecorderOptions& options)
+    : options_(options) {
+  VDRIFT_CHECK(options_.ring_capacity >= 1);
+  VDRIFT_CHECK(options_.max_episodes >= 1);
+  ring_.reserve(static_cast<size_t>(options_.ring_capacity));
+}
+
+std::vector<EpisodeFrame> EpisodeRecorder::RingContentsLocked() const {
+  std::vector<EpisodeFrame> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < static_cast<size_t>(options_.ring_capacity)) {
+    out = ring_;  // not yet wrapped: already chronological
+  } else {
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+void EpisodeRecorder::RecordFrame(const EpisodeFrame& frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < static_cast<size_t>(options_.ring_capacity)) {
+    ring_.push_back(frame);
+    next_ = ring_.size() % static_cast<size_t>(options_.ring_capacity);
+  } else {
+    ring_[next_] = frame;
+    next_ = (next_ + 1) % ring_.size();
+  }
+  total_ += 1;
+  if (frame.drift) {
+    Episode episode;
+    episode.detect_frame = frame.frame_index;
+    episode.frames = RingContentsLocked();
+    episodes_.push_back(std::move(episode));
+    while (static_cast<int>(episodes_.size()) > options_.max_episodes) {
+      episodes_.pop_front();
+    }
+  }
+}
+
+void EpisodeRecorder::AnnotateDecision(const std::string& decision) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!episodes_.empty()) episodes_.back().decision = decision;
+}
+
+std::vector<Episode> EpisodeRecorder::episodes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {episodes_.begin(), episodes_.end()};
+}
+
+int64_t EpisodeRecorder::frames_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::vector<EpisodeFrame> EpisodeRecorder::RingContents() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return RingContentsLocked();
+}
+
+namespace {
+
+void AppendFrameFields(const EpisodeFrame& frame, std::string* out) {
+  *out += "\"frame\":" + std::to_string(frame.frame_index);
+  *out += ",\"martingale\":" + json::FormatDouble(frame.martingale);
+  *out += ",\"p\":" + json::FormatDouble(frame.p_value);
+  *out += ",\"bet\":" + json::FormatDouble(frame.bet);
+  *out += ",\"window_delta\":" + json::FormatDouble(frame.window_delta);
+  *out += ",\"drift\":";
+  *out += frame.drift ? "true" : "false";
+}
+
+}  // namespace
+
+std::string EpisodeRecorder::ToJsonl() const {
+  std::string out;
+  std::vector<Episode> snapshot = episodes();
+  for (size_t e = 0; e < snapshot.size(); ++e) {
+    for (const EpisodeFrame& frame : snapshot[e].frames) {
+      out += "{\"episode\":" + std::to_string(e);
+      out += ",\"detect_frame\":" + std::to_string(snapshot[e].detect_frame);
+      out += ",\"decision\":\"" + json::Escape(snapshot[e].decision) + "\",";
+      AppendFrameFields(frame, &out);
+      out += "}\n";
+    }
+  }
+  return out;
+}
+
+std::string EpisodeRecorder::ToJson() const {
+  std::string out = "[";
+  std::vector<Episode> snapshot = episodes();
+  for (size_t e = 0; e < snapshot.size(); ++e) {
+    if (e > 0) out += ",";
+    out += "{\"detect_frame\":" + std::to_string(snapshot[e].detect_frame);
+    out += ",\"decision\":\"" + json::Escape(snapshot[e].decision) + "\"";
+    out += ",\"frames\":[";
+    for (size_t f = 0; f < snapshot[e].frames.size(); ++f) {
+      if (f > 0) out += ",";
+      out += "{";
+      AppendFrameFields(snapshot[e].frames[f], &out);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace vdrift::obs

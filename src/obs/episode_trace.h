@@ -1,0 +1,86 @@
+#ifndef VDRIFT_OBS_EPISODE_TRACE_H_
+#define VDRIFT_OBS_EPISODE_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vdrift::obs {
+
+/// \brief One frame's worth of Drift-Inspector state (Algorithm 1's
+/// per-iteration variables).
+struct EpisodeFrame {
+  int64_t frame_index = 0;     ///< frames_seen of the inspector.
+  double martingale = 0.0;     ///< S[iter] after the update.
+  double p_value = 0.0;        ///< Conformal p-value (Eq. 1).
+  double bet = 0.0;            ///< Betting-function increment b(p).
+  double window_delta = 0.0;   ///< |S[iter] - S[iter-W]|.
+  bool drift = false;          ///< Windowed test fired on this frame.
+};
+
+struct EpisodeRecorderOptions {
+  /// Per-frame ring capacity: how much pre-detection context an episode
+  /// snapshot can carry.
+  int ring_capacity = 64;
+  /// Episodes retained (oldest dropped first) — the recorder stays bounded
+  /// no matter how noisy the detector is.
+  int max_episodes = 32;
+};
+
+/// \brief A snapshot of the frames leading up to (and including) one drift
+/// detection, plus what the selector decided about it.
+struct Episode {
+  int64_t detect_frame = 0;
+  std::string decision;  ///< Selector outcome; empty until annotated.
+  std::vector<EpisodeFrame> frames;  ///< Chronological, last one has drift.
+};
+
+/// \brief Bounded ring buffer of Drift-Inspector telemetry.
+///
+/// Every observed frame is appended to a fixed-capacity ring; when a frame
+/// declares drift, the ring's contents are frozen into an Episode so the
+/// martingale's run-up to the detection can be replayed offline (the tool
+/// for debugging false positives). Thread-safe; the drift-aware pipeline
+/// shares one recorder across the inspectors it re-arms.
+class EpisodeRecorder {
+ public:
+  explicit EpisodeRecorder(
+      const EpisodeRecorderOptions& options = EpisodeRecorderOptions());
+
+  /// Appends one frame; snapshots an episode when `frame.drift` is set.
+  void RecordFrame(const EpisodeFrame& frame);
+
+  /// Attaches the selector's decision to the most recent episode (no-op
+  /// when no episode exists yet).
+  void AnnotateDecision(const std::string& decision);
+
+  /// Captured episodes, oldest first.
+  std::vector<Episode> episodes() const;
+  int64_t frames_recorded() const;
+  /// Current ring contents, oldest first (at most ring_capacity frames).
+  std::vector<EpisodeFrame> RingContents() const;
+
+  /// One JSON object per line: {"episode":i,"detect_frame":...,
+  /// "decision":"...","frame":...,"martingale":...,"p":...,"bet":...,
+  /// "window_delta":...,"drift":...} — grep/jq-friendly replay log.
+  std::string ToJsonl() const;
+
+  /// JSON array of episodes (embedded into the metrics report).
+  std::string ToJson() const;
+
+ private:
+  std::vector<EpisodeFrame> RingContentsLocked() const;
+
+  const EpisodeRecorderOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<EpisodeFrame> ring_;  ///< Filled circularly once at capacity.
+  size_t next_ = 0;                 ///< Ring slot the next frame lands in.
+  int64_t total_ = 0;
+  std::deque<Episode> episodes_;
+};
+
+}  // namespace vdrift::obs
+
+#endif  // VDRIFT_OBS_EPISODE_TRACE_H_

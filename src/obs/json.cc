@@ -1,0 +1,255 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vdrift::obs::json {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+const Value* Value::Find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  auto it = object_value.find(key);
+  return it == object_value.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/// Recursive-descent parser over a raw character range.
+class Parser {
+ public:
+  Parser(const char* cursor, const char* end) : cursor_(cursor), end_(end) {}
+
+  Result<Value> ParseDocument() {
+    VDRIFT_ASSIGN_OR_RETURN(Value value, ParseValue());
+    SkipWhitespace();
+    if (cursor_ != end_) {
+      return Status::InvalidArgument("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (cursor_ != end_ &&
+           std::isspace(static_cast<unsigned char>(*cursor_))) {
+      ++cursor_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (cursor_ != end_ && *cursor_ == c) {
+      ++cursor_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    const char* p = cursor_;
+    while (*literal != '\0') {
+      if (p == end_ || *p != *literal) return false;
+      ++p;
+      ++literal;
+    }
+    cursor_ = p;
+    return true;
+  }
+
+  Result<Value> ParseValue() {
+    SkipWhitespace();
+    if (cursor_ == end_) return Status::InvalidArgument("unexpected end");
+    Value value;
+    switch (*cursor_) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        VDRIFT_ASSIGN_OR_RETURN(value.string_value, ParseString());
+        value.type = Value::Type::kString;
+        return value;
+      }
+      case 't':
+        if (!ConsumeLiteral("true")) break;
+        value.type = Value::Type::kBool;
+        value.bool_value = true;
+        return value;
+      case 'f':
+        if (!ConsumeLiteral("false")) break;
+        value.type = Value::Type::kBool;
+        return value;
+      case 'n':
+        if (!ConsumeLiteral("null")) break;
+        return value;
+      default:
+        return ParseNumber();
+    }
+    return Status::InvalidArgument("malformed JSON value");
+  }
+
+  Result<Value> ParseNumber() {
+    char* parse_end = nullptr;
+    double parsed = std::strtod(cursor_, &parse_end);
+    if (parse_end == cursor_ || parse_end > end_) {
+      return Status::InvalidArgument("malformed JSON number");
+    }
+    cursor_ = parse_end;
+    Value value;
+    value.type = Value::Type::kNumber;
+    value.number_value = parsed;
+    return value;
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Status::InvalidArgument("expected '\"'");
+    std::string out;
+    while (cursor_ != end_ && *cursor_ != '"') {
+      char c = *cursor_++;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (cursor_ == end_) {
+        return Status::InvalidArgument("truncated escape");
+      }
+      char esc = *cursor_++;
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out += esc;
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (end_ - cursor_ < 4) {
+            return Status::InvalidArgument("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = *cursor_++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Status::InvalidArgument("bad \\u escape");
+            }
+          }
+          // The exporter only emits \u00xx control escapes; decode the
+          // ASCII range and pass anything else through as '?'.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return Status::InvalidArgument("unknown escape");
+      }
+    }
+    if (!Consume('"')) return Status::InvalidArgument("unterminated string");
+    return out;
+  }
+
+  Result<Value> ParseArray() {
+    if (!Consume('[')) return Status::InvalidArgument("expected '['");
+    Value value;
+    value.type = Value::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return value;
+    while (true) {
+      VDRIFT_ASSIGN_OR_RETURN(Value element, ParseValue());
+      value.array_value.push_back(std::move(element));
+      if (Consume(',')) continue;
+      if (Consume(']')) return value;
+      return Status::InvalidArgument("expected ',' or ']' in array");
+    }
+  }
+
+  Result<Value> ParseObject() {
+    if (!Consume('{')) return Status::InvalidArgument("expected '{'");
+    Value value;
+    value.type = Value::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return value;
+    while (true) {
+      SkipWhitespace();
+      VDRIFT_ASSIGN_OR_RETURN(std::string key, ParseString());
+      if (!Consume(':')) return Status::InvalidArgument("expected ':'");
+      VDRIFT_ASSIGN_OR_RETURN(Value member, ParseValue());
+      value.object_value.emplace(std::move(key), std::move(member));
+      if (Consume(',')) continue;
+      if (Consume('}')) return value;
+      return Status::InvalidArgument("expected ',' or '}' in object");
+    }
+  }
+
+  const char* cursor_;
+  const char* end_;
+};
+
+}  // namespace
+
+Result<Value> Parse(const std::string& text) {
+  Parser parser(text.data(), text.data() + text.size());
+  return parser.ParseDocument();
+}
+
+}  // namespace vdrift::obs::json

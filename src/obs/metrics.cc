@@ -1,0 +1,220 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "obs/json.h"
+
+namespace vdrift::obs {
+
+Histogram::Histogram(const HistogramOptions& options)
+    : options_(options),
+      buckets_(static_cast<size_t>(options.bucket_count), 0) {
+  VDRIFT_CHECK(options_.bucket_count >= 1);
+  VDRIFT_CHECK(options_.max_value > options_.min_value);
+  if (options_.scale == HistogramOptions::Scale::kLog) {
+    VDRIFT_CHECK(options_.min_value > 0.0)
+        << "log-scale histograms need a positive min_value";
+  }
+}
+
+int Histogram::BucketIndex(double value) const {
+  if (value <= options_.min_value) return 0;
+  if (value >= options_.max_value) return options_.bucket_count - 1;
+  double position;
+  if (options_.scale == HistogramOptions::Scale::kLog) {
+    position = std::log(value / options_.min_value) /
+               std::log(options_.max_value / options_.min_value);
+  } else {
+    position = (value - options_.min_value) /
+               (options_.max_value - options_.min_value);
+  }
+  int index = static_cast<int>(position *
+                               static_cast<double>(options_.bucket_count));
+  return std::clamp(index, 0, options_.bucket_count - 1);
+}
+
+void Histogram::Record(double value) {
+  if (!std::isfinite(value)) return;
+  int index = BucketIndex(value);
+  std::lock_guard<std::mutex> lock(mutex_);
+  buckets_[static_cast<size_t>(index)] += 1;
+  sum_ += value;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  count_ += 1;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.options = options_;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  snap.buckets = buckets_;
+  return snap;
+}
+
+int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Histogram::Snapshot::Mean() const {
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double Histogram::Snapshot::BucketLower(int index) const {
+  double fraction = static_cast<double>(index) /
+                    static_cast<double>(options.bucket_count);
+  if (options.scale == HistogramOptions::Scale::kLog) {
+    return options.min_value *
+           std::pow(options.max_value / options.min_value, fraction);
+  }
+  return options.min_value +
+         fraction * (options.max_value - options.min_value);
+}
+
+double Histogram::Snapshot::BucketUpper(int index) const {
+  return BucketLower(index + 1);
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The extreme order statistics are tracked exactly.
+  if (q == 0.0) return min;
+  if (q == 1.0) return max;
+  // Rank in [0, count-1]; find the bucket containing it and interpolate
+  // by the rank's position inside the bucket (geometrically for log
+  // scales, so the estimate has constant relative error).
+  double rank = q * static_cast<double>(count - 1);
+  int64_t cumulative = 0;
+  for (int i = 0; i < static_cast<int>(buckets.size()); ++i) {
+    int64_t in_bucket = buckets[static_cast<size_t>(i)];
+    if (in_bucket == 0) continue;
+    if (rank < static_cast<double>(cumulative + in_bucket)) {
+      double fraction =
+          (rank - static_cast<double>(cumulative) + 0.5) /
+          static_cast<double>(in_bucket);
+      fraction = std::clamp(fraction, 0.0, 1.0);
+      double lower = BucketLower(i);
+      double upper = BucketUpper(i);
+      double estimate;
+      if (options.scale == HistogramOptions::Scale::kLog) {
+        estimate = lower * std::pow(upper / lower, fraction);
+      } else {
+        estimate = lower + fraction * (upper - lower);
+      }
+      // The exact extrema are known; never report outside them.
+      return std::clamp(estimate, min, max);
+    }
+    cumulative += in_bucket;
+  }
+  return max;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const HistogramOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(options);
+  return *slot;
+}
+
+std::map<std::string, int64_t> MetricsRegistry::Counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter->value();
+  return out;
+}
+
+std::map<std::string, double> MetricsRegistry::Gauges() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, double> out;
+  for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
+  return out;
+}
+
+std::map<std::string, Histogram::Snapshot> MetricsRegistry::Histograms()
+    const {
+  // Copy the pointers under the registry lock, snapshot outside it (each
+  // histogram has its own lock; never hold both at once).
+  std::vector<std::pair<std::string, const Histogram*>> items;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    items.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_) {
+      items.emplace_back(name, histogram.get());
+    }
+  }
+  std::map<std::string, Histogram::Snapshot> out;
+  for (const auto& [name, histogram] : items) {
+    out[name] = histogram->snapshot();
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : Counters()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json::Escape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : Gauges()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json::Escape(name) + "\":" + json::FormatDouble(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, snap] : Histograms()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json::Escape(name) + "\":{";
+    out += "\"count\":" + std::to_string(snap.count);
+    out += ",\"sum\":" + json::FormatDouble(snap.sum);
+    out += ",\"min\":" + json::FormatDouble(snap.min);
+    out += ",\"max\":" + json::FormatDouble(snap.max);
+    out += ",\"mean\":" + json::FormatDouble(snap.Mean());
+    out += ",\"p50\":" + json::FormatDouble(snap.Quantile(0.50));
+    out += ",\"p90\":" + json::FormatDouble(snap.Quantile(0.90));
+    out += ",\"p99\":" + json::FormatDouble(snap.Quantile(0.99));
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry& Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace vdrift::obs

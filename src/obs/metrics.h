@@ -1,0 +1,141 @@
+#ifndef VDRIFT_OBS_METRICS_H_
+#define VDRIFT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vdrift::obs {
+
+/// \brief Monotonically increasing event count. Lock-free.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Last-write-wins instantaneous value (e.g. current epoch loss).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Bucket layout of a Histogram.
+///
+/// kLog spreads `bucket_count` geometrically spaced buckets between
+/// `min_value` and `max_value` (HDR-histogram style: constant *relative*
+/// error, the right shape for latencies spanning decades). kLinear spreads
+/// them arithmetically (fixed absolute resolution, e.g. losses or scores).
+/// Out-of-range observations clamp into the edge buckets; exact min/max/sum
+/// are tracked separately so totals are never lossy.
+struct HistogramOptions {
+  enum class Scale { kLog, kLinear };
+  Scale scale = Scale::kLog;
+  double min_value = 1e-7;  ///< Lower bound of the bucketed range.
+  double max_value = 1e3;   ///< Upper bound of the bucketed range.
+  int bucket_count = 128;
+};
+
+/// \brief Fixed-bucket distribution summary with quantile estimates.
+///
+/// Thread-safe; Record is a mutex-guarded handful of arithmetic ops, cheap
+/// against the VAE/classifier inference it typically brackets.
+class Histogram {
+ public:
+  explicit Histogram(const HistogramOptions& options = HistogramOptions());
+
+  void Record(double value);
+
+  /// A consistent point-in-time copy of the distribution.
+  struct Snapshot {
+    HistogramOptions options;
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<int64_t> buckets;
+
+    double Mean() const;
+    /// Quantile estimate (q in [0,1]) by intra-bucket interpolation;
+    /// exact for values tracked by min/max, otherwise accurate to one
+    /// bucket width. Returns 0 when empty.
+    double Quantile(double q) const;
+
+   private:
+    double BucketLower(int index) const;
+    double BucketUpper(int index) const;
+  };
+  Snapshot snapshot() const;
+
+  int64_t count() const;
+  /// Exact running sum of all recorded values (not bucket-approximated);
+  /// the obs equivalent of an accumulated `seconds += ...` total.
+  double sum() const;
+
+ private:
+  int BucketIndex(double value) const;
+
+  const HistogramOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Thread-safe, name-addressable home of all instruments.
+///
+/// Names follow the dotted convention documented in README/DESIGN
+/// ("Observability"): `vdrift.di.*`, `vdrift.select.*`, `vdrift.pipeline.*`,
+/// `vdrift.odin.*`, `vdrift.train.*`. Get* registers on first use and
+/// returns a reference that stays valid for the registry's lifetime (the
+/// instruments themselves are thread-safe).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// `options` only applies on first registration of `name`.
+  Histogram& GetHistogram(const std::string& name,
+                          const HistogramOptions& options = HistogramOptions());
+
+  /// Sorted point-in-time copies, for export/reporting.
+  std::map<std::string, int64_t> Counters() const;
+  std::map<std::string, double> Gauges() const;
+  std::map<std::string, Histogram::Snapshot> Histograms() const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
+  /// max,mean,p50,p90,p99},...}}.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry library internals (DI, selectors, trainers,
+/// ODIN) record into; harnesses export it at exit.
+MetricsRegistry& Global();
+
+}  // namespace vdrift::obs
+
+#endif  // VDRIFT_OBS_METRICS_H_

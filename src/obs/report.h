@@ -1,0 +1,26 @@
+#ifndef VDRIFT_OBS_REPORT_H_
+#define VDRIFT_OBS_REPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/episode_trace.h"
+#include "obs/metrics.h"
+
+namespace vdrift::obs {
+
+/// The full metrics report: the registry's counters/gauges/histograms plus
+/// the drift-episode trace under an "episodes" key ([] when `episodes` is
+/// null). This is the document the bench harnesses emit and
+/// tools/check_metrics.sh validates.
+std::string MetricsReportJson(const MetricsRegistry& registry,
+                              const EpisodeRecorder* episodes);
+
+/// Writes MetricsReportJson to `path` (trailing newline included).
+Status WriteMetricsJson(const MetricsRegistry& registry,
+                        const EpisodeRecorder* episodes,
+                        const std::string& path);
+
+}  // namespace vdrift::obs
+
+#endif  // VDRIFT_OBS_REPORT_H_

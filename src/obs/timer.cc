@@ -1,0 +1,54 @@
+#include "obs/timer.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace vdrift::obs {
+
+namespace {
+
+thread_local TraceSpan* g_current_span = nullptr;
+
+}  // namespace
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double ScopedTimer::Stop() {
+  if (stopped_) return elapsed_;
+  stopped_ = true;
+  elapsed_ = MonotonicSeconds() - start_;
+  if (histogram_ != nullptr) histogram_->Record(elapsed_);
+  return elapsed_;
+}
+
+TraceSpan::TraceSpan(MetricsRegistry* registry, std::string name)
+    : registry_(registry),
+      name_(std::move(name)),
+      start_(MonotonicSeconds()),
+      parent_(g_current_span),
+      depth_(g_current_span == nullptr ? 0 : g_current_span->depth_ + 1) {
+  g_current_span = this;
+}
+
+TraceSpan::~TraceSpan() { Stop(); }
+
+double TraceSpan::Stop() {
+  if (stopped_) return elapsed_;
+  stopped_ = true;
+  elapsed_ = MonotonicSeconds() - start_;
+  if (registry_ != nullptr) registry_->GetHistogram(name_).Record(elapsed_);
+  // Spans must unwind LIFO on a thread; scope-bound usage guarantees it.
+  VDRIFT_DCHECK(g_current_span == this);
+  g_current_span = parent_;
+  return elapsed_;
+}
+
+const TraceSpan* TraceSpan::Current() { return g_current_span; }
+
+}  // namespace vdrift::obs

@@ -1,19 +1,36 @@
 #include "pipeline/pipeline.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "common/logging.h"
+#include "obs/timer.h"
 #include "stats/distance.h"
 
 namespace vdrift::pipeline {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+// Span/metric names of the per-run registry. The *_seconds histograms are
+// per-section latency distributions; PipelineMetrics' timing fields are
+// their sums.
+constexpr char kRunSpan[] = "vdrift.pipeline.run_seconds";
+constexpr char kDetectSpan[] = "vdrift.pipeline.detect_seconds";
+constexpr char kSelectSpan[] = "vdrift.pipeline.select_seconds";
+constexpr char kQuerySpan[] = "vdrift.pipeline.query_seconds";
 
-double SecondsSince(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
+// Creates the per-run registry + episode recorder on `metrics`.
+void AttachObservability(PipelineMetrics* metrics) {
+  metrics->registry = std::make_shared<obs::MetricsRegistry>();
+  metrics->episodes = std::make_shared<obs::EpisodeRecorder>();
+}
+
+// Copies the span sums into the legacy timing fields.
+void DeriveTimingFields(PipelineMetrics* metrics) {
+  obs::MetricsRegistry& reg = *metrics->registry;
+  metrics->total_seconds = reg.GetHistogram(kRunSpan).sum();
+  metrics->detect_seconds = reg.GetHistogram(kDetectSpan).sum();
+  metrics->select_seconds = reg.GetHistogram(kSelectSpan).sum();
+  metrics->query_seconds = reg.GetHistogram(kQuerySpan).sum();
 }
 
 }  // namespace
@@ -60,6 +77,7 @@ Status DriftAwarePipeline::Recalibrate() {
 
 void DriftAwarePipeline::RecordQueries(const video::Frame& frame,
                                        PipelineMetrics* metrics) {
+  obs::ScopedTimer timer(&metrics->registry->GetHistogram(kQuerySpan));
   SequenceAccuracy& acc = metrics->per_sequence[frame.truth.sequence_id];
   const select::ModelEntry& entry = registry_->at(deployed_);
   int count_classes = entry.count_model->num_classes();
@@ -89,30 +107,33 @@ Status DriftAwarePipeline::HandleDrift(video::StreamGenerator* stream,
   }
   if (window.empty()) return Status::OK();  // stream ended at the drift
 
-  Clock::time_point select_start = Clock::now();
   select::Selection selection;
-  if (config_.selector == PipelineConfig::Selector::kMsbo) {
-    std::vector<select::LabeledFrame> labeled;
-    labeled.reserve(window.size());
-    int count_classes = config_.provision.count_classes;
-    for (const video::Frame& f : window) {
-      video::FrameTruth truth = oracle_.Annotate(f);
-      labeled.push_back(
-          {f.pixels, detect::CountLabel(truth, count_classes)});
+  {
+    obs::TraceSpan select_span(metrics->registry.get(), kSelectSpan);
+    if (config_.selector == PipelineConfig::Selector::kMsbo) {
+      std::vector<select::LabeledFrame> labeled;
+      labeled.reserve(window.size());
+      int count_classes = config_.provision.count_classes;
+      for (const video::Frame& f : window) {
+        video::FrameTruth truth = oracle_.Annotate(f);
+        labeled.push_back(
+            {f.pixels, detect::CountLabel(truth, count_classes)});
+      }
+      select::Msbo msbo(registry_, calibration_, config_.msbo);
+      VDRIFT_ASSIGN_OR_RETURN(selection, msbo.Select(labeled));
+    } else {
+      select::Msbi msbi(registry_, config_.msbi);
+      VDRIFT_ASSIGN_OR_RETURN(selection,
+                              msbi.Select(video::PixelsOf(window)));
     }
-    select::Msbo msbo(registry_, calibration_, config_.msbo);
-    VDRIFT_ASSIGN_OR_RETURN(selection, msbo.Select(labeled));
-  } else {
-    select::Msbi msbi(registry_, config_.msbi);
-    VDRIFT_ASSIGN_OR_RETURN(selection, msbi.Select(video::PixelsOf(window)));
   }
-  metrics->select_seconds += SecondsSince(select_start);
   metrics->selection_invocations += selection.invocations;
 
   if (selection.train_new_model) {
     if (!config_.allow_training_new) {
       // Keep the best-effort current deployment.
       metrics->selections.push_back("<none>");
+      metrics->episodes->AnnotateDecision("<none>");
       inspector_->Reset();
       return Status::OK();
     }
@@ -143,36 +164,47 @@ Status DriftAwarePipeline::HandleDrift(video::StreamGenerator* stream,
     deployed_ = selection.model_index;
     metrics->selections.push_back(registry_->at(deployed_).name);
   }
+  metrics->episodes->AnnotateDecision(metrics->selections.back());
+  metrics->registry->GetCounter("vdrift.pipeline.redeployments").Increment();
   // Re-arm DI against the newly deployed distribution.
   inspector_ = std::make_unique<conformal::DriftInspector>(
       registry_->at(deployed_).profile.get(), config_.di,
       config_.seed + static_cast<uint64_t>(metrics->drifts_detected));
+  inspector_->set_recorder(metrics->episodes.get());
   return Status::OK();
 }
 
 Result<PipelineMetrics> DriftAwarePipeline::Run(
     video::StreamGenerator* stream) {
   PipelineMetrics metrics;
-  Clock::time_point run_start = Clock::now();
-  video::Frame frame;
-  while (stream->Next(&frame)) {
-    metrics.frames += 1;
-    if (config_.run_queries) {
-      Clock::time_point q0 = Clock::now();
-      RecordQueries(frame, &metrics);
-      metrics.query_seconds += SecondsSince(q0);
-    }
-    Clock::time_point d0 = Clock::now();
-    conformal::DriftInspector::Observation obs =
-        inspector_->Observe(frame.pixels);
-    metrics.detect_seconds += SecondsSince(d0);
-    if (obs.drift) {
-      metrics.drifts_detected += 1;
-      metrics.drift_frames.push_back(frame.truth.frame_index);
-      VDRIFT_RETURN_NOT_OK(HandleDrift(stream, &metrics));
+  AttachObservability(&metrics);
+  inspector_->set_recorder(metrics.episodes.get());
+  obs::Counter& frame_counter =
+      metrics.registry->GetCounter("vdrift.pipeline.frames");
+  obs::Counter& drift_counter =
+      metrics.registry->GetCounter("vdrift.pipeline.drifts");
+  obs::Histogram& detect_hist = metrics.registry->GetHistogram(kDetectSpan);
+  {
+    obs::TraceSpan run_span(metrics.registry.get(), kRunSpan);
+    video::Frame frame;
+    while (stream->Next(&frame)) {
+      metrics.frames += 1;
+      frame_counter.Increment();
+      if (config_.run_queries) RecordQueries(frame, &metrics);
+      conformal::DriftInspector::Observation observation;
+      {
+        obs::ScopedTimer detect_timer(&detect_hist);
+        observation = inspector_->Observe(frame.pixels);
+      }
+      if (observation.drift) {
+        metrics.drifts_detected += 1;
+        drift_counter.Increment();
+        metrics.drift_frames.push_back(frame.truth.frame_index);
+        VDRIFT_RETURN_NOT_OK(HandleDrift(stream, &metrics));
+      }
     }
   }
-  metrics.total_seconds = SecondsSince(run_start);
+  DeriveTimingFields(&metrics);
   return metrics;
 }
 
@@ -204,23 +236,32 @@ OdinPipeline::OdinPipeline(
 
 Result<PipelineMetrics> OdinPipeline::Run(video::StreamGenerator* stream) {
   PipelineMetrics metrics;
-  Clock::time_point run_start = Clock::now();
+  AttachObservability(&metrics);
+  obs::Histogram& detect_hist = metrics.registry->GetHistogram(kDetectSpan);
+  obs::Histogram& select_hist = metrics.registry->GetHistogram(kSelectSpan);
+  obs::Histogram& query_hist = metrics.registry->GetHistogram(kQuerySpan);
   const conformal::DistributionProfile& encoder =
       *registry_->at(config_.encoder_model).profile;
+  obs::TraceSpan run_span(metrics.registry.get(), kRunSpan);
   video::Frame frame;
   while (stream->Next(&frame)) {
     metrics.frames += 1;
-    Clock::time_point d0 = Clock::now();
-    std::vector<float> latent = encoder.Encode(frame.pixels);
-    baseline::OdinObservation obs = odin_.Observe(latent);
-    metrics.detect_seconds += SecondsSince(d0);
-    if (obs.drift) {
+    metrics.registry->GetCounter("vdrift.pipeline.frames").Increment();
+    std::vector<float> latent;
+    baseline::OdinObservation observation;
+    {
+      obs::ScopedTimer detect_timer(&detect_hist);
+      latent = encoder.Encode(frame.pixels);
+      observation = odin_.Observe(latent);
+    }
+    if (observation.drift) {
       metrics.drifts_detected += 1;
+      metrics.registry->GetCounter("vdrift.pipeline.drifts").Increment();
       metrics.drift_frames.push_back(frame.truth.frame_index);
       // ODIN-Specialize would train a model for the promoted cluster; in
       // the provisioned-models setting the new cluster is served by the
       // model of its nearest permanent sibling.
-      int promoted = obs.promoted_cluster;
+      int promoted = observation.promoted_cluster;
       int nearest = -1;
       double best = 0.0;
       for (int c = 0; c < odin_.num_clusters(); ++c) {
@@ -240,25 +281,28 @@ Result<PipelineMetrics> OdinPipeline::Run(video::StreamGenerator* stream) {
     // ODIN-Select: models of the assigned clusters (equal-weight
     // ensemble); frames in the temporary cluster fall back to the model
     // of the nearest permanent cluster.
-    Clock::time_point s0 = Clock::now();
-    std::vector<int> models = obs.models;
-    std::erase_if(models, [](int m) { return m < 0; });
-    if (models.empty()) {
-      int nearest = -1;
-      double best = 0.0;
-      for (int c = 0; c < odin_.num_clusters(); ++c) {
-        if (odin_.cluster(c).model_index() < 0) continue;
-        double d = odin_.cluster(c).DistanceTo(latent);
-        if (nearest < 0 || d < best) {
-          nearest = c;
-          best = d;
+    std::vector<int> models = observation.models;
+    {
+      obs::ScopedTimer select_timer(&select_hist);
+      std::erase_if(models, [](int m) { return m < 0; });
+      if (models.empty()) {
+        int nearest = -1;
+        double best = 0.0;
+        for (int c = 0; c < odin_.num_clusters(); ++c) {
+          if (odin_.cluster(c).model_index() < 0) continue;
+          double d = odin_.cluster(c).DistanceTo(latent);
+          if (nearest < 0 || d < best) {
+            nearest = c;
+            best = d;
+          }
+        }
+        if (nearest >= 0) {
+          models.push_back(odin_.cluster(nearest).model_index());
         }
       }
-      if (nearest >= 0) models.push_back(odin_.cluster(nearest).model_index());
     }
-    metrics.select_seconds += SecondsSince(s0);
     if (config_.run_queries && !models.empty()) {
-      Clock::time_point q0 = Clock::now();
+      obs::ScopedTimer query_timer(&query_hist);
       SequenceAccuracy& acc = metrics.per_sequence[frame.truth.sequence_id];
       // Equal-weight ensemble over the selected models' count classifiers.
       std::vector<float> mixture;
@@ -296,10 +340,10 @@ Result<PipelineMetrics> OdinPipeline::Run(video::StreamGenerator* stream) {
           }
         }
       }
-      metrics.query_seconds += SecondsSince(q0);
     }
   }
-  metrics.total_seconds = SecondsSince(run_start);
+  run_span.Stop();
+  DeriveTimingFields(&metrics);
   return metrics;
 }
 
@@ -310,23 +354,27 @@ Result<PipelineMetrics> StaticDetectorPipeline::RunDetector(
     return Status::InvalidArgument("detector is null");
   }
   PipelineMetrics metrics;
-  Clock::time_point run_start = Clock::now();
-  video::Frame frame;
-  while (stream->Next(&frame)) {
-    metrics.frames += 1;
-    SequenceAccuracy& acc = metrics.per_sequence[frame.truth.sequence_id];
-    int predicted = detector->PredictCount(frame.pixels);
-    int truth = detect::CountLabel(frame.truth, detector->count_classes());
-    acc.count_total += 1;
-    acc.invocations += 1;
-    if (predicted == truth) acc.count_correct += 1;
-    if (run_predicate) {
-      bool p = detector->PredictPredicate(frame.pixels);
-      acc.predicate_total += 1;
-      if (p == frame.truth.BusLeftOfCar()) acc.predicate_correct += 1;
+  AttachObservability(&metrics);
+  {
+    obs::TraceSpan run_span(metrics.registry.get(), kRunSpan);
+    video::Frame frame;
+    while (stream->Next(&frame)) {
+      metrics.frames += 1;
+      SequenceAccuracy& acc = metrics.per_sequence[frame.truth.sequence_id];
+      int predicted = detector->PredictCount(frame.pixels);
+      int truth = detect::CountLabel(frame.truth, detector->count_classes());
+      acc.count_total += 1;
+      acc.invocations += 1;
+      if (predicted == truth) acc.count_correct += 1;
+      if (run_predicate) {
+        bool p = detector->PredictPredicate(frame.pixels);
+        acc.predicate_total += 1;
+        if (p == frame.truth.BusLeftOfCar()) acc.predicate_correct += 1;
+      }
     }
   }
-  metrics.total_seconds = SecondsSince(run_start);
+  metrics.total_seconds = metrics.registry->GetHistogram(kRunSpan).sum();
+  // A drift-oblivious detector does nothing but query work.
   metrics.query_seconds = metrics.total_seconds;
   return metrics;
 }
@@ -334,24 +382,27 @@ Result<PipelineMetrics> StaticDetectorPipeline::RunDetector(
 Result<PipelineMetrics> StaticDetectorPipeline::RunOracle(
     int work_dim, video::StreamGenerator* stream) {
   PipelineMetrics metrics;
+  AttachObservability(&metrics);
   detect::OracleAnnotator oracle(work_dim);
-  Clock::time_point run_start = Clock::now();
-  video::Frame frame;
-  while (stream->Next(&frame)) {
-    metrics.frames += 1;
-    SequenceAccuracy& acc = metrics.per_sequence[frame.truth.sequence_id];
-    video::FrameTruth truth = oracle.Annotate(frame);
-    acc.count_total += 1;
-    acc.invocations += 1;
-    // The oracle *is* the ground-truth source: perfect accuracy, as the
-    // paper notes for Mask R-CNN in Fig. 7.
-    if (truth.CarCount() == frame.truth.CarCount()) acc.count_correct += 1;
-    acc.predicate_total += 1;
-    if (truth.BusLeftOfCar() == frame.truth.BusLeftOfCar()) {
-      acc.predicate_correct += 1;
+  {
+    obs::TraceSpan run_span(metrics.registry.get(), kRunSpan);
+    video::Frame frame;
+    while (stream->Next(&frame)) {
+      metrics.frames += 1;
+      SequenceAccuracy& acc = metrics.per_sequence[frame.truth.sequence_id];
+      video::FrameTruth truth = oracle.Annotate(frame);
+      acc.count_total += 1;
+      acc.invocations += 1;
+      // The oracle *is* the ground-truth source: perfect accuracy, as the
+      // paper notes for Mask R-CNN in Fig. 7.
+      if (truth.CarCount() == frame.truth.CarCount()) acc.count_correct += 1;
+      acc.predicate_total += 1;
+      if (truth.BusLeftOfCar() == frame.truth.BusLeftOfCar()) {
+        acc.predicate_correct += 1;
+      }
     }
   }
-  metrics.total_seconds = SecondsSince(run_start);
+  metrics.total_seconds = metrics.registry->GetHistogram(kRunSpan).sum();
   metrics.query_seconds = metrics.total_seconds;
   return metrics;
 }

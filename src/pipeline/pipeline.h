@@ -1,6 +1,7 @@
 #ifndef VDRIFT_PIPELINE_PIPELINE_H_
 #define VDRIFT_PIPELINE_PIPELINE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -15,6 +16,8 @@
 #include "core/registry.h"
 #include "detect/annotator.h"
 #include "detect/detector.h"
+#include "obs/episode_trace.h"
+#include "obs/metrics.h"
 #include "pipeline/provision.h"
 #include "stats/rng.h"
 #include "video/stream.h"
@@ -43,12 +46,16 @@ struct SequenceAccuracy {
                : static_cast<double>(predicate_correct) /
                      static_cast<double>(predicate_total);
   }
-  /// Mean model invocations per frame (§6.2's cost metric).
+  /// Mean model invocations per frame (§6.2's cost metric). Denominated
+  /// over all frames that ran *any* query: count-only and predicate-only
+  /// runs both count, so the ratio stays consistent with `invocations`
+  /// no matter which query mix produced it.
   double InvocationsPerFrame() const {
-    return count_total == 0
+    int64_t queried_frames = std::max(count_total, predicate_total);
+    return queried_frames == 0
                ? 0.0
                : static_cast<double>(invocations) /
-                     static_cast<double>(count_total);
+                     static_cast<double>(queried_frames);
   }
 };
 
@@ -62,10 +69,20 @@ struct PipelineMetrics {
   int64_t selection_invocations = 0;      ///< Selector-internal invocations.
   std::map<int, SequenceAccuracy> per_sequence;  ///< Keyed by sequence id.
 
+  /// Derived views over the obs spans recorded in `registry` (sums of the
+  /// `vdrift.pipeline.*_seconds` histograms) — kept as plain fields so
+  /// existing callers read them exactly as before.
   double total_seconds = 0.0;
   double detect_seconds = 0.0;   ///< Time in DI / ODIN-Detect.
   double select_seconds = 0.0;   ///< Time in MS / ODIN-Select.
   double query_seconds = 0.0;    ///< Time in the deployed query models.
+
+  /// Per-run instruments (`vdrift.pipeline.*`): per-frame latency
+  /// histograms behind the *_seconds sums, plus frame/drift counters.
+  std::shared_ptr<obs::MetricsRegistry> registry;
+  /// Drift-episode telemetry: martingale/p-value/bet traces around each
+  /// detection with the selector's decision attached.
+  std::shared_ptr<obs::EpisodeRecorder> episodes;
 
   /// Aggregates the per-sequence counters.
   SequenceAccuracy Totals() const;

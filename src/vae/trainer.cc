@@ -4,6 +4,8 @@
 
 #include "common/logging.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace vdrift::vae {
 
@@ -22,6 +24,8 @@ Result<std::vector<double>> VaeTrainer::Train(
   std::vector<double> epoch_losses;
   epoch_losses.reserve(static_cast<size_t>(config_.epochs));
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    obs::ScopedTimer epoch_timer(
+        &obs::Global().GetHistogram("vdrift.train.vae.epoch_seconds"));
     rng->Shuffle(&order);
     double total = 0.0;
     int batches = 0;
@@ -41,6 +45,8 @@ Result<std::vector<double>> VaeTrainer::Train(
     }
     double avg = total / std::max(1, batches);
     epoch_losses.push_back(avg);
+    obs::Global().GetGauge("vdrift.train.vae.epoch_loss").Set(avg);
+    obs::Global().GetCounter("vdrift.train.vae.epochs").Increment();
     if (config_.verbose) {
       VDRIFT_LOG_INFO << "VAE epoch " << epoch << " avg loss " << avg;
     }

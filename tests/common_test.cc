@@ -115,6 +115,28 @@ TEST(LoggingTest, NonFatalLevelsDoNotAbort) {
   SUCCEED();
 }
 
+TEST(LoggingTest, ParseLogLevelAcceptsNamesAndDigits) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("WARNING", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("3", &level));
+  EXPECT_EQ(level, LogLevel::kFatal);
+  // Unknown names leave the level untouched.
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_EQ(level, LogLevel::kFatal);
+}
+
+TEST(LoggingTest, SetLogLevelRoundTrips) {
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(internal::GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(LogLevel::kInfo);
+  EXPECT_EQ(internal::GetLogLevel(), LogLevel::kInfo);
+}
+
 TEST(LoggingDeathTest, CheckFailureAborts) {
   EXPECT_DEATH({ VDRIFT_CHECK(1 == 2) << "boom"; }, "Check failed");
 }

@@ -1,0 +1,328 @@
+// Tests for the observability subsystem: metrics instruments, the
+// registry, timers/spans, the drift-episode recorder, and the JSON
+// export/parse round trip.
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/episode_trace.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/timer.h"
+
+namespace vdrift::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(HistogramTest, TracksCountSumMinMax) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  h.Record(0.5);
+  h.Record(2.0);
+  h.Record(0.125);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.625);
+  Histogram::Snapshot snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(snap.min, 0.125);
+  EXPECT_DOUBLE_EQ(snap.max, 2.0);
+  EXPECT_NEAR(snap.Mean(), 2.625 / 3.0, 1e-12);
+}
+
+TEST(HistogramTest, EmptySnapshotQuantileIsZero) {
+  Histogram h;
+  Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.Quantile(0.5), 0.0);
+  EXPECT_EQ(snap.Mean(), 0.0);
+}
+
+TEST(HistogramTest, LinearQuantilesOnUniformDistribution) {
+  HistogramOptions options;
+  options.scale = HistogramOptions::Scale::kLinear;
+  options.min_value = 0.0;
+  options.max_value = 1000.0;
+  options.bucket_count = 1000;
+  Histogram h(options);
+  // 1..1000: exact quantiles are known; bucket resolution is 1.
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
+  Histogram::Snapshot snap = h.snapshot();
+  EXPECT_NEAR(snap.Quantile(0.5), 500.0, 2.0);
+  EXPECT_NEAR(snap.Quantile(0.9), 900.0, 2.0);
+  EXPECT_NEAR(snap.Quantile(0.99), 990.0, 2.0);
+  // Extremes are exact (tracked min/max).
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 1000.0);
+}
+
+TEST(HistogramTest, LogQuantilesWithinRelativeError) {
+  // Log-scale buckets guarantee constant *relative* error. 128 buckets
+  // over [1e-7, 1e3) is 10 decades -> ~1.2x per bucket.
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(1e-4 * static_cast<double>(i));
+  Histogram::Snapshot snap = h.snapshot();
+  EXPECT_NEAR(snap.Quantile(0.5), 0.05, 0.05 * 0.25);
+  EXPECT_NEAR(snap.Quantile(0.99), 0.099, 0.099 * 0.25);
+}
+
+TEST(HistogramTest, OutOfRangeValuesClampIntoEdgeBuckets) {
+  HistogramOptions options;
+  options.min_value = 1.0;
+  options.max_value = 10.0;
+  options.bucket_count = 8;
+  Histogram h(options);
+  h.Record(0.001);   // below range
+  h.Record(5000.0);  // above range
+  Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 2);
+  // Exact extremes survive clamping via tracked min/max.
+  EXPECT_DOUBLE_EQ(snap.min, 0.001);
+  EXPECT_DOUBLE_EQ(snap.max, 5000.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 0.001);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 5000.0);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.GetCounter("x");
+  Counter& b = reg.GetCounter("x");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(b.value(), 1);
+  EXPECT_EQ(&reg.GetGauge("g"), &reg.GetGauge("g"));
+  EXPECT_EQ(&reg.GetHistogram("h"), &reg.GetHistogram("h"));
+}
+
+TEST(MetricsRegistryTest, ExportsSortedSnapshots) {
+  MetricsRegistry reg;
+  reg.GetCounter("b").Increment(2);
+  reg.GetCounter("a").Increment(1);
+  reg.GetGauge("g").Set(0.5);
+  reg.GetHistogram("h").Record(1.0);
+  auto counters = reg.Counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters["a"], 1);
+  EXPECT_EQ(counters["b"], 2);
+  EXPECT_EQ(reg.Gauges()["g"], 0.5);
+  EXPECT_EQ(reg.Histograms()["h"].count, 1);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.GetCounter("shared.counter").Increment();
+        reg.GetHistogram("shared.hist").Record(0.001);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(reg.GetCounter("shared.counter").value(), kThreads * kPerThread);
+  EXPECT_EQ(reg.GetHistogram("shared.hist").count(), kThreads * kPerThread);
+}
+
+TEST(ScopedTimerTest, RecordsPositiveElapsedOnce) {
+  Histogram h;
+  {
+    ScopedTimer timer(&h);
+    double first = timer.Stop();
+    EXPECT_GE(first, 0.0);
+    EXPECT_EQ(timer.Stop(), first);  // idempotent
+  }
+  EXPECT_EQ(h.count(), 1);  // destructor did not double-record
+}
+
+TEST(TraceSpanTest, NestingTracksDepthAndParent) {
+  MetricsRegistry reg;
+  EXPECT_EQ(TraceSpan::Current(), nullptr);
+  {
+    TraceSpan outer(&reg, "outer");
+    EXPECT_EQ(outer.depth(), 0);
+    EXPECT_EQ(outer.parent(), nullptr);
+    EXPECT_EQ(TraceSpan::Current(), &outer);
+    {
+      TraceSpan inner(&reg, "inner");
+      EXPECT_EQ(inner.depth(), 1);
+      EXPECT_EQ(inner.parent(), &outer);
+      EXPECT_EQ(TraceSpan::Current(), &inner);
+    }
+    EXPECT_EQ(TraceSpan::Current(), &outer);
+  }
+  EXPECT_EQ(TraceSpan::Current(), nullptr);
+  EXPECT_EQ(reg.GetHistogram("outer").count(), 1);
+  EXPECT_EQ(reg.GetHistogram("inner").count(), 1);
+}
+
+EpisodeFrame MakeFrame(int64_t index, bool drift = false) {
+  EpisodeFrame f;
+  f.frame_index = index;
+  f.martingale = static_cast<double>(index) * 0.5;
+  f.p_value = 0.25;
+  f.bet = 0.1;
+  f.window_delta = 0.05;
+  f.drift = drift;
+  return f;
+}
+
+TEST(EpisodeRecorderTest, RingWrapsAroundAtCapacity) {
+  EpisodeRecorderOptions options;
+  options.ring_capacity = 8;
+  EpisodeRecorder recorder(options);
+  for (int64_t i = 0; i < 20; ++i) recorder.RecordFrame(MakeFrame(i));
+  EXPECT_EQ(recorder.frames_recorded(), 20);
+  std::vector<EpisodeFrame> ring = recorder.RingContents();
+  ASSERT_EQ(ring.size(), 8u);
+  // Oldest-first: frames 12..19 survive.
+  for (size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring[i].frame_index, 12 + static_cast<int64_t>(i));
+  }
+}
+
+TEST(EpisodeRecorderTest, DriftFrameSnapshotsEpisodeWithContext) {
+  EpisodeRecorderOptions options;
+  options.ring_capacity = 16;
+  EpisodeRecorder recorder(options);
+  for (int64_t i = 0; i < 5; ++i) recorder.RecordFrame(MakeFrame(i));
+  recorder.RecordFrame(MakeFrame(5, /*drift=*/true));
+  std::vector<Episode> episodes = recorder.episodes();
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_EQ(episodes[0].detect_frame, 5);
+  ASSERT_EQ(episodes[0].frames.size(), 6u);
+  EXPECT_EQ(episodes[0].frames.front().frame_index, 0);
+  EXPECT_TRUE(episodes[0].frames.back().drift);
+  EXPECT_TRUE(episodes[0].decision.empty());
+  recorder.AnnotateDecision("switch:night");
+  EXPECT_EQ(recorder.episodes()[0].decision, "switch:night");
+}
+
+TEST(EpisodeRecorderTest, MaxEpisodesDropsOldest) {
+  EpisodeRecorderOptions options;
+  options.ring_capacity = 4;
+  options.max_episodes = 2;
+  EpisodeRecorder recorder(options);
+  for (int64_t i = 0; i < 3; ++i) {
+    recorder.RecordFrame(MakeFrame(10 * i + 9, /*drift=*/true));
+  }
+  std::vector<Episode> episodes = recorder.episodes();
+  ASSERT_EQ(episodes.size(), 2u);
+  EXPECT_EQ(episodes[0].detect_frame, 19);
+  EXPECT_EQ(episodes[1].detect_frame, 29);
+}
+
+TEST(EpisodeRecorderTest, JsonlHasOneParsableLinePerFrame) {
+  EpisodeRecorder recorder;
+  recorder.RecordFrame(MakeFrame(0));
+  recorder.RecordFrame(MakeFrame(1, /*drift=*/true));
+  recorder.AnnotateDecision("rearm");
+  std::string jsonl = recorder.ToJsonl();
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < jsonl.size()) {
+    size_t end = jsonl.find('\n', start);
+    if (end == std::string::npos) end = jsonl.size();
+    if (end > start) lines.push_back(jsonl.substr(start, end - start));
+    start = end + 1;
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    auto parsed = json::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    const json::Value& v = parsed.value();
+    EXPECT_TRUE(v.is_object());
+    EXPECT_TRUE(v.Has("martingale"));
+    EXPECT_TRUE(v.Has("p"));
+    EXPECT_TRUE(v.Has("bet"));
+    EXPECT_EQ(v.Find("decision")->string_value, "rearm");
+    EXPECT_EQ(v.Find("detect_frame")->number_value, 1.0);
+  }
+}
+
+TEST(JsonTest, EscapeHandlesControlAndQuoteCharacters) {
+  EXPECT_EQ(json::Escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+}
+
+TEST(JsonTest, FormatDoubleSanitisesNonFinite) {
+  EXPECT_EQ(json::FormatDouble(std::nan("")), "0");
+  EXPECT_EQ(json::FormatDouble(1e308 * 10), "0");
+  EXPECT_EQ(json::FormatDouble(0.5), "0.5");
+}
+
+TEST(JsonTest, ParseRejectsMalformedDocuments) {
+  EXPECT_FALSE(json::Parse("{").ok());
+  EXPECT_FALSE(json::Parse("[1,]").ok());
+  EXPECT_FALSE(json::Parse("{}extra").ok());
+  EXPECT_FALSE(json::Parse("").ok());
+}
+
+TEST(JsonTest, RegistryExportRoundTrips) {
+  MetricsRegistry reg;
+  reg.GetCounter("vdrift.test.frames").Increment(7);
+  reg.GetGauge("vdrift.test.loss").Set(0.125);
+  Histogram& h = reg.GetHistogram("vdrift.test.latency");
+  for (int i = 1; i <= 100; ++i) h.Record(0.001 * static_cast<double>(i));
+  auto parsed = json::Parse(reg.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  const json::Value& v = parsed.value();
+  EXPECT_EQ(v.Find("counters")->Find("vdrift.test.frames")->number_value,
+            7.0);
+  EXPECT_EQ(v.Find("gauges")->Find("vdrift.test.loss")->number_value, 0.125);
+  const json::Value* hist =
+      v.Find("histograms")->Find("vdrift.test.latency");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->Find("count")->number_value, 100.0);
+  EXPECT_NEAR(hist->Find("p50")->number_value, 0.05, 0.015);
+  EXPECT_TRUE(hist->Has("p99"));
+  EXPECT_NEAR(hist->Find("sum")->number_value, 5.05, 1e-9);
+}
+
+TEST(ReportTest, MetricsReportEmbedsEpisodes) {
+  MetricsRegistry reg;
+  reg.GetCounter("c").Increment();
+  EpisodeRecorder recorder;
+  recorder.RecordFrame(MakeFrame(3, /*drift=*/true));
+  recorder.AnnotateDecision("model-2");
+  auto parsed = json::Parse(MetricsReportJson(reg, &recorder));
+  ASSERT_TRUE(parsed.ok());
+  const json::Value& v = parsed.value();
+  const json::Value* episodes = v.Find("episodes");
+  ASSERT_NE(episodes, nullptr);
+  ASSERT_TRUE(episodes->is_array());
+  ASSERT_EQ(episodes->array_value.size(), 1u);
+  const json::Value& episode = episodes->array_value[0];
+  EXPECT_EQ(episode.Find("detect_frame")->number_value, 3.0);
+  EXPECT_EQ(episode.Find("decision")->string_value, "model-2");
+  EXPECT_EQ(episode.Find("frames")->array_value.size(), 1u);
+
+  // Without a recorder the key still exists (empty array).
+  auto bare = json::Parse(MetricsReportJson(reg, nullptr));
+  ASSERT_TRUE(bare.ok());
+  const json::Value* none = bare.value().Find("episodes");
+  ASSERT_NE(none, nullptr);
+  EXPECT_TRUE(none->is_array());
+  EXPECT_TRUE(none->array_value.empty());
+}
+
+}  // namespace
+}  // namespace vdrift::obs

@@ -65,6 +65,34 @@ TEST_F(PipelineFixture, MsboPipelineTracksSequences) {
   // Exactly one model invocation per frame (the §6.2 claim for MS).
   EXPECT_EQ(totals.invocations, metrics.frames);
   EXPECT_GT(metrics.total_seconds, 0.0);
+  // Timing fields are derived from the run's obs spans.
+  ASSERT_NE(metrics.registry, nullptr);
+  EXPECT_EQ(metrics.registry->GetHistogram("vdrift.pipeline.run_seconds")
+                .count(),
+            1);
+  EXPECT_GT(metrics.detect_seconds, 0.0);
+  EXPECT_GT(metrics.select_seconds, 0.0);
+  EXPECT_GE(metrics.total_seconds,
+            metrics.detect_seconds + metrics.select_seconds);
+  // Every detection left an annotated drift episode behind.
+  ASSERT_NE(metrics.episodes, nullptr);
+  std::vector<obs::Episode> episodes = metrics.episodes->episodes();
+  ASSERT_EQ(static_cast<int>(episodes.size()), metrics.drifts_detected);
+  EXPECT_EQ(episodes[0].decision, metrics.selections[0]);
+  EXPECT_TRUE(episodes[0].frames.back().drift);
+}
+
+TEST(SequenceAccuracyTest, InvocationsPerFrameCoversAllQueryMixes) {
+  SequenceAccuracy acc;
+  EXPECT_EQ(acc.InvocationsPerFrame(), 0.0);  // no queries, no crash
+  // Predicate-only runs must still denominate the ratio.
+  acc.predicate_total = 10;
+  acc.invocations = 20;
+  EXPECT_DOUBLE_EQ(acc.InvocationsPerFrame(), 2.0);
+  // Mixed runs denominate over the frames that ran any query.
+  acc.count_total = 40;
+  acc.invocations = 40;
+  EXPECT_DOUBLE_EQ(acc.InvocationsPerFrame(), 1.0);
 }
 
 TEST_F(PipelineFixture, MsboSelectsTheMatchingModelAtEachDrift) {

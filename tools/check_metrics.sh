@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Runs one bench harness and validates the metrics JSON report it emits:
+# the report must parse, carry a per-frame DI latency histogram with
+# p50/p99, non-empty counters, and at least one drift episode.
+#
+# Usage: tools/check_metrics.sh [build_dir]
+# Env:   VDRIFT_BENCH_DATASET (default Tokyo — the cheapest workbench).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+BENCH="$BUILD_DIR/bench/bench_table6_detection_time"
+if [[ ! -x "$BENCH" ]]; then
+  echo "FAIL: $BENCH not built (cmake --build $BUILD_DIR first)" >&2
+  exit 1
+fi
+
+export VDRIFT_BENCH_DATASET="${VDRIFT_BENCH_DATASET:-Tokyo}"
+REPORT="$(mktemp /tmp/vdrift_metrics.XXXXXX.json)"
+trap 'rm -f "$REPORT"' EXIT
+export VDRIFT_METRICS_JSON="$REPORT"
+
+echo "running $BENCH (dataset=$VDRIFT_BENCH_DATASET)..."
+"$BENCH"
+
+if [[ ! -s "$REPORT" ]]; then
+  echo "FAIL: bench did not write $REPORT" >&2
+  exit 1
+fi
+
+python3 - "$REPORT" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+if not report.get("counters"):
+    fail("no counters in report")
+hist = report.get("histograms", {}).get("vdrift.di.observe_seconds")
+if hist is None:
+    fail("missing vdrift.di.observe_seconds histogram")
+if hist.get("count", 0) <= 0:
+    fail("DI latency histogram is empty")
+for q in ("p50", "p99"):
+    if q not in hist:
+        fail(f"DI latency histogram missing {q}")
+    if not (0 <= hist[q] <= hist.get("max", float("inf")) + 1e-12):
+        fail(f"DI latency {q}={hist[q]} outside [0, max]")
+episodes = report.get("episodes")
+if not episodes:
+    fail("no drift episodes captured")
+for episode in episodes:
+    if not episode.get("frames"):
+        fail("episode with empty frame trace")
+    if not episode["frames"][-1].get("drift"):
+        fail("episode trace does not end on the drift frame")
+
+print(f"OK: {len(report['counters'])} counters, "
+      f"{len(report.get('histograms', {}))} histograms, "
+      f"DI p50={hist['p50']:.6f}s p99={hist['p99']:.6f}s, "
+      f"{len(episodes)} drift episode(s)")
+EOF
