@@ -10,14 +10,18 @@
 // DI at least ~2x faster. Absolute numbers differ on CPU; the ratio is
 // the reproduced shape.
 //
-// Set VDRIFT_BENCH_DATASET to run a single dataset (e.g. "Tokyo");
-// VDRIFT_METRICS_JSON overrides the metrics report path.
+// Runs on the BenchHarness: VDRIFT_BENCH_{SMOKE,DATASET,SEED,JSON} steer
+// the run and a BENCH_table6_detection_time.json report is written;
+// VDRIFT_METRICS_JSON overrides the metrics report path. With
+// VDRIFT_TRACE_JSON set, a drift-aware pipeline pass over the last dataset
+// is appended so the flight-recorder trace also shows the nested
+// detect/select/query stages around the tensor-op events.
 
 #include <cstdio>
-#include <cstdlib>
 #include <memory>
 #include <string>
 
+#include "benchutil/bench_harness.h"
 #include "benchutil/metrics_report.h"
 #include "benchutil/table.h"
 #include "benchutil/workbench.h"
@@ -26,6 +30,8 @@
 #include "obs/episode_trace.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
+#include "obs/trace_log.h"
+#include "pipeline/pipeline.h"
 #include "video/stream.h"
 
 namespace {
@@ -44,23 +50,22 @@ constexpr PaperRow kPaper[] = {
 int main() {
   using namespace vdrift;
   benchutil::Banner("Table 6: drift detection time (s), DI vs ODIN-Detect");
-  benchutil::WorkbenchOptions options = benchutil::DefaultWorkbenchOptions();
-  const char* only = std::getenv("VDRIFT_BENCH_DATASET");
+  benchutil::BenchHarness harness("table6_detection_time");
+  benchutil::WorkbenchOptions options = harness.MakeWorkbenchOptions();
   benchutil::Table table({"Dataset", "Drift Inspector", "ODIN-Detect",
                           "speedup", "paper (DI / ODIN)"});
-  // Everything lands in the process-wide registry: the bench's wall-clock
-  // per-frame timers below plus DI's own vdrift.di.* instruments.
-  obs::MetricsRegistry& bench_registry = obs::Global();
   obs::EpisodeRecorder episodes;
+  benchutil::Workbench* last_bench = nullptr;
+  std::unique_ptr<benchutil::Workbench> kept_bench;
   for (const PaperRow& paper : kPaper) {
-    if (only != nullptr && std::string(only) != paper.dataset) continue;
+    if (!harness.ShouldRunDataset(paper.dataset)) continue;
     auto bench = benchutil::BuildWorkbench(paper.dataset, options)
                      .ValueOrDie();
-    std::string prefix = std::string("table6.") + paper.dataset;
-    obs::Histogram& di_hist =
-        bench_registry.GetHistogram(prefix + ".di_frame_seconds");
+    std::string prefix = paper.dataset;
+    obs::Histogram& di_hist = harness.StageHistogram(prefix + ".di_frame");
     obs::Histogram& odin_hist =
-        bench_registry.GetHistogram(prefix + ".odin_frame_seconds");
+        harness.StageHistogram(prefix + ".odin_frame");
+    harness.SetPrimaryStage(prefix + ".di_frame");
 
     // --- DI over the whole stream, re-armed after each detection. ---
     video::StreamGenerator stream = bench->dataset.MakeStream();
@@ -82,7 +87,7 @@ int main() {
         ++detections;
         // Recovery complete: restart detection against the distribution
         // the stream is now in, as the paper's protocol does.
-        episodes.AnnotateDecision(prefix + ".rearm.seq" +
+        episodes.AnnotateDecision("table6." + prefix + ".rearm.seq" +
                                   std::to_string(current));
         inspector = std::make_unique<conformal::DriftInspector>(
             bench->registry.at(current).profile.get(),
@@ -92,7 +97,8 @@ int main() {
       }
     }
     double di_seconds = di_hist.sum();
-    bench_registry.GetCounter(prefix + ".di_detections")
+    obs::Global()
+        .GetCounter("table6." + prefix + ".di_detections")
         .Increment(detections);
 
     // --- ODIN-Detect over the whole stream (all clusters seeded). ---
@@ -124,10 +130,31 @@ int main() {
     table.AddRow({paper.dataset, benchutil::Fmt(di_seconds, 2),
                   benchutil::Fmt(odin_seconds, 2),
                   benchutil::Fmt(odin_seconds / di_seconds, 2) + "x", ref});
+    kept_bench = std::move(bench);
+    last_bench = kept_bench.get();
   }
   table.Print();
+
+  // With the flight recorder armed, append one drift-aware pipeline pass
+  // so the exported trace carries the nested pipeline stage spans
+  // (detect/select/query around the tensor/nn op events). Last so the
+  // events survive any ring wraparound from the long loops above.
+  if (last_bench != nullptr && obs::TraceLog::Instance().enabled()) {
+    pipeline::PipelineConfig config;
+    config.selector = pipeline::PipelineConfig::Selector::kMsbi;
+    config.allow_training_new = false;
+    config.provision = options.provision;
+    video::StreamGenerator stream = last_bench->dataset.MakeStream();
+    pipeline::DriftAwarePipeline traced(&last_bench->registry,
+                                        last_bench->calibration_samples,
+                                        config);
+    (void)traced.Run(&stream).ValueOrDie();
+    std::printf("trace pass: drift-aware pipeline run recorded\n");
+  }
+
   benchutil::PrintMetricsTable(obs::Global());
   benchutil::EmitMetricsJson(obs::Global(), &episodes,
                              "metrics_table6.json");
+  harness.WriteReport();
   return 0;
 }

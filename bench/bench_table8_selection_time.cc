@@ -7,14 +7,15 @@
 // magnitude faster overall. Absolute values differ at CPU scale; the
 // orders-of-magnitude gap is the reproduced shape.
 //
-// Set VDRIFT_BENCH_DATASET to run a single dataset (e.g. "Tokyo");
+// Runs on the BenchHarness: VDRIFT_BENCH_{SMOKE,DATASET,SEED,JSON} steer
+// the run and a BENCH_table8_selection_time.json report is written;
 // VDRIFT_METRICS_JSON overrides the metrics report path.
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "benchutil/bench_harness.h"
 #include "benchutil/metrics_report.h"
 #include "benchutil/table.h"
 #include "benchutil/workbench.h"
@@ -44,25 +45,23 @@ constexpr PaperRow kPaper[] = {{"BDD", 5.015, 22.36, 764.4},
 int main() {
   using namespace vdrift;
   benchutil::Banner("Table 8: model selection time (s) per dataset");
-  benchutil::WorkbenchOptions options = benchutil::DefaultWorkbenchOptions();
-  const char* only = std::getenv("VDRIFT_BENCH_DATASET");
+  benchutil::BenchHarness harness("table8_selection_time");
+  benchutil::WorkbenchOptions options = harness.MakeWorkbenchOptions();
   benchutil::Table table({"Dataset", "Models", "MSBO", "MSBI", "ODIN-Select",
                           "paper (MSBO/MSBI/ODIN)"});
-  // The selectors also record their own vdrift.select.* spans into this
-  // registry; the bench's wall-clock histograms join them in the report.
-  obs::MetricsRegistry& reg = obs::Global();
   for (const PaperRow& paper : kPaper) {
-    if (only != nullptr && std::string(only) != paper.dataset) continue;
+    if (!harness.ShouldRunDataset(paper.dataset)) continue;
     auto bench =
         benchutil::BuildWorkbench(paper.dataset, options).ValueOrDie();
     int m = bench->registry.size();
-    std::string prefix = std::string("table8.") + paper.dataset;
+    std::string prefix = paper.dataset;
     obs::Histogram& msbo_hist =
-        reg.GetHistogram(prefix + ".msbo_select_seconds");
+        harness.StageHistogram(prefix + ".msbo_select");
     obs::Histogram& msbi_hist =
-        reg.GetHistogram(prefix + ".msbi_select_seconds");
+        harness.StageHistogram(prefix + ".msbi_select");
     obs::Histogram& odin_hist =
-        reg.GetHistogram(prefix + ".odin_frame_seconds");
+        harness.StageHistogram(prefix + ".odin_frame");
+    harness.SetPrimaryStage(prefix + ".odin_frame");
 
     // MSBO / MSBI: one selection per drift (m-1 drifts in the stream).
     select::Msbo msbo(&bench->registry, bench->calibration,
@@ -125,5 +124,6 @@ int main() {
   table.Print();
   benchutil::PrintMetricsTable(obs::Global());
   benchutil::EmitMetricsJson(obs::Global(), nullptr, "metrics_table8.json");
+  harness.WriteReport();
   return 0;
 }

@@ -6,17 +6,29 @@
 // BDD 278.4 / 295.8 / 1400.6 / 1231 / 10680 — the proposed pipelines ~3x
 // faster than ODIN, ~4x faster than YOLO, an order of magnitude faster
 // than Mask R-CNN; the same ordering is the reproduced shape here.
+//
+// Runs on the BenchHarness: VDRIFT_BENCH_{SMOKE,DATASET,SEED,JSON} steer
+// the run and a BENCH_table9_end_to_end.json report is written. Each
+// system contributes an `<ds>.<system>.total` stage; the drift-aware
+// pipelines additionally import their per-frame detect/select/query
+// histograms as `<ds>.<system>.{detect,select,query}` stages.
 
 #include <cstdio>
+#include <string>
 
+#include "benchutil/bench_harness.h"
 #include "benchutil/table.h"
 #include "benchutil/workbench.h"
 #include "detect/detector.h"
+#include "obs/metrics.h"
 #include "pipeline/pipeline.h"
 #include "stats/rng.h"
 #include "video/stream.h"
 
 namespace {
+
+using vdrift::benchutil::BenchHarness;
+using vdrift::pipeline::PipelineMetrics;
 
 struct PaperRow {
   const char* dataset;
@@ -37,17 +49,40 @@ constexpr PaperRow kPaper[] = {
 /// as in the paper's GPU numbers.
 constexpr int kOracleWorkDim = 220;
 
+// Folds one run into the report: the end-to-end total plus the pipeline's
+// own per-frame stage histograms when it recorded any.
+void Absorb(BenchHarness* harness, const std::string& prefix,
+            const PipelineMetrics& metrics) {
+  harness->RecordStageSeconds(prefix + ".total", metrics.total_seconds);
+  if (metrics.registry == nullptr) return;
+  const std::pair<const char*, const char*> kStages[] = {
+      {"vdrift.pipeline.detect_seconds", ".detect"},
+      {"vdrift.pipeline.select_seconds", ".select"},
+      {"vdrift.pipeline.query_seconds", ".query"},
+  };
+  auto histograms = metrics.registry->Histograms();
+  for (const auto& [source, suffix] : kStages) {
+    auto it = histograms.find(source);
+    if (it != histograms.end() && it->second.count > 0) {
+      harness->ImportStage(prefix + suffix, it->second);
+    }
+  }
+}
+
 }  // namespace
 
 int main() {
   using namespace vdrift;
   benchutil::Banner("Table 9: end-to-end time (s), count-query workload");
-  benchutil::WorkbenchOptions options = benchutil::DefaultWorkbenchOptions();
+  benchutil::BenchHarness harness("table9_end_to_end");
+  benchutil::WorkbenchOptions options = harness.MakeWorkbenchOptions();
   benchutil::Table table({"Dataset", "(DI,MSBO)", "(DI,MSBI)", "ODIN", "YOLO",
                           "MaskRCNN", "paper"});
   for (const PaperRow& paper : kPaper) {
+    if (!harness.ShouldRunDataset(paper.dataset)) continue;
     auto bench =
         benchutil::BuildWorkbench(paper.dataset, options).ValueOrDie();
+    std::string ds = paper.dataset;
 
     pipeline::PipelineConfig msbo_config;
     msbo_config.selector = pipeline::PipelineConfig::Selector::kMsbo;
@@ -57,7 +92,9 @@ int main() {
     pipeline::DriftAwarePipeline msbo(&bench->registry,
                                       bench->calibration_samples,
                                       msbo_config);
-    double msbo_s = msbo.Run(&s1).ValueOrDie().total_seconds;
+    PipelineMetrics msbo_metrics = msbo.Run(&s1).ValueOrDie();
+    Absorb(&harness, ds + ".msbo", msbo_metrics);
+    double msbo_s = msbo_metrics.total_seconds;
 
     pipeline::PipelineConfig msbi_config = msbo_config;
     msbi_config.selector = pipeline::PipelineConfig::Selector::kMsbi;
@@ -65,12 +102,16 @@ int main() {
     pipeline::DriftAwarePipeline msbi(&bench->registry,
                                       bench->calibration_samples,
                                       msbi_config);
-    double msbi_s = msbi.Run(&s2).ValueOrDie().total_seconds;
+    PipelineMetrics msbi_metrics = msbi.Run(&s2).ValueOrDie();
+    Absorb(&harness, ds + ".msbi", msbi_metrics);
+    double msbi_s = msbi_metrics.total_seconds;
 
     video::StreamGenerator s3 = bench->dataset.MakeStream();
     pipeline::OdinPipeline odin(&bench->registry, bench->training_frames,
                                 pipeline::OdinPipeline::Config{});
-    double odin_s = odin.Run(&s3).ValueOrDie().total_seconds;
+    PipelineMetrics odin_metrics = odin.Run(&s3).ValueOrDie();
+    Absorb(&harness, ds + ".odin", odin_metrics);
+    double odin_s = odin_metrics.total_seconds;
 
     stats::Rng rng(404);
     detect::SimulatedDetector::Config det_config;
@@ -79,16 +120,20 @@ int main() {
     tc.epochs = 8;
     VDRIFT_CHECK_OK(detector.Train(bench->training_frames[0], tc, &rng));
     video::StreamGenerator s4 = bench->dataset.MakeStream();
-    double yolo_s = pipeline::StaticDetectorPipeline::RunDetector(
-                        &detector, &s4, false)
-                        .ValueOrDie()
-                        .total_seconds;
+    PipelineMetrics yolo_metrics =
+        pipeline::StaticDetectorPipeline::RunDetector(&detector, &s4, false)
+            .ValueOrDie();
+    Absorb(&harness, ds + ".yolo", yolo_metrics);
+    double yolo_s = yolo_metrics.total_seconds;
 
     video::StreamGenerator s5 = bench->dataset.MakeStream();
-    double mask_s = pipeline::StaticDetectorPipeline::RunOracle(
-                        kOracleWorkDim, &s5)
-                        .ValueOrDie()
-                        .total_seconds;
+    PipelineMetrics mask_metrics =
+        pipeline::StaticDetectorPipeline::RunOracle(kOracleWorkDim, &s5)
+            .ValueOrDie();
+    Absorb(&harness, ds + ".mask_rcnn", mask_metrics);
+    double mask_s = mask_metrics.total_seconds;
+
+    harness.SetPrimaryStage(ds + ".msbi.detect");
 
     char ref[128];
     std::snprintf(ref, sizeof(ref), "%.0f/%.0f/%.0f/%.0f/%.0f", paper.msbo,
@@ -100,5 +145,6 @@ int main() {
   table.Print();
   std::printf("\nShape check: (DI,MSBO) <= (DI,MSBI) < ODIN ~ YOLO << "
               "MaskRCNN\n");
+  harness.WriteReport();
   return 0;
 }

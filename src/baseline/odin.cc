@@ -83,9 +83,9 @@ int OdinDetect::AddPermanentCluster(
 
 OdinObservation OdinDetect::Observe(std::span<const float> latent) {
   // Per-frame ODIN-Detect latency (post-encode): the all-clusters scan
-  // plus band/KL bookkeeping that drives the Table 6 comparison.
-  obs::ScopedTimer timer(
-      &obs::Global().GetHistogram("vdrift.odin.observe_seconds"));
+  // plus band/KL bookkeeping that drives the Table 6 comparison. A span
+  // so the flight recorder captures it on the timeline.
+  obs::TraceSpan span(&obs::Global(), "vdrift.odin.observe_seconds");
   obs::Global().GetCounter("vdrift.odin.frames").Increment();
   OdinObservation observation;
   // Try every permanent cluster (this per-cluster scan is ODIN's per-frame

@@ -1,0 +1,284 @@
+#include "benchutil/bench_harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/logging.h"
+#include "obs/json.h"
+#include "obs/timer.h"
+
+namespace vdrift::benchutil {
+
+namespace {
+
+bool EnvFlagSet(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] != '\0' &&
+         std::string(value) != "0";
+}
+
+long EnvLongOr(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(value, &end, 10);
+  if (end == value) {
+    VDRIFT_LOG_WARNING << "ignoring unparsable " << name << "=" << value;
+    return fallback;
+  }
+  return parsed;
+}
+
+std::string EnvStringOr(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] != '\0' ? value : fallback;
+}
+
+void MergeSnapshot(obs::Histogram::Snapshot* into,
+                   const obs::Histogram::Snapshot& from) {
+  if (from.count == 0) return;
+  if (into->count == 0) {
+    *into = from;
+    return;
+  }
+  if (into->buckets.size() == from.buckets.size()) {
+    for (size_t i = 0; i < from.buckets.size(); ++i) {
+      into->buckets[i] += from.buckets[i];
+    }
+  } else {
+    // Layout mismatch: quantiles of the merge are undefined, but totals
+    // stay exact — keep them and say so rather than silently dropping.
+    VDRIFT_LOG_WARNING
+        << "merging stage snapshots with different bucket layouts; "
+           "quantiles reflect only the first layout";
+  }
+  into->count += from.count;
+  into->sum += from.sum;
+  if (from.min < into->min) into->min = from.min;
+  if (from.max > into->max) into->max = from.max;
+}
+
+double StageFps(const obs::Histogram::Snapshot& snap) {
+  if (snap.count == 0 || snap.sum <= 0.0) return 0.0;
+  return static_cast<double>(snap.count) / snap.sum;
+}
+
+}  // namespace
+
+std::string GitRevision() {
+  std::string rev = EnvStringOr("VDRIFT_GIT_REV", "");
+  if (!rev.empty()) return rev;
+  FILE* pipe = ::popen("git rev-parse --short=12 HEAD 2>/dev/null", "r");
+  if (pipe != nullptr) {
+    char buf[64] = {0};
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+      rev = buf;
+      while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+        rev.pop_back();
+      }
+    }
+    ::pclose(pipe);
+  }
+  return rev.empty() ? "unknown" : rev;
+}
+
+BenchHarness::BenchHarness(const std::string& name) {
+  config_.name = name;
+  config_.smoke = EnvFlagSet("VDRIFT_BENCH_SMOKE");
+  if (config_.smoke) {
+    // Smoke mode is a liveness gate for CI, not a measurement: one pass,
+    // no warmup, and the smallest dataset unless told otherwise.
+    config_.repeats = 1;
+    config_.warmup = 0;
+    config_.dataset_filter = "Tokyo";
+  }
+  config_.repeats = static_cast<int>(
+      EnvLongOr("VDRIFT_BENCH_REPEATS", config_.repeats));
+  if (config_.repeats < 1) config_.repeats = 1;
+  config_.warmup = static_cast<int>(
+      EnvLongOr("VDRIFT_BENCH_WARMUP", config_.warmup));
+  if (config_.warmup < 0) config_.warmup = 0;
+  config_.seed = static_cast<uint64_t>(EnvLongOr(
+      "VDRIFT_BENCH_SEED", static_cast<long>(config_.seed)));
+  config_.dataset_filter =
+      EnvStringOr("VDRIFT_BENCH_DATASET", config_.dataset_filter);
+  config_.json_path =
+      EnvStringOr("VDRIFT_BENCH_JSON", "BENCH_" + name + ".json");
+}
+
+bool BenchHarness::ShouldRunDataset(const std::string& dataset) const {
+  return config_.dataset_filter.empty() || config_.dataset_filter == dataset;
+}
+
+WorkbenchOptions BenchHarness::MakeWorkbenchOptions() const {
+  WorkbenchOptions options = DefaultWorkbenchOptions();
+  options.seed = config_.seed;
+  if (config_.smoke) {
+    // Seconds-scale training: tiny streams (Scaled() floors each sequence
+    // at 64 frames), shallow models, and a cache dir of its own so smoke
+    // artifacts never shadow full-scale ones.
+    options.dataset_scale = 0.002;
+    options.train_frames = 48;
+    options.calibration_sample = 8;
+    options.provision.profile.sigma_size = 64;
+    options.provision.profile.trainer.epochs = 2;
+    options.provision.classifier_train.epochs = 2;
+    options.provision.ensemble_size = 2;
+    options.provision.classifier_filters = 6;
+    options.cache_dir = "vdrift_cache_smoke";
+  }
+  return options;
+}
+
+obs::Histogram& BenchHarness::StageHistogram(const std::string& stage) {
+  return registry_.GetHistogram(stage);
+}
+
+void BenchHarness::RecordStageSeconds(const std::string& stage,
+                                      double seconds) {
+  StageHistogram(stage).Record(seconds);
+}
+
+void BenchHarness::Repeat(const std::string& stage,
+                          const std::function<void()>& fn) {
+  for (int i = 0; i < config_.warmup; ++i) fn();
+  obs::Histogram& hist = StageHistogram(stage);
+  for (int i = 0; i < config_.repeats; ++i) {
+    double start = obs::MonotonicSeconds();
+    fn();
+    hist.Record(obs::MonotonicSeconds() - start);
+  }
+}
+
+void BenchHarness::ImportStage(const std::string& stage,
+                               const obs::Histogram::Snapshot& snapshot) {
+  MergeSnapshot(&imported_[stage], snapshot);
+}
+
+void BenchHarness::SetLabel(const std::string& key,
+                            const std::string& value) {
+  labels_[key] = value;
+}
+
+void BenchHarness::SetPrimaryStage(const std::string& stage) {
+  primary_stage_ = stage;
+}
+
+void BenchHarness::SetThroughputFps(double fps) {
+  throughput_override_ = fps;
+}
+
+std::string BenchHarness::ReportJson() const {
+  // Assemble the full stage map: harness histograms plus imported
+  // snapshots (std::map keeps every level in sorted key order, the
+  // stability contract tools/compare_bench.py and tests rely on).
+  std::map<std::string, obs::Histogram::Snapshot> stages;
+  for (const auto& [name, snap] : registry_.Histograms()) {
+    stages[name] = snap;
+  }
+  for (const auto& [name, snap] : imported_) {
+    MergeSnapshot(&stages[name], snap);
+  }
+
+  auto global_counters = obs::Global().Counters();
+  int64_t flops_total = 0;
+  int64_t bytes_total = 0;
+  for (const auto& [name, value] : global_counters) {
+    if (name.rfind("vdrift.ops.", 0) != 0) continue;
+    if (name.size() >= 6 && name.compare(name.size() - 6, 6, ".flops") == 0) {
+      flops_total += value;
+    } else if (name.size() >= 6 &&
+               name.compare(name.size() - 6, 6, ".bytes") == 0) {
+      bytes_total += value;
+    }
+  }
+
+  double throughput = throughput_override_;
+  if (throughput < 0.0) {
+    const obs::Histogram::Snapshot* headline = nullptr;
+    auto primary = stages.find(primary_stage_);
+    if (!primary_stage_.empty() && primary != stages.end()) {
+      headline = &primary->second;
+    } else {
+      for (const auto& [name, snap] : stages) {
+        if (headline == nullptr || snap.count > headline->count) {
+          headline = &snap;
+        }
+      }
+    }
+    throughput = headline != nullptr ? StageFps(*headline) : 0.0;
+  }
+
+  std::string out = "{";
+  out += "\"bytes_total\":" + std::to_string(bytes_total);
+  out += ",\"config\":{";
+  out += "\"dataset_filter\":\"" + obs::json::Escape(config_.dataset_filter) +
+         "\"";
+  out += ",\"repeats\":" + std::to_string(config_.repeats);
+  out += ",\"seed\":" + std::to_string(config_.seed);
+  out += std::string(",\"smoke\":") + (config_.smoke ? "true" : "false");
+  out += ",\"warmup\":" + std::to_string(config_.warmup);
+  out += "}";
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : global_counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + obs::json::Escape(name) + "\":" + std::to_string(value);
+  }
+  out += "}";
+  out += ",\"flops_total\":" + std::to_string(flops_total);
+  out += ",\"git_rev\":\"" + obs::json::Escape(GitRevision()) + "\"";
+  out += ",\"labels\":{";
+  first = true;
+  for (const auto& [key, value] : labels_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + obs::json::Escape(key) + "\":\"" + obs::json::Escape(value) +
+           "\"";
+  }
+  out += "}";
+  out += ",\"name\":\"" + obs::json::Escape(config_.name) + "\"";
+  out += ",\"stages\":{";
+  first = true;
+  for (const auto& [name, snap] : stages) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + obs::json::Escape(name) + "\":{";
+    out += "\"count\":" + std::to_string(snap.count);
+    out += ",\"fps\":" + obs::json::FormatDouble(StageFps(snap));
+    out += ",\"max\":" + obs::json::FormatDouble(snap.max);
+    out += ",\"mean\":" + obs::json::FormatDouble(snap.Mean());
+    out += ",\"min\":" + obs::json::FormatDouble(snap.min);
+    out += ",\"p50\":" + obs::json::FormatDouble(snap.Quantile(0.50));
+    out += ",\"p90\":" + obs::json::FormatDouble(snap.Quantile(0.90));
+    out += ",\"p99\":" + obs::json::FormatDouble(snap.Quantile(0.99));
+    out += ",\"sum_seconds\":" + obs::json::FormatDouble(snap.sum);
+    out += "}";
+  }
+  out += "}";
+  out += ",\"throughput_fps\":" + obs::json::FormatDouble(throughput);
+  out += "}";
+  return out;
+}
+
+std::string BenchHarness::WriteReport() const {
+  std::ofstream out(config_.json_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench report not written: cannot open %s\n",
+                 config_.json_path.c_str());
+    return "";
+  }
+  out << ReportJson() << "\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "bench report not written: write failed on %s\n",
+                 config_.json_path.c_str());
+    return "";
+  }
+  std::printf("bench report written to %s\n", config_.json_path.c_str());
+  return config_.json_path;
+}
+
+}  // namespace vdrift::benchutil

@@ -31,9 +31,9 @@ DriftInspector::DriftInspector(const DistributionProfile* profile,
 DriftInspector::Observation DriftInspector::Observe(
     const tensor::Tensor& pixels) {
   // The per-frame DI latency of Table 6: VAE encode + K-NN score +
-  // p-value + martingale update, end to end.
-  obs::ScopedTimer timer(
-      &obs::Global().GetHistogram("vdrift.di.observe_seconds"));
+  // p-value + martingale update, end to end. A span (not a bare timer)
+  // so the flight recorder can nest the tensor-op events under it.
+  obs::TraceSpan span(&obs::Global(), "vdrift.di.observe_seconds");
   // Sampled encoding: matches the generation law of Sigma_Ti, keeping
   // own-distribution p-values exchangeable (see DistributionProfile).
   std::vector<float> latent = profile_->EncodeSampled(pixels, &rng_);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "nn/init.h"
+#include "obs/trace_log.h"
 #include "tensor/ops.h"
 
 namespace vdrift::nn {
@@ -10,6 +11,17 @@ namespace vdrift::nn {
 using tensor::ConvOutDim;
 using tensor::Shape;
 using tensor::Tensor;
+
+namespace {
+
+// Elementwise-layer attribution: ~1 FLOP per element (activations with
+// transcendentals undercount deliberately — they are profiled for shape,
+// not instruction mix), input + output once through memory.
+int64_t ElementwiseBytes(int64_t elements) {
+  return 2 * static_cast<int64_t>(sizeof(float)) * elements;
+}
+
+}  // namespace
 
 Linear::Linear(int in_features, int out_features, stats::Rng* rng)
     : in_features_(in_features),
@@ -24,6 +36,16 @@ Tensor Linear::Forward(const Tensor& input) {
                input.shape().dim(1) == in_features_)
       << "Linear expects [N, " << in_features_ << "], got "
       << input.shape().ToString();
+  int64_t batch = input.shape().dim(0);
+  // GEMM + bias add. Layer probes subsume the tensor-op probes they call
+  // (vdrift.ops.nn.* totals include the vdrift.ops.tensor.* work below).
+  VDRIFT_OP_PROBE(
+      "nn", "linear_forward",
+      2 * batch * in_features_ * out_features_ + batch * out_features_,
+      static_cast<int64_t>(sizeof(float)) *
+          (batch * in_features_ +
+           static_cast<int64_t>(out_features_) * in_features_ +
+           out_features_ + batch * out_features_));
   cached_input_ = input;
   Tensor out = tensor::MatmulTransposedB(input, weight_.value);
   int64_t n = out.shape().dim(0);
@@ -38,6 +60,15 @@ Tensor Linear::Forward(const Tensor& input) {
 Tensor Linear::Backward(const Tensor& grad_output) {
   VDRIFT_CHECK(grad_output.shape().ndim() == 2 &&
                grad_output.shape().dim(1) == out_features_);
+  int64_t batch = grad_output.shape().dim(0);
+  // Two GEMMs (dW, dX) plus the bias-gradient column sums.
+  VDRIFT_OP_PROBE(
+      "nn", "linear_backward",
+      4 * batch * in_features_ * out_features_ + batch * out_features_,
+      static_cast<int64_t>(sizeof(float)) *
+          (2 * batch * out_features_ + 2 * batch * in_features_ +
+           2 * static_cast<int64_t>(out_features_) * in_features_ +
+           out_features_));
   // dW += dY^T X ; db += column sums of dY ; dX = dY W.
   Tensor dw = tensor::MatmulTransposedA(grad_output, cached_input_);
   tensor::AddInPlace(&weight_.grad, dw);
@@ -73,6 +104,16 @@ Tensor Conv2d::Forward(const Tensor& input) {
   out_h_ = ConvOutDim(in_h_, kernel_, stride_, pad_);
   out_w_ = ConvOutDim(in_w_, kernel_, stride_, pad_);
   VDRIFT_CHECK(out_h_ > 0 && out_w_ > 0);
+  int64_t out_plane = static_cast<int64_t>(out_h_) * out_w_;
+  int64_t patch = static_cast<int64_t>(in_channels_) * kernel_ * kernel_;
+  // Per sample: im2col GEMM (2 * out_c * patch * out_plane) + bias add.
+  VDRIFT_OP_PROBE(
+      "nn", "conv2d_forward",
+      n * (2 * out_channels_ * patch * out_plane +
+           out_channels_ * out_plane),
+      static_cast<int64_t>(sizeof(float)) *
+          (input.size() + out_channels_ * patch + out_channels_ +
+           n * out_channels_ * out_plane));
   cached_cols_.clear();
   cached_cols_.reserve(static_cast<size_t>(n));
   Tensor out(Shape{n, out_channels_, out_h_, out_w_});
@@ -106,6 +147,17 @@ Tensor Conv2d::Backward(const Tensor& grad_output) {
                grad_output.shape().dim(3) == out_w_);
   VDRIFT_CHECK(static_cast<size_t>(n) == cached_cols_.size())
       << "Backward batch size mismatch";
+  int64_t bw_out_plane = static_cast<int64_t>(out_h_) * out_w_;
+  int64_t bw_patch = static_cast<int64_t>(in_channels_) * kernel_ * kernel_;
+  // Per sample: dW GEMM + dCols GEMM (2 * out_c * patch * out_plane
+  // each), bias row sums, and the col2im accumulate.
+  VDRIFT_OP_PROBE(
+      "nn", "conv2d_backward",
+      n * (4 * out_channels_ * bw_patch * bw_out_plane +
+           out_channels_ * bw_out_plane + bw_patch * bw_out_plane),
+      static_cast<int64_t>(sizeof(float)) * n *
+          (2 * out_channels_ * bw_out_plane + 2 * bw_patch * bw_out_plane +
+           static_cast<int64_t>(in_channels_) * in_h_ * in_w_));
   Tensor grad_input(Shape{n, in_channels_, in_h_, in_w_});
   int64_t plane = static_cast<int64_t>(out_h_) * out_w_;
   int64_t in_plane = static_cast<int64_t>(in_h_) * in_w_;
@@ -133,6 +185,8 @@ Tensor Conv2d::Backward(const Tensor& grad_output) {
 }
 
 Tensor ReLU::Forward(const Tensor& input) {
+  VDRIFT_OP_PROBE("nn", "relu_forward", input.size(),
+                  ElementwiseBytes(input.size()));
   Tensor out = input;
   mask_ = Tensor(input.shape());
   for (int64_t i = 0; i < out.size(); ++i) {
@@ -150,6 +204,8 @@ Tensor ReLU::Backward(const Tensor& grad_output) {
 }
 
 Tensor Sigmoid::Forward(const Tensor& input) {
+  VDRIFT_OP_PROBE("nn", "sigmoid_forward", input.size(),
+                  ElementwiseBytes(input.size()));
   Tensor out = input;
   for (int64_t i = 0; i < out.size(); ++i) {
     out[i] = 1.0f / (1.0f + std::exp(-out[i]));
@@ -168,6 +224,8 @@ Tensor Sigmoid::Backward(const Tensor& grad_output) {
 }
 
 Tensor Tanh::Forward(const Tensor& input) {
+  VDRIFT_OP_PROBE("nn", "tanh_forward", input.size(),
+                  ElementwiseBytes(input.size()));
   Tensor out = input;
   for (int64_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
   cached_output_ = out;
@@ -197,6 +255,9 @@ Tensor Flatten::Backward(const Tensor& grad_output) {
 
 Tensor Upsample2x::Forward(const Tensor& input) {
   VDRIFT_CHECK(input.shape().ndim() == 4);
+  // Replication only: 0 FLOPs, input read once + 4x output written.
+  VDRIFT_OP_PROBE("nn", "upsample2x_forward", 0,
+                  static_cast<int64_t>(sizeof(float)) * 5 * input.size());
   cached_shape_ = input.shape();
   int64_t n = input.shape().dim(0);
   int64_t c = input.shape().dim(1);

@@ -44,6 +44,15 @@ class ScopedTimer {
 /// tells how deep this span sits. The pipeline wraps its run / detect /
 /// select / query sections in spans and derives PipelineMetrics' timing
 /// fields from the recorded histograms.
+///
+/// When the flight recorder (obs/trace_log.h) is enabled, every span also
+/// emits begin/end trace events, so the nested structure is replayable on
+/// a timeline (chrome://tracing / Perfetto).
+///
+/// Spans are expected to unwind LIFO per thread; an explicit Stop() on a
+/// parent while children are live is handled defensively (the children
+/// are closed innermost-first and a warning is logged) instead of
+/// corrupting the thread-local stack.
 class TraceSpan {
  public:
   TraceSpan(MetricsRegistry* registry, std::string name);

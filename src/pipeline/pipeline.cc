@@ -77,7 +77,7 @@ Status DriftAwarePipeline::Recalibrate() {
 
 void DriftAwarePipeline::RecordQueries(const video::Frame& frame,
                                        PipelineMetrics* metrics) {
-  obs::ScopedTimer timer(&metrics->registry->GetHistogram(kQuerySpan));
+  obs::TraceSpan query_span(metrics->registry.get(), kQuerySpan);
   SequenceAccuracy& acc = metrics->per_sequence[frame.truth.sequence_id];
   const select::ModelEntry& entry = registry_->at(deployed_);
   int count_classes = entry.count_model->num_classes();
@@ -183,7 +183,6 @@ Result<PipelineMetrics> DriftAwarePipeline::Run(
       metrics.registry->GetCounter("vdrift.pipeline.frames");
   obs::Counter& drift_counter =
       metrics.registry->GetCounter("vdrift.pipeline.drifts");
-  obs::Histogram& detect_hist = metrics.registry->GetHistogram(kDetectSpan);
   {
     obs::TraceSpan run_span(metrics.registry.get(), kRunSpan);
     video::Frame frame;
@@ -193,7 +192,7 @@ Result<PipelineMetrics> DriftAwarePipeline::Run(
       if (config_.run_queries) RecordQueries(frame, &metrics);
       conformal::DriftInspector::Observation observation;
       {
-        obs::ScopedTimer detect_timer(&detect_hist);
+        obs::TraceSpan detect_span(metrics.registry.get(), kDetectSpan);
         observation = inspector_->Observe(frame.pixels);
       }
       if (observation.drift) {
@@ -237,9 +236,6 @@ OdinPipeline::OdinPipeline(
 Result<PipelineMetrics> OdinPipeline::Run(video::StreamGenerator* stream) {
   PipelineMetrics metrics;
   AttachObservability(&metrics);
-  obs::Histogram& detect_hist = metrics.registry->GetHistogram(kDetectSpan);
-  obs::Histogram& select_hist = metrics.registry->GetHistogram(kSelectSpan);
-  obs::Histogram& query_hist = metrics.registry->GetHistogram(kQuerySpan);
   const conformal::DistributionProfile& encoder =
       *registry_->at(config_.encoder_model).profile;
   obs::TraceSpan run_span(metrics.registry.get(), kRunSpan);
@@ -250,7 +246,7 @@ Result<PipelineMetrics> OdinPipeline::Run(video::StreamGenerator* stream) {
     std::vector<float> latent;
     baseline::OdinObservation observation;
     {
-      obs::ScopedTimer detect_timer(&detect_hist);
+      obs::TraceSpan detect_span(metrics.registry.get(), kDetectSpan);
       latent = encoder.Encode(frame.pixels);
       observation = odin_.Observe(latent);
     }
@@ -283,7 +279,7 @@ Result<PipelineMetrics> OdinPipeline::Run(video::StreamGenerator* stream) {
     // of the nearest permanent cluster.
     std::vector<int> models = observation.models;
     {
-      obs::ScopedTimer select_timer(&select_hist);
+      obs::TraceSpan select_span(metrics.registry.get(), kSelectSpan);
       std::erase_if(models, [](int m) { return m < 0; });
       if (models.empty()) {
         int nearest = -1;
@@ -302,7 +298,7 @@ Result<PipelineMetrics> OdinPipeline::Run(video::StreamGenerator* stream) {
       }
     }
     if (config_.run_queries && !models.empty()) {
-      obs::ScopedTimer query_timer(&query_hist);
+      obs::TraceSpan query_span(metrics.registry.get(), kQuerySpan);
       SequenceAccuracy& acc = metrics.per_sequence[frame.truth.sequence_id];
       // Equal-weight ensemble over the selected models' count classifiers.
       std::vector<float> mixture;

@@ -1,5 +1,7 @@
 #include "tensor/ops.h"
 
+#include "obs/trace_log.h"
+
 namespace vdrift::tensor {
 
 namespace {
@@ -8,6 +10,13 @@ void CheckSameShape(const Tensor& a, const Tensor& b) {
   VDRIFT_CHECK(a.shape() == b.shape())
       << "shape mismatch: " << a.shape().ToString() << " vs "
       << b.shape().ToString();
+}
+
+// GEMM attribution: 2mkn FLOPs (one multiply + one add per inner-product
+// term), bytes = the three operand matrices once through memory.
+int64_t GemmFlops(int64_t m, int64_t k, int64_t n) { return 2 * m * k * n; }
+int64_t GemmBytes(int64_t m, int64_t k, int64_t n) {
+  return static_cast<int64_t>(sizeof(float)) * (m * k + k * n + m * n);
 }
 
 }  // namespace
@@ -68,6 +77,8 @@ Tensor Matmul(const Tensor& a, const Tensor& b) {
       << "matmul inner dim mismatch " << a.shape().ToString() << " x "
       << b.shape().ToString();
   int64_t n = b.shape().dim(1);
+  VDRIFT_OP_PROBE("tensor", "matmul", GemmFlops(m, k, n),
+                  GemmBytes(m, k, n));
   Tensor out(Shape{m, n});
   const float* pa = a.data();
   const float* pb = b.data();
@@ -91,6 +102,8 @@ Tensor MatmulTransposedB(const Tensor& a, const Tensor& b) {
   int64_t k = a.shape().dim(1);
   VDRIFT_CHECK(b.shape().dim(1) == k);
   int64_t n = b.shape().dim(0);
+  VDRIFT_OP_PROBE("tensor", "matmul_transposed_b", GemmFlops(m, k, n),
+                  GemmBytes(m, k, n));
   Tensor out(Shape{m, n});
   const float* pa = a.data();
   const float* pb = b.data();
@@ -113,6 +126,8 @@ Tensor MatmulTransposedA(const Tensor& a, const Tensor& b) {
   int64_t m = a.shape().dim(1);
   VDRIFT_CHECK(b.shape().dim(0) == k);
   int64_t n = b.shape().dim(1);
+  VDRIFT_OP_PROBE("tensor", "matmul_transposed_a", GemmFlops(m, k, n),
+                  GemmBytes(m, k, n));
   Tensor out(Shape{m, n});
   const float* pa = a.data();
   const float* pb = b.data();
@@ -163,6 +178,10 @@ Tensor Im2Col(const Tensor& input, int kh, int kw, int stride, int pad,
   int64_t width = input.shape().dim(2);
   int64_t rows = channels * kh * kw;
   int64_t cols = static_cast<int64_t>(out_h) * out_w;
+  // Pure data movement: 0 FLOPs, input read once + output written once.
+  VDRIFT_OP_PROBE("tensor", "im2col", 0,
+                  static_cast<int64_t>(sizeof(float)) *
+                      (input.size() + rows * cols));
   Tensor out(Shape{rows, cols});
   const float* in = input.data();
   float* po = out.data();
@@ -195,6 +214,12 @@ Tensor Col2Im(const Tensor& cols, int channels, int height, int width, int kh,
   VDRIFT_CHECK(cols.shape().dim(0) ==
                static_cast<int64_t>(channels) * kh * kw);
   VDRIFT_CHECK(cols.shape().dim(1) == static_cast<int64_t>(out_h) * out_w);
+  // One accumulate per column cell; operands once through memory.
+  VDRIFT_OP_PROBE(
+      "tensor", "col2im", cols.size(),
+      static_cast<int64_t>(sizeof(float)) *
+          (cols.size() +
+           static_cast<int64_t>(channels) * height * width));
   Tensor out(Shape{channels, height, width});
   const float* pc = cols.data();
   float* po = out.data();

@@ -17,6 +17,7 @@
 #include "nn/optimizer.h"
 #include "nn/sequential.h"
 #include "nn/serialize.h"
+#include "obs/metrics.h"
 #include "stats/moments.h"
 #include "stats/rng.h"
 #include "tensor/ops.h"
@@ -144,6 +145,41 @@ TEST(Conv2dTest, GradientsMatchFiniteDifferences) {
   Conv2d conv(2, 3, 3, 2, 1, &rng);
   Tensor x = RandomTensor(Shape{2, 2, 5, 5}, &rng, 0.5);
   CheckLayerGradients(&conv, x, 5e-2f);
+}
+
+// Kernel-probe attribution against the closed-form layer FLOP counts
+// (deltas: the vdrift.ops.nn.* counters are process-wide).
+TEST(LinearTest, ForwardAttributesFlops) {
+  obs::MetricsRegistry& global = obs::Global();
+  int64_t flops =
+      global.GetCounter("vdrift.ops.nn.linear_forward.flops").value();
+  int64_t calls =
+      global.GetCounter("vdrift.ops.nn.linear_forward.calls").value();
+  Rng rng(21);
+  Linear lin(4, 5, &rng);
+  Tensor x = RandomTensor(Shape{3, 4}, &rng);
+  Tensor y = lin.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{3, 5}));
+  EXPECT_EQ(global.GetCounter("vdrift.ops.nn.linear_forward.calls").value(),
+            calls + 1);
+  // GEMM (2 * 3 * 4 * 5) + bias add (3 * 5).
+  EXPECT_EQ(global.GetCounter("vdrift.ops.nn.linear_forward.flops").value(),
+            flops + 135);
+}
+
+TEST(Conv2dTest, ForwardAttributesFlops) {
+  obs::MetricsRegistry& global = obs::Global();
+  int64_t flops =
+      global.GetCounter("vdrift.ops.nn.conv2d_forward.flops").value();
+  Rng rng(22);
+  Conv2d conv(2, 3, 3, 1, 1, &rng);
+  Tensor x = RandomTensor(Shape{2, 2, 4, 4}, &rng);
+  Tensor y = conv.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 3, 4, 4}));
+  // Per sample: GEMM 2 * out_c * (in_c * k * k) * (out_h * out_w)
+  // = 2 * 3 * 18 * 16 = 1728, plus bias add 3 * 16 = 48; N = 2.
+  EXPECT_EQ(global.GetCounter("vdrift.ops.nn.conv2d_forward.flops").value(),
+            flops + 2 * (1728 + 48));
 }
 
 TEST(ReLUTest, ForwardAndGradient) {

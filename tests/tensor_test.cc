@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "stats/rng.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
@@ -221,6 +222,44 @@ TEST(Im2ColTest, Col2ImRoundTripNonOverlapping) {
   Tensor cols = Im2Col(img, 2, 2, 2, 0, out, out);
   Tensor back = Col2Im(cols, 3, 8, 8, 2, 2, 2, 0, out, out);
   ExpectTensorsNear(back, img, 1e-6f);
+}
+
+// The kernel probes attribute work even with profiling off: counters are
+// process-wide, so these assert deltas against hand-computed formulas.
+TEST(OpsTest, MatmulAttributesFlopsAndBytes) {
+  obs::MetricsRegistry& global = obs::Global();
+  int64_t calls = global.GetCounter("vdrift.ops.tensor.matmul.calls").value();
+  int64_t flops = global.GetCounter("vdrift.ops.tensor.matmul.flops").value();
+  int64_t bytes = global.GetCounter("vdrift.ops.tensor.matmul.bytes").value();
+  Rng rng(77);
+  Tensor a = RandomTensor(Shape{3, 4}, &rng);
+  Tensor b = RandomTensor(Shape{4, 5}, &rng);
+  Tensor c = Matmul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{3, 5}));
+  EXPECT_EQ(global.GetCounter("vdrift.ops.tensor.matmul.calls").value(),
+            calls + 1);
+  // 2mkn multiply-adds: 2 * 3 * 4 * 5.
+  EXPECT_EQ(global.GetCounter("vdrift.ops.tensor.matmul.flops").value(),
+            flops + 120);
+  // Three operand matrices once through memory: 4 * (12 + 20 + 15).
+  EXPECT_EQ(global.GetCounter("vdrift.ops.tensor.matmul.bytes").value(),
+            bytes + 188);
+}
+
+TEST(Im2ColTest, Im2ColAttributesZeroFlops) {
+  obs::MetricsRegistry& global = obs::Global();
+  int64_t calls = global.GetCounter("vdrift.ops.tensor.im2col.calls").value();
+  int64_t flops = global.GetCounter("vdrift.ops.tensor.im2col.flops").value();
+  Rng rng(78);
+  Tensor img = RandomTensor(Shape{2, 4, 4}, &rng);
+  int out = ConvOutDim(4, 2, 2, 0);
+  Tensor cols = Im2Col(img, 2, 2, 2, 0, out, out);
+  EXPECT_GT(cols.size(), 0);
+  EXPECT_EQ(global.GetCounter("vdrift.ops.tensor.im2col.calls").value(),
+            calls + 1);
+  // Pure data movement carries no arithmetic attribution.
+  EXPECT_EQ(global.GetCounter("vdrift.ops.tensor.im2col.flops").value(),
+            flops);
 }
 
 TEST(Im2ColTest, Col2ImAccumulatesOverlaps) {

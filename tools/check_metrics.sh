@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# Runs one bench harness and validates the metrics JSON report it emits:
-# the report must parse, carry a per-frame DI latency histogram with
-# p50/p99, non-empty counters, and at least one drift episode.
+# Runs one bench harness with the full observability surface armed and
+# validates everything it emits:
+#   - the metrics JSON report (counters, DI latency histogram, episodes),
+#   - the flight-recorder Chrome trace (well-formed event array, ph in
+#     {B,E,X}, monotonic timestamps per tid, nested pipeline stage spans,
+#     tensor-op events carrying FLOP args),
+#   - the BENCH_*.json harness report (schema + quantile ordering).
 #
 # Usage: tools/check_metrics.sh [build_dir]
 # Env:   VDRIFT_BENCH_DATASET (default Tokyo — the cheapest workbench).
@@ -17,16 +21,22 @@ fi
 
 export VDRIFT_BENCH_DATASET="${VDRIFT_BENCH_DATASET:-Tokyo}"
 REPORT="$(mktemp /tmp/vdrift_metrics.XXXXXX.json)"
-trap 'rm -f "$REPORT"' EXIT
+TRACE="$(mktemp /tmp/vdrift_trace.XXXXXX.json)"
+BENCH_JSON="$(mktemp /tmp/vdrift_bench.XXXXXX.json)"
+trap 'rm -f "$REPORT" "$TRACE" "$BENCH_JSON"' EXIT
 export VDRIFT_METRICS_JSON="$REPORT"
+export VDRIFT_TRACE_JSON="$TRACE"
+export VDRIFT_BENCH_JSON="$BENCH_JSON"
 
-echo "running $BENCH (dataset=$VDRIFT_BENCH_DATASET)..."
+echo "running $BENCH (dataset=$VDRIFT_BENCH_DATASET, trace+bench armed)..."
 "$BENCH"
 
-if [[ ! -s "$REPORT" ]]; then
-  echo "FAIL: bench did not write $REPORT" >&2
-  exit 1
-fi
+for f in "$REPORT" "$TRACE" "$BENCH_JSON"; do
+  if [[ ! -s "$f" ]]; then
+    echo "FAIL: bench did not write $f" >&2
+    exit 1
+  fi
+done
 
 python3 - "$REPORT" <<'EOF'
 import json
@@ -64,4 +74,103 @@ print(f"OK: {len(report['counters'])} counters, "
       f"{len(report.get('histograms', {}))} histograms, "
       f"DI p50={hist['p50']:.6f}s p99={hist['p99']:.6f}s, "
       f"{len(episodes)} drift episode(s)")
+EOF
+
+python3 - "$TRACE" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+
+def fail(msg):
+    print(f"FAIL: trace: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+events = trace.get("traceEvents")
+if not isinstance(events, list) or not events:
+    fail("traceEvents missing or empty")
+last_ts = {}
+names = set()
+op_events = 0
+flop_events = 0
+for e in events:
+    ph = e.get("ph")
+    if ph not in ("B", "E", "X"):
+        fail(f"bad phase {ph!r} in event {e}")
+    for key in ("name", "ts", "pid", "tid"):
+        if key not in e:
+            fail(f"event missing {key}: {e}")
+    tid = e["tid"]
+    if e["ts"] < last_ts.get(tid, float("-inf")):
+        fail(f"timestamps not monotonic on tid {tid} at {e['name']}")
+    last_ts[tid] = e["ts"]
+    names.add(e["name"])
+    if e.get("cat") == "op":
+        op_events += 1
+        if ph != "X":
+            fail("op event without complete (X) phase")
+        if "dur" not in e:
+            fail("op event missing dur")
+        if e.get("args", {}).get("flops", 0) > 0:
+            flop_events += 1
+for stage in ("vdrift.pipeline.run_seconds",
+              "vdrift.pipeline.detect_seconds",
+              "vdrift.pipeline.select_seconds",
+              "vdrift.pipeline.query_seconds"):
+    if stage not in names:
+        fail(f"missing pipeline stage span {stage}")
+if op_events == 0:
+    fail("no tensor/nn op events recorded")
+if flop_events == 0:
+    fail("no op event carries a positive FLOP count")
+
+print(f"OK: trace has {len(events)} events on {len(last_ts)} thread(s), "
+      f"{op_events} op event(s) ({flop_events} with FLOPs), "
+      f"nested pipeline stage spans present")
+EOF
+
+python3 - "$BENCH_JSON" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+def fail(msg):
+    print(f"FAIL: bench report: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+for key in ("name", "git_rev", "config", "counters", "stages",
+            "throughput_fps", "flops_total", "bytes_total"):
+    if key not in report:
+        fail(f"missing top-level key {key}")
+for key in ("repeats", "warmup", "seed", "smoke", "dataset_filter"):
+    if key not in report["config"]:
+        fail(f"config missing {key}")
+if not report["stages"]:
+    fail("no stages recorded")
+populated = 0
+for name, stage in report["stages"].items():
+    for key in ("count", "fps", "min", "max", "mean", "p50", "p90", "p99",
+                "sum_seconds"):
+        if key not in stage:
+            fail(f"stage {name} missing {key}")
+    if stage["count"] > 0:
+        populated += 1
+        if not (stage["p50"] <= stage["p90"] + 1e-12
+                and stage["p90"] <= stage["p99"] + 1e-12):
+            fail(f"stage {name} quantiles not ordered: "
+                 f"{stage['p50']} / {stage['p90']} / {stage['p99']}")
+if populated == 0:
+    fail("every stage is empty")
+if report["throughput_fps"] <= 0:
+    fail(f"non-positive throughput_fps {report['throughput_fps']}")
+if report["flops_total"] <= 0:
+    fail("flops_total not positive (kernel probes inactive?)")
+
+print(f"OK: bench report {report['name']} @ {report['git_rev']}: "
+      f"{populated} populated stage(s), "
+      f"throughput {report['throughput_fps']:.2f} fps, "
+      f"{report['flops_total']:,} FLOPs")
 EOF

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_*.json harness reports.
+
+Compares a candidate report (or a directory of them) against a baseline
+and exits non-zero when any shared stage's p50 latency slowed down by more
+than the threshold, or the headline throughput dropped by more than the
+threshold. Stages whose baseline p50 is below --min-seconds are ignored
+(timer noise dominates down there).
+
+Usage:
+  tools/compare_bench.py --baseline BENCH_x.json --candidate BENCH_y.json
+  tools/compare_bench.py --baseline baseline_dir/ --candidate out_dir/
+  tools/compare_bench.py --baseline base/ --candidate out/ --threshold 0.1
+
+Directory mode pairs files by filename; candidates without a baseline
+counterpart are reported as "new" and skipped.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_report(path):
+    with open(path) as f:
+        report = json.load(f)
+    for key in ("name", "stages", "throughput_fps"):
+        if key not in report:
+            raise ValueError(f"{path}: not a bench report (missing {key!r})")
+    return report
+
+
+def pair_reports(baseline, candidate):
+    """Yields (label, baseline_path, candidate_path) for file or dir mode."""
+    if os.path.isdir(candidate) != os.path.isdir(baseline):
+        raise ValueError("--baseline and --candidate must both be files or "
+                         "both be directories")
+    if not os.path.isdir(candidate):
+        yield os.path.basename(candidate), baseline, candidate
+        return
+    names = sorted(n for n in os.listdir(candidate)
+                   if n.startswith("BENCH_") and n.endswith(".json"))
+    if not names:
+        raise ValueError(f"no BENCH_*.json in {candidate}")
+    for name in names:
+        base = os.path.join(baseline, name)
+        if not os.path.exists(base):
+            print(f"  new (no baseline): {name}")
+            continue
+        yield name, base, os.path.join(candidate, name)
+
+
+def compare_one(label, base, cand, threshold, min_seconds):
+    """Prints the comparison; returns the list of regression descriptions."""
+    regressions = []
+    print(f"{label}: {base.get('git_rev', '?')} -> "
+          f"{cand.get('git_rev', '?')}")
+    shared = sorted(set(base["stages"]) & set(cand["stages"]))
+    if not shared:
+        regressions.append(f"{label}: no shared stages with baseline")
+    for stage in shared:
+        b = base["stages"][stage]
+        c = cand["stages"][stage]
+        if b.get("count", 0) <= 0 or c.get("count", 0) <= 0:
+            continue
+        if b["p50"] < min_seconds:
+            continue
+        ratio = c["p50"] / b["p50"] if b["p50"] > 0 else float("inf")
+        marker = " "
+        if ratio > 1.0 + threshold:
+            marker = "R"
+            regressions.append(
+                f"{label}: stage {stage} p50 {b['p50']:.6f}s -> "
+                f"{c['p50']:.6f}s ({ratio:.2f}x, limit "
+                f"{1.0 + threshold:.2f}x)")
+        print(f"  [{marker}] {stage}: p50 {b['p50']:.6f}s -> "
+              f"{c['p50']:.6f}s ({ratio:.2f}x)")
+    b_fps = base["throughput_fps"]
+    c_fps = cand["throughput_fps"]
+    if b_fps > 0 and c_fps < b_fps * (1.0 - threshold):
+        regressions.append(
+            f"{label}: throughput {b_fps:.2f} -> {c_fps:.2f} fps "
+            f"({c_fps / b_fps:.2f}x, limit {1.0 - threshold:.2f}x)")
+        print(f"  [R] throughput: {b_fps:.2f} -> {c_fps:.2f} fps")
+    else:
+        print(f"  [ ] throughput: {b_fps:.2f} -> {c_fps:.2f} fps")
+    return regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", required=True,
+                        help="baseline BENCH_*.json or a directory of them")
+    parser.add_argument("--candidate", required=True,
+                        help="candidate BENCH_*.json or a directory of them")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional p50/throughput regression "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--min-seconds", type=float, default=1e-5,
+                        help="ignore stages whose baseline p50 is below "
+                             "this (default 1e-5 s)")
+    args = parser.parse_args()
+
+    regressions = []
+    try:
+        for label, base_path, cand_path in pair_reports(args.baseline,
+                                                        args.candidate):
+            regressions += compare_one(label, load_report(base_path),
+                                       load_report(cand_path),
+                                       args.threshold, args.min_seconds)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"FAIL: {err}", file=sys.stderr)
+        return 2
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no stage regressed beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Runs every harness-migrated bench and collects their canonical
+# BENCH_<name>.json reports (throughput, per-stage p50/p90/p99, FLOP
+# totals, git revision) into one directory — the artifact set
+# tools/compare_bench.py gates regressions on.
+#
+# Usage: tools/run_bench_suite.sh [options] [bench ...]
+#   --build-dir DIR   build tree to run from (default: build)
+#   --out-dir DIR     where BENCH_*.json land (default: repo root)
+#   --smoke           1 repeat / no warmup / tiny Tokyo-only workbench
+#   --asan            configure+build build-asan with
+#                     -DVDRIFT_ENABLE_SANITIZERS=ON and run from there
+#   bench ...         subset to run (default: all migrated benches)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+REPO_ROOT="$(pwd)"
+
+BUILD_DIR="build"
+OUT_DIR="$REPO_ROOT"
+SMOKE=0
+ASAN=0
+BENCHES=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --out-dir) OUT_DIR="$2"; shift 2 ;;
+    --smoke) SMOKE=1; shift ;;
+    --asan) ASAN=1; shift ;;
+    -h|--help) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    -*) echo "unknown option: $1" >&2; exit 2 ;;
+    *) BENCHES+=("$1"); shift ;;
+  esac
+done
+if [[ ${#BENCHES[@]} -eq 0 ]]; then
+  BENCHES=(bench_micro_components bench_table6_detection_time
+           bench_table8_selection_time bench_table9_end_to_end)
+fi
+
+if [[ "$ASAN" -eq 1 ]]; then
+  BUILD_DIR="build-asan"
+  echo "== configuring $BUILD_DIR with sanitizers =="
+  cmake -B "$BUILD_DIR" -S . -DVDRIFT_ENABLE_SANITIZERS=ON
+fi
+echo "== building ${BENCHES[*]} in $BUILD_DIR =="
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${BENCHES[@]}"
+
+mkdir -p "$OUT_DIR"
+export VDRIFT_GIT_REV="${VDRIFT_GIT_REV:-$(git rev-parse --short=12 HEAD \
+                                           2>/dev/null || echo unknown)}"
+if [[ "$SMOKE" -eq 1 ]]; then
+  export VDRIFT_BENCH_SMOKE=1
+fi
+
+FAILED=0
+for bench in "${BENCHES[@]}"; do
+  binary="$BUILD_DIR/bench/$bench"
+  if [[ ! -x "$binary" ]]; then
+    echo "FAIL: $binary not built" >&2
+    FAILED=1
+    continue
+  fi
+  name="${bench#bench_}"
+  report="$OUT_DIR/BENCH_${name}.json"
+  echo
+  echo "== $bench (rev $VDRIFT_GIT_REV) =="
+  if ! VDRIFT_BENCH_JSON="$report" "$binary"; then
+    echo "FAIL: $bench exited non-zero" >&2
+    FAILED=1
+    continue
+  fi
+  if [[ ! -s "$report" ]]; then
+    echo "FAIL: $bench wrote no report at $report" >&2
+    FAILED=1
+  fi
+done
+
+echo
+if [[ "$FAILED" -ne 0 ]]; then
+  echo "bench suite FAILED (see above)" >&2
+  exit 1
+fi
+ls -l "$OUT_DIR"/BENCH_*.json
+echo "bench suite OK: reports in $OUT_DIR"
+echo "compare against a baseline with:"
+echo "  tools/compare_bench.py --baseline <dir> --candidate $OUT_DIR"
