@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
+#include "runtime/parallel.h"
 
 namespace vdrift::select {
 
@@ -18,28 +19,46 @@ Msbi::Msbi(const ModelRegistry* registry, const MsbiConfig& config)
 std::vector<int> Msbi::Round(const std::vector<tensor::Tensor>& window,
                              const std::vector<int>& candidates, double r,
                              int* invocations) const {
-  std::vector<int> survivors;
-  for (int index : candidates) {
-    const ModelEntry& entry = registry_->at(index);
-    conformal::DriftInspectorConfig di_config;
-    di_config.window = config_.di_window;
-    di_config.r = r;
-    di_config.threshold = config_.threshold;
-    di_config.betting = config_.betting;
-    conformal::DriftInspector inspector(entry.profile.get(), di_config,
-                                        config_.seed +
-                                            static_cast<uint64_t>(index));
+  // Candidates are independent: each runs its own seeded DriftInspector
+  // over its own profile (distinct VAE/state per model, so concurrent
+  // Observe calls never share mutable layer caches). Per-candidate
+  // verdicts land in fixed slots and fold in candidate order below, so
+  // survivors and invocation counts match the serial sweep exactly.
+  struct CandidateResult {
     bool drift = false;
-    int limit = std::min<int>(config_.window_n,
-                              static_cast<int>(window.size()));
-    for (int i = 0; i < limit; ++i) {
-      ++(*invocations);
-      if (inspector.Observe(window[static_cast<size_t>(i)]).drift) {
-        drift = true;
-        break;  // this profile is rejected; no need to finish the window
-      }
-    }
-    if (!drift) survivors.push_back(index);
+    int invocations = 0;
+  };
+  std::vector<CandidateResult> results(candidates.size());
+  int limit =
+      std::min<int>(config_.window_n, static_cast<int>(window.size()));
+  runtime::ParallelFor(
+      0, static_cast<int64_t>(candidates.size()), 1,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t c = begin; c < end; ++c) {
+          int index = candidates[static_cast<size_t>(c)];
+          const ModelEntry& entry = registry_->at(index);
+          conformal::DriftInspectorConfig di_config;
+          di_config.window = config_.di_window;
+          di_config.r = r;
+          di_config.threshold = config_.threshold;
+          di_config.betting = config_.betting;
+          conformal::DriftInspector inspector(
+              entry.profile.get(), di_config,
+              config_.seed + static_cast<uint64_t>(index));
+          CandidateResult& result = results[static_cast<size_t>(c)];
+          for (int i = 0; i < limit; ++i) {
+            ++result.invocations;
+            if (inspector.Observe(window[static_cast<size_t>(i)]).drift) {
+              result.drift = true;
+              break;  // profile rejected; no need to finish the window
+            }
+          }
+        }
+      });
+  std::vector<int> survivors;
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    *invocations += results[c].invocations;
+    if (!results[c].drift) survivors.push_back(candidates[c]);
   }
   return survivors;
 }

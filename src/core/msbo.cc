@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
+#include "runtime/parallel.h"
 #include "stats/moments.h"
 
 namespace vdrift::select {
@@ -107,15 +108,25 @@ Result<Selection> Msbo::Select(const std::vector<LabeledFrame>& window) const {
 
   Selection selection;
   selection.frames_examined = limit;
+  // Candidate models score independently (each ensemble owns its model
+  // state); the argmin folds in registry order afterwards, so the winner
+  // and tie-breaks match the serial sweep.
+  std::vector<double> briers(static_cast<size_t>(registry_->size()), 0.0);
+  runtime::ParallelFor(
+      0, registry_->size(), 1, [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          const ModelEntry& entry = registry_->at(static_cast<int>(i));
+          VDRIFT_CHECK(entry.ensemble != nullptr)
+              << "MSBO requires an ensemble for model " << entry.name;
+          briers[static_cast<size_t>(i)] = entry.ensemble->AverageBrier(eval);
+        }
+      });
   int best = -1;
   double best_brier = 0.0;
   for (int i = 0; i < registry_->size(); ++i) {
-    const ModelEntry& entry = registry_->at(i);
-    VDRIFT_CHECK(entry.ensemble != nullptr)
-        << "MSBO requires an ensemble for model " << entry.name;
-    double brier = entry.ensemble->AverageBrier(eval);
     // Each frame is evaluated by every ensemble member (Alg. 3 lines 5-11).
-    selection.invocations += limit * entry.ensemble->size();
+    selection.invocations += limit * registry_->at(i).ensemble->size();
+    double brier = briers[static_cast<size_t>(i)];
     if (best < 0 || brier < best_brier) {
       best = i;
       best_brier = brier;

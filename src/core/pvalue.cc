@@ -16,8 +16,14 @@ double ComputePValue(double a_f, const std::vector<double>& sorted_scores,
       std::lower_bound(sorted_scores.begin(), sorted_scores.end(), a_f);
   double greater = static_cast<double>(sorted_scores.end() - upper);
   double equal = static_cast<double>(upper - lower);
-  double u = rng->NextDouble();
-  return (greater + u * equal) / static_cast<double>(sorted_scores.size());
+  // U in (0, 1]: NextDouble() is [0, 1), so 1 - NextDouble() excludes the
+  // zero that would collapse p to 0 when a_f exceeds every reference
+  // score (the test score counts as tied with itself, hence `equal + 1`
+  // and the n + 1 denominator). Guarantees p in (0, 1], keeping power
+  // betting increments b(p) = eps * p^(eps-1) finite.
+  double u = 1.0 - rng->NextDouble();
+  return (greater + u * (equal + 1.0)) /
+         static_cast<double>(sorted_scores.size() + 1);
 }
 
 }  // namespace vdrift::conformal

@@ -7,14 +7,21 @@
 
 namespace vdrift::conformal {
 
-/// Conformal p-value of a new observation with score `a_f` against the
-/// precomputed reference scores (paper Eq. 1 / Alg. 1 lines 4-9):
+/// Smoothed conformal p-value of a new observation with score `a_f`
+/// against the precomputed reference scores (paper Eq. 1 / Alg. 1 lines
+/// 4-9, with the test score included in its own comparison set):
 ///
-///   p = ( #{ A_i > a_f }  +  U * #{ A_i = a_f } ) / n
+///   p = ( #{ A_i > a_f }  +  U * (#{ A_i = a_f } + 1) ) / (n + 1)
 ///
-/// with U uniform in [0,1) breaking ties randomly. A *small* p means the
+/// with U uniform in (0,1] breaking ties randomly. The "+1" terms count
+/// the test score as tied with itself, so p is strictly positive even
+/// when a_f exceeds every reference score — without them p = 0 there,
+/// and the power betting function b(p) = eps * p^(eps-1) would feed an
+/// unbounded increment into the conformal martingale. Under
+/// exchangeability p is uniform on (0,1]; a *small* p means the
 /// observation is strange (its non-conformity exceeds most of the
-/// reference sample). `sorted_scores` must be ascending.
+/// reference sample). `sorted_scores` must be ascending. Guarantees
+/// p in (0, 1] on every input.
 double ComputePValue(double a_f, const std::vector<double>& sorted_scores,
                      stats::Rng* rng);
 

@@ -4,10 +4,13 @@
 
 #include "nn/init.h"
 #include "obs/trace_log.h"
+#include "runtime/parallel.h"
 #include "tensor/ops.h"
 
 namespace vdrift::nn {
 
+using runtime::GrainForCost;
+using runtime::ParallelFor;
 using tensor::ConvOutDim;
 using tensor::Shape;
 using tensor::Tensor;
@@ -20,6 +23,10 @@ namespace {
 int64_t ElementwiseBytes(int64_t elements) {
   return 2 * static_cast<int64_t>(sizeof(float)) * elements;
 }
+
+// Activation loops are pure per-element maps; transcendentals are costed
+// a few units so small tensors stay inline (see GrainForCost).
+constexpr int64_t kActivationGrain = 1 << 13;
 
 }  // namespace
 
@@ -49,11 +56,17 @@ Tensor Linear::Forward(const Tensor& input) {
   cached_input_ = input;
   Tensor out = tensor::MatmulTransposedB(input, weight_.value);
   int64_t n = out.shape().dim(0);
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = 0; j < out_features_; ++j) {
-      out.At2(i, j) += bias_.value[j];
-    }
-  }
+  float* po = out.data();
+  const float* pbias = bias_.value.data();
+  ParallelFor(0, n, GrainForCost(out_features_),
+              [&](int64_t row_begin, int64_t row_end) {
+                for (int64_t i = row_begin; i < row_end; ++i) {
+                  float* row = po + i * out_features_;
+                  for (int64_t j = 0; j < out_features_; ++j) {
+                    row[j] += pbias[j];
+                  }
+                }
+              });
   return out;
 }
 
@@ -73,11 +86,18 @@ Tensor Linear::Backward(const Tensor& grad_output) {
   Tensor dw = tensor::MatmulTransposedA(grad_output, cached_input_);
   tensor::AddInPlace(&weight_.grad, dw);
   int64_t n = grad_output.shape().dim(0);
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = 0; j < out_features_; ++j) {
-      bias_.grad[j] += grad_output.At2(i, j);
-    }
-  }
+  const float* pdy = grad_output.data();
+  float* pdb = bias_.grad.data();
+  // Columns of db are independent; each keeps the serial (ascending i)
+  // accumulation order.
+  ParallelFor(0, out_features_, GrainForCost(n),
+              [&](int64_t col_begin, int64_t col_end) {
+                for (int64_t j = col_begin; j < col_end; ++j) {
+                  for (int64_t i = 0; i < n; ++i) {
+                    pdb[j] += pdy[i * out_features_ + j];
+                  }
+                }
+              });
   return tensor::Matmul(grad_output, weight_.value);
 }
 
@@ -114,28 +134,33 @@ Tensor Conv2d::Forward(const Tensor& input) {
       static_cast<int64_t>(sizeof(float)) *
           (input.size() + out_channels_ * patch + out_channels_ +
            n * out_channels_ * out_plane));
-  cached_cols_.clear();
-  cached_cols_.reserve(static_cast<size_t>(n));
+  cached_cols_.assign(static_cast<size_t>(n), Tensor());
   Tensor out(Shape{n, out_channels_, out_h_, out_w_});
   int64_t plane = static_cast<int64_t>(out_h_) * out_w_;
-  for (int64_t s = 0; s < n; ++s) {
-    // View of sample s as [C, H, W].
-    Tensor sample(Shape{in_channels_, in_h_, in_w_});
-    const float* src = input.data() +
-                       s * in_channels_ * static_cast<int64_t>(in_h_) * in_w_;
-    std::copy(src, src + sample.size(), sample.data());
-    Tensor cols =
-        tensor::Im2Col(sample, kernel_, kernel_, stride_, pad_, out_h_, out_w_);
-    Tensor result = tensor::Matmul(weight_.value, cols);
-    float* dst = out.data() + s * out_channels_ * plane;
-    for (int64_t c = 0; c < out_channels_; ++c) {
-      float b = bias_.value[c];
-      for (int64_t p = 0; p < plane; ++p) {
-        dst[c * plane + p] = result[c * plane + p] + b;
+  // Samples are independent: each writes its own output block and
+  // cached_cols_ slot (pre-sized above, so no container mutation races).
+  // Nested tensor-op parallelism runs inline inside a sample chunk.
+  ParallelFor(0, n, 1, [&](int64_t s_begin, int64_t s_end) {
+    for (int64_t s = s_begin; s < s_end; ++s) {
+      // View of sample s as [C, H, W].
+      Tensor sample(Shape{in_channels_, in_h_, in_w_});
+      const float* src =
+          input.data() +
+          s * in_channels_ * static_cast<int64_t>(in_h_) * in_w_;
+      std::copy(src, src + sample.size(), sample.data());
+      Tensor cols = tensor::Im2Col(sample, kernel_, kernel_, stride_, pad_,
+                                   out_h_, out_w_);
+      Tensor result = tensor::Matmul(weight_.value, cols);
+      float* dst = out.data() + s * out_channels_ * plane;
+      for (int64_t c = 0; c < out_channels_; ++c) {
+        float b = bias_.value[c];
+        for (int64_t p = 0; p < plane; ++p) {
+          dst[c * plane + p] = result[c * plane + p] + b;
+        }
       }
+      cached_cols_[static_cast<size_t>(s)] = std::move(cols);
     }
-    cached_cols_.push_back(std::move(cols));
-  }
+  });
   return out;
 }
 
@@ -161,25 +186,42 @@ Tensor Conv2d::Backward(const Tensor& grad_output) {
   Tensor grad_input(Shape{n, in_channels_, in_h_, in_w_});
   int64_t plane = static_cast<int64_t>(out_h_) * out_w_;
   int64_t in_plane = static_cast<int64_t>(in_h_) * in_w_;
-  for (int64_t s = 0; s < n; ++s) {
-    Tensor dy(Shape{out_channels_, plane});
-    const float* src = grad_output.data() + s * out_channels_ * plane;
-    std::copy(src, src + dy.size(), dy.data());
-    // dW += dY cols^T ; db += row sums of dY.
-    Tensor dw =
-        tensor::MatmulTransposedB(dy, cached_cols_[static_cast<size_t>(s)]);
-    tensor::AddInPlace(&weight_.grad, dw);
-    for (int64_t c = 0; c < out_channels_; ++c) {
-      double acc = 0.0;
-      for (int64_t p = 0; p < plane; ++p) acc += dy[c * plane + p];
-      bias_.grad[c] += static_cast<float>(acc);
+  // Per-sample weight/bias contributions land in thread-private slots and
+  // fold into the shared gradients in ascending sample order afterwards —
+  // the exact accumulation order of the serial loop, so parallel backward
+  // is bit-identical to VDRIFT_THREADS=1.
+  std::vector<Tensor> sample_dw(static_cast<size_t>(n));
+  std::vector<std::vector<float>> sample_db(
+      static_cast<size_t>(n),
+      std::vector<float>(static_cast<size_t>(out_channels_), 0.0f));
+  ParallelFor(0, n, 1, [&](int64_t s_begin, int64_t s_end) {
+    for (int64_t s = s_begin; s < s_end; ++s) {
+      Tensor dy(Shape{out_channels_, plane});
+      const float* src = grad_output.data() + s * out_channels_ * plane;
+      std::copy(src, src + dy.size(), dy.data());
+      // dW_s = dY cols^T ; db_s = row sums of dY.
+      sample_dw[static_cast<size_t>(s)] =
+          tensor::MatmulTransposedB(dy, cached_cols_[static_cast<size_t>(s)]);
+      std::vector<float>& db = sample_db[static_cast<size_t>(s)];
+      for (int64_t c = 0; c < out_channels_; ++c) {
+        double acc = 0.0;
+        for (int64_t p = 0; p < plane; ++p) acc += dy[c * plane + p];
+        db[static_cast<size_t>(c)] = static_cast<float>(acc);
+      }
+      // dCols = W^T dY ; dX = col2im(dCols).
+      Tensor dcols = tensor::MatmulTransposedA(weight_.value, dy);
+      Tensor dx = tensor::Col2Im(dcols, in_channels_, in_h_, in_w_, kernel_,
+                                 kernel_, stride_, pad_, out_h_, out_w_);
+      float* dst = grad_input.data() + s * in_channels_ * in_plane;
+      std::copy(dx.data(), dx.data() + dx.size(), dst);
     }
-    // dCols = W^T dY ; dX = col2im(dCols).
-    Tensor dcols = tensor::MatmulTransposedA(weight_.value, dy);
-    Tensor dx = tensor::Col2Im(dcols, in_channels_, in_h_, in_w_, kernel_,
-                               kernel_, stride_, pad_, out_h_, out_w_);
-    float* dst = grad_input.data() + s * in_channels_ * in_plane;
-    std::copy(dx.data(), dx.data() + dx.size(), dst);
+  });
+  for (int64_t s = 0; s < n; ++s) {
+    tensor::AddInPlace(&weight_.grad, sample_dw[static_cast<size_t>(s)]);
+    const std::vector<float>& db = sample_db[static_cast<size_t>(s)];
+    for (int64_t c = 0; c < out_channels_; ++c) {
+      bias_.grad[c] += db[static_cast<size_t>(c)];
+    }
   }
   return grad_input;
 }
@@ -189,13 +231,18 @@ Tensor ReLU::Forward(const Tensor& input) {
                   ElementwiseBytes(input.size()));
   Tensor out = input;
   mask_ = Tensor(input.shape());
-  for (int64_t i = 0; i < out.size(); ++i) {
-    if (out[i] > 0.0f) {
-      mask_[i] = 1.0f;
-    } else {
-      out[i] = 0.0f;
-    }
-  }
+  float* po = out.data();
+  float* pm = mask_.data();
+  ParallelFor(0, out.size(), kActivationGrain,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) {
+                  if (po[i] > 0.0f) {
+                    pm[i] = 1.0f;
+                  } else {
+                    po[i] = 0.0f;
+                  }
+                }
+              });
   return out;
 }
 
@@ -207,19 +254,27 @@ Tensor Sigmoid::Forward(const Tensor& input) {
   VDRIFT_OP_PROBE("nn", "sigmoid_forward", input.size(),
                   ElementwiseBytes(input.size()));
   Tensor out = input;
-  for (int64_t i = 0; i < out.size(); ++i) {
-    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
-  }
+  float* po = out.data();
+  ParallelFor(0, out.size(), kActivationGrain,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) {
+                  po[i] = 1.0f / (1.0f + std::exp(-po[i]));
+                }
+              });
   cached_output_ = out;
   return out;
 }
 
 Tensor Sigmoid::Backward(const Tensor& grad_output) {
   Tensor grad = grad_output;
-  for (int64_t i = 0; i < grad.size(); ++i) {
-    float y = cached_output_[i];
-    grad[i] *= y * (1.0f - y);
-  }
+  float* pg = grad.data();
+  const float* py = cached_output_.data();
+  ParallelFor(0, grad.size(), kActivationGrain,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) {
+                  pg[i] *= py[i] * (1.0f - py[i]);
+                }
+              });
   return grad;
 }
 
@@ -227,17 +282,27 @@ Tensor Tanh::Forward(const Tensor& input) {
   VDRIFT_OP_PROBE("nn", "tanh_forward", input.size(),
                   ElementwiseBytes(input.size()));
   Tensor out = input;
-  for (int64_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
+  float* po = out.data();
+  ParallelFor(0, out.size(), kActivationGrain,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) {
+                  po[i] = std::tanh(po[i]);
+                }
+              });
   cached_output_ = out;
   return out;
 }
 
 Tensor Tanh::Backward(const Tensor& grad_output) {
   Tensor grad = grad_output;
-  for (int64_t i = 0; i < grad.size(); ++i) {
-    float y = cached_output_[i];
-    grad[i] *= 1.0f - y * y;
-  }
+  float* pg = grad.data();
+  const float* py = cached_output_.data();
+  ParallelFor(0, grad.size(), kActivationGrain,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) {
+                  pg[i] *= 1.0f - py[i] * py[i];
+                }
+              });
   return grad;
 }
 
@@ -264,19 +329,24 @@ Tensor Upsample2x::Forward(const Tensor& input) {
   int64_t h = input.shape().dim(2);
   int64_t w = input.shape().dim(3);
   Tensor out(Shape{n, c, 2 * h, 2 * w});
-  for (int64_t s = 0; s < n; ++s) {
-    for (int64_t ch = 0; ch < c; ++ch) {
-      for (int64_t y = 0; y < h; ++y) {
-        for (int64_t x = 0; x < w; ++x) {
-          float v = input.At4(s, ch, y, x);
-          out.At4(s, ch, 2 * y, 2 * x) = v;
-          out.At4(s, ch, 2 * y, 2 * x + 1) = v;
-          out.At4(s, ch, 2 * y + 1, 2 * x) = v;
-          out.At4(s, ch, 2 * y + 1, 2 * x + 1) = v;
-        }
-      }
-    }
-  }
+  // One (sample, channel) plane per loop index; planes are disjoint.
+  ParallelFor(0, n * c, GrainForCost(4 * h * w),
+              [&](int64_t plane_begin, int64_t plane_end) {
+                for (int64_t plane = plane_begin; plane < plane_end;
+                     ++plane) {
+                  int64_t s = plane / c;
+                  int64_t ch = plane % c;
+                  for (int64_t y = 0; y < h; ++y) {
+                    for (int64_t x = 0; x < w; ++x) {
+                      float v = input.At4(s, ch, y, x);
+                      out.At4(s, ch, 2 * y, 2 * x) = v;
+                      out.At4(s, ch, 2 * y, 2 * x + 1) = v;
+                      out.At4(s, ch, 2 * y + 1, 2 * x) = v;
+                      out.At4(s, ch, 2 * y + 1, 2 * x + 1) = v;
+                    }
+                  }
+                }
+              });
   return out;
 }
 
@@ -286,18 +356,23 @@ Tensor Upsample2x::Backward(const Tensor& grad_output) {
   int64_t h = cached_shape_.dim(2);
   int64_t w = cached_shape_.dim(3);
   Tensor grad(cached_shape_);
-  for (int64_t s = 0; s < n; ++s) {
-    for (int64_t ch = 0; ch < c; ++ch) {
-      for (int64_t y = 0; y < h; ++y) {
-        for (int64_t x = 0; x < w; ++x) {
-          grad.At4(s, ch, y, x) = grad_output.At4(s, ch, 2 * y, 2 * x) +
-                                  grad_output.At4(s, ch, 2 * y, 2 * x + 1) +
-                                  grad_output.At4(s, ch, 2 * y + 1, 2 * x) +
-                                  grad_output.At4(s, ch, 2 * y + 1, 2 * x + 1);
+  ParallelFor(
+      0, n * c, GrainForCost(4 * h * w),
+      [&](int64_t plane_begin, int64_t plane_end) {
+        for (int64_t plane = plane_begin; plane < plane_end; ++plane) {
+          int64_t s = plane / c;
+          int64_t ch = plane % c;
+          for (int64_t y = 0; y < h; ++y) {
+            for (int64_t x = 0; x < w; ++x) {
+              grad.At4(s, ch, y, x) =
+                  grad_output.At4(s, ch, 2 * y, 2 * x) +
+                  grad_output.At4(s, ch, 2 * y, 2 * x + 1) +
+                  grad_output.At4(s, ch, 2 * y + 1, 2 * x) +
+                  grad_output.At4(s, ch, 2 * y + 1, 2 * x + 1);
+            }
+          }
         }
-      }
-    }
-  }
+      });
   return grad;
 }
 

@@ -1,0 +1,100 @@
+#ifndef VDRIFT_RUNTIME_THREAD_POOL_H_
+#define VDRIFT_RUNTIME_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vdrift::runtime {
+
+/// Worker count resolved from `VDRIFT_THREADS`: a positive value is taken
+/// verbatim (clamped to 512), unset/empty/0 means "all hardware threads",
+/// and anything unparsable falls back to 1 (serial).
+int DefaultThreads();
+
+/// \brief Work-sharing thread pool behind ParallelFor / ParallelReduce.
+///
+/// The pool owns `threads() - 1` worker threads (the caller of Run() is
+/// the remaining executor, so `threads() == 1` means fully serial and no
+/// thread is ever spawned). Workers start lazily on the first Run() and
+/// are joined by Shutdown() or the destructor, so a binary that never
+/// enters a parallel region pays nothing.
+///
+/// Run() executes a task of `num_chunks` independent chunks: every
+/// participating thread repeatedly claims the next unclaimed chunk index
+/// (an atomic increment — work sharing, not work stealing) and invokes
+/// `fn(chunk)`. Chunks of one task may run on any thread in any order;
+/// determinism is the caller's contract (see parallel.h).
+///
+/// Nesting: a Run() issued from inside a task executes inline on the
+/// calling thread (no new parallelism, no deadlock). Exceptions thrown by
+/// `fn` cancel the task's remaining chunks and the first one is rethrown
+/// on the caller once every in-flight chunk has finished.
+class ThreadPool {
+ public:
+  /// Pool with the given total executor count (min 1, caller included).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide pool, sized by DefaultThreads() at first use.
+  static ThreadPool& Instance();
+
+  /// Total executors (worker threads + the calling thread).
+  int threads() const { return threads_; }
+  /// True once worker threads are running.
+  bool started() const { return started_.load(std::memory_order_acquire); }
+
+  /// Spawns the workers now (idempotent; Run() calls it lazily).
+  void Start();
+  /// Joins the workers (idempotent). The pool can Start() again later;
+  /// Run() on a shut-down pool restarts it.
+  void Shutdown();
+
+  /// Runs `fn(chunk)` for every chunk in [0, num_chunks). The caller
+  /// participates and the call returns once all chunks completed.
+  /// Rethrows the first exception thrown by any chunk.
+  void Run(int64_t num_chunks, const std::function<void(int64_t)>& fn);
+
+  /// True on a thread currently executing task chunks (nested parallel
+  /// constructs must run inline).
+  static bool InTask();
+
+ private:
+  struct Task {
+    const std::function<void(int64_t)>* fn = nullptr;
+    int64_t num_chunks = 0;
+    std::atomic<int64_t> next_chunk{0};
+    std::atomic<int64_t> completed{0};
+    std::atomic<bool> cancelled{false};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr error;  ///< First failure; guarded by `mutex`.
+  };
+
+  void WorkerLoop();
+  /// Claims and executes chunks of `task` until none are left. Returns
+  /// the number of chunks this thread completed.
+  int64_t DrainTask(Task* task, bool is_worker);
+
+  const int threads_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_{false};
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Task>> queue_;
+  std::vector<std::thread> workers_;
+  std::mutex lifecycle_mutex_;  ///< Serializes Start()/Shutdown().
+};
+
+}  // namespace vdrift::runtime
+
+#endif  // VDRIFT_RUNTIME_THREAD_POOL_H_

@@ -1,10 +1,15 @@
 #include "tensor/ops.h"
 
 #include "obs/trace_log.h"
+#include "runtime/parallel.h"
 
 namespace vdrift::tensor {
 
 namespace {
+
+using runtime::GrainForCost;
+using runtime::ParallelFor;
+using runtime::ParallelReduce;
 
 void CheckSameShape(const Tensor& a, const Tensor& b) {
   VDRIFT_CHECK(a.shape() == b.shape())
@@ -13,11 +18,18 @@ void CheckSameShape(const Tensor& a, const Tensor& b) {
 }
 
 // GEMM attribution: 2mkn FLOPs (one multiply + one add per inner-product
-// term), bytes = the three operand matrices once through memory.
+// term), bytes = the three operand matrices once through memory. The
+// kernels below do exactly this much arithmetic on every input — no
+// data-dependent shortcuts — so the attribution is exact and benchmark
+// numbers do not depend on operand sparsity.
 int64_t GemmFlops(int64_t m, int64_t k, int64_t n) { return 2 * m * k * n; }
 int64_t GemmBytes(int64_t m, int64_t k, int64_t n) {
   return static_cast<int64_t>(sizeof(float)) * (m * k + k * n + m * n);
 }
+
+// Elementwise loops parallelize per index; each element's computation is
+// order-independent, so any chunking is bit-identical to serial.
+constexpr int64_t kElementwiseGrain = 1 << 15;
 
 }  // namespace
 
@@ -26,7 +38,10 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   Tensor out = a;
   float* o = out.data();
   const float* pb = b.data();
-  for (int64_t i = 0; i < out.size(); ++i) o[i] += pb[i];
+  ParallelFor(0, out.size(), kElementwiseGrain,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) o[i] += pb[i];
+              });
   return out;
 }
 
@@ -35,7 +50,10 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   Tensor out = a;
   float* o = out.data();
   const float* pb = b.data();
-  for (int64_t i = 0; i < out.size(); ++i) o[i] -= pb[i];
+  ParallelFor(0, out.size(), kElementwiseGrain,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) o[i] -= pb[i];
+              });
   return out;
 }
 
@@ -44,14 +62,20 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   Tensor out = a;
   float* o = out.data();
   const float* pb = b.data();
-  for (int64_t i = 0; i < out.size(); ++i) o[i] *= pb[i];
+  ParallelFor(0, out.size(), kElementwiseGrain,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) o[i] *= pb[i];
+              });
   return out;
 }
 
 Tensor Scale(const Tensor& a, float s) {
   Tensor out = a;
   float* o = out.data();
-  for (int64_t i = 0; i < out.size(); ++i) o[i] *= s;
+  ParallelFor(0, out.size(), kElementwiseGrain,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) o[i] *= s;
+              });
   return out;
 }
 
@@ -59,14 +83,20 @@ void AddInPlace(Tensor* a, const Tensor& b) {
   CheckSameShape(*a, b);
   float* pa = a->data();
   const float* pb = b.data();
-  for (int64_t i = 0; i < a->size(); ++i) pa[i] += pb[i];
+  ParallelFor(0, a->size(), kElementwiseGrain,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) pa[i] += pb[i];
+              });
 }
 
 void AxpyInPlace(Tensor* a, const Tensor& b, float s) {
   CheckSameShape(*a, b);
   float* pa = a->data();
   const float* pb = b.data();
-  for (int64_t i = 0; i < a->size(); ++i) pa[i] += s * pb[i];
+  ParallelFor(0, a->size(), kElementwiseGrain,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) pa[i] += s * pb[i];
+              });
 }
 
 Tensor Matmul(const Tensor& a, const Tensor& b) {
@@ -83,16 +113,20 @@ Tensor Matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  // i-k-j loop order: streams over contiguous rows of B and C.
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* crow = po + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  // Rows of C are independent; within a row the i-k-j order streams over
+  // contiguous rows of B and C, and each C element accumulates its k
+  // terms in ascending order on one thread — bit-identical to serial.
+  ParallelFor(0, m, GrainForCost(2 * k * n),
+              [&](int64_t row_begin, int64_t row_end) {
+                for (int64_t i = row_begin; i < row_end; ++i) {
+                  float* crow = po + i * n;
+                  for (int64_t kk = 0; kk < k; ++kk) {
+                    float aik = pa[i * k + kk];
+                    const float* brow = pb + kk * n;
+                    for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+                  }
+                }
+              });
   return out;
 }
 
@@ -108,15 +142,20 @@ Tensor MatmulTransposedB(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      po[i * n + j] = acc;
-    }
-  }
+  ParallelFor(0, m, GrainForCost(2 * k * n),
+              [&](int64_t row_begin, int64_t row_end) {
+                for (int64_t i = row_begin; i < row_end; ++i) {
+                  const float* arow = pa + i * k;
+                  for (int64_t j = 0; j < n; ++j) {
+                    const float* brow = pb + j * k;
+                    float acc = 0.0f;
+                    for (int64_t kk = 0; kk < k; ++kk) {
+                      acc += arow[kk] * brow[kk];
+                    }
+                    po[i * n + j] = acc;
+                  }
+                }
+              });
   return out;
 }
 
@@ -132,16 +171,19 @@ Tensor MatmulTransposedA(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (int64_t i = 0; i < m; ++i) {
-      float aik = arow[i];
-      if (aik == 0.0f) continue;
-      float* crow = po + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  // i outer so output rows are thread-private (A is read with stride m);
+  // per element the k terms still accumulate in ascending order.
+  ParallelFor(0, m, GrainForCost(2 * k * n),
+              [&](int64_t row_begin, int64_t row_end) {
+                for (int64_t i = row_begin; i < row_end; ++i) {
+                  float* crow = po + i * n;
+                  for (int64_t kk = 0; kk < k; ++kk) {
+                    float aik = pa[kk * m + i];
+                    const float* brow = pb + kk * n;
+                    for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+                  }
+                }
+              });
   return out;
 }
 
@@ -159,10 +201,17 @@ Tensor Transpose2D(const Tensor& a) {
 }
 
 double Sum(const Tensor& a) {
-  double s = 0.0;
   const float* p = a.data();
-  for (int64_t i = 0; i < a.size(); ++i) s += p[i];
-  return s;
+  // Fixed chunking + in-order combine keeps the result bit-identical for
+  // every thread count (see runtime/parallel.h).
+  return ParallelReduce<double>(
+      0, a.size(), kElementwiseGrain, 0.0,
+      [&](int64_t begin, int64_t end) {
+        double s = 0.0;
+        for (int64_t i = begin; i < end; ++i) s += p[i];
+        return s;
+      },
+      [](double acc, double partial) { return acc + partial; });
 }
 
 double Mean(const Tensor& a) {
@@ -185,26 +234,28 @@ Tensor Im2Col(const Tensor& input, int kh, int kw, int stride, int pad,
   Tensor out(Shape{rows, cols});
   const float* in = input.data();
   float* po = out.data();
-  for (int64_t c = 0; c < channels; ++c) {
-    for (int ky = 0; ky < kh; ++ky) {
-      for (int kx = 0; kx < kw; ++kx) {
-        int64_t row = (c * kh + ky) * kw + kx;
-        float* orow = po + row * cols;
-        for (int oy = 0; oy < out_h; ++oy) {
-          int iy = oy * stride + ky - pad;
-          bool y_ok = iy >= 0 && iy < height;
-          for (int ox = 0; ox < out_w; ++ox) {
-            int ix = ox * stride + kx - pad;
-            float v = 0.0f;
-            if (y_ok && ix >= 0 && ix < width) {
-              v = in[(c * height + iy) * width + ix];
-            }
-            orow[oy * out_w + ox] = v;
+  // Each output row belongs to one (c, ky, kx) triple — thread-private.
+  ParallelFor(0, rows, GrainForCost(cols), [&](int64_t row_begin,
+                                               int64_t row_end) {
+    for (int64_t row = row_begin; row < row_end; ++row) {
+      int64_t c = row / (kh * kw);
+      int ky = static_cast<int>((row / kw) % kh);
+      int kx = static_cast<int>(row % kw);
+      float* orow = po + row * cols;
+      for (int oy = 0; oy < out_h; ++oy) {
+        int iy = oy * stride + ky - pad;
+        bool y_ok = iy >= 0 && iy < height;
+        for (int ox = 0; ox < out_w; ++ox) {
+          int ix = ox * stride + kx - pad;
+          float v = 0.0f;
+          if (y_ok && ix >= 0 && ix < width) {
+            v = in[(c * height + iy) * width + ix];
           }
+          orow[oy * out_w + ox] = v;
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -224,24 +275,31 @@ Tensor Col2Im(const Tensor& cols, int channels, int height, int width, int kh,
   const float* pc = cols.data();
   float* po = out.data();
   int64_t ncols = static_cast<int64_t>(out_h) * out_w;
-  for (int c = 0; c < channels; ++c) {
-    for (int ky = 0; ky < kh; ++ky) {
-      for (int kx = 0; kx < kw; ++kx) {
-        int64_t row = (static_cast<int64_t>(c) * kh + ky) * kw + kx;
-        const float* crow = pc + row * ncols;
-        for (int oy = 0; oy < out_h; ++oy) {
-          int iy = oy * stride + ky - pad;
-          if (iy < 0 || iy >= height) continue;
-          for (int ox = 0; ox < out_w; ++ox) {
-            int ix = ox * stride + kx - pad;
-            if (ix < 0 || ix >= width) continue;
-            po[(static_cast<int64_t>(c) * height + iy) * width + ix] +=
-                crow[oy * out_w + ox];
+  // Channels scatter into disjoint output planes, and within a channel
+  // the (ky, kx, oy, ox) accumulation order matches the serial kernel.
+  ParallelFor(
+      0, channels,
+      GrainForCost(static_cast<int64_t>(kh) * kw * ncols),
+      [&](int64_t c_begin, int64_t c_end) {
+        for (int64_t c = c_begin; c < c_end; ++c) {
+          for (int ky = 0; ky < kh; ++ky) {
+            for (int kx = 0; kx < kw; ++kx) {
+              int64_t row = (c * kh + ky) * kw + kx;
+              const float* crow = pc + row * ncols;
+              for (int oy = 0; oy < out_h; ++oy) {
+                int iy = oy * stride + ky - pad;
+                if (iy < 0 || iy >= height) continue;
+                for (int ox = 0; ox < out_w; ++ox) {
+                  int ix = ox * stride + kx - pad;
+                  if (ix < 0 || ix >= width) continue;
+                  po[(c * height + iy) * width + ix] +=
+                      crow[oy * out_w + ox];
+                }
+              }
+            }
           }
         }
-      }
-    }
-  }
+      });
   return out;
 }
 

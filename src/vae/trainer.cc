@@ -6,8 +6,40 @@
 #include "nn/optimizer.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
+#include "runtime/parallel.h"
 
 namespace vdrift::vae {
+
+namespace {
+
+// Gathers the shuffled minibatch [start, end) of `order` into one [N, C,
+// H, W] batch tensor. Per-sample copies land in disjoint slices, so they
+// run on the pool; the heavy per-sample loss/grad work inside TrainStep
+// (conv im2col/GEMM per sample) parallelizes the same way.
+tensor::Tensor GatherBatch(const std::vector<tensor::Tensor>& frames,
+                           const std::vector<int>& order, size_t start,
+                           size_t end) {
+  const tensor::Shape& fs = frames[0].shape();
+  VDRIFT_CHECK(fs.ndim() == 3);
+  int64_t count = static_cast<int64_t>(end - start);
+  tensor::Tensor batch(
+      tensor::Shape{count, fs.dim(0), fs.dim(1), fs.dim(2)});
+  int64_t stride = fs.NumElements();
+  runtime::ParallelFor(
+      0, count, runtime::GrainForCost(stride),
+      [&](int64_t begin, int64_t stop) {
+        for (int64_t i = begin; i < stop; ++i) {
+          const tensor::Tensor& f = frames[static_cast<size_t>(
+              order[start + static_cast<size_t>(i)])];
+          VDRIFT_CHECK(f.shape() == fs);
+          std::copy(f.data(), f.data() + stride,
+                    batch.data() + i * stride);
+        }
+      });
+  return batch;
+}
+
+}  // namespace
 
 Result<std::vector<double>> VaeTrainer::Train(
     Vae* vae, const std::vector<tensor::Tensor>& frames,
@@ -33,12 +65,7 @@ Result<std::vector<double>> VaeTrainer::Train(
          start += static_cast<size_t>(config_.batch_size)) {
       size_t end = std::min(order.size(),
                             start + static_cast<size_t>(config_.batch_size));
-      std::vector<tensor::Tensor> batch_frames;
-      batch_frames.reserve(end - start);
-      for (size_t i = start; i < end; ++i) {
-        batch_frames.push_back(frames[static_cast<size_t>(order[i])]);
-      }
-      tensor::Tensor batch = StackFrames(batch_frames);
+      tensor::Tensor batch = GatherBatch(frames, order, start, end);
       Vae::Losses losses = vae->TrainStep(batch, &optimizer, rng);
       total += losses.total();
       ++batches;

@@ -5,6 +5,7 @@
 
 #include "nn/layers.h"
 #include "nn/loss.h"
+#include "runtime/parallel.h"
 #include "tensor/ops.h"
 
 namespace vdrift::vae {
@@ -91,28 +92,39 @@ Vae::Losses Vae::TrainStep(const Tensor& batch, nn::Optimizer* optimizer,
   // Reconstruction: pixel-wise BCE, summed per sample, averaged over batch.
   nn::LossResult bce = nn::BinaryCrossEntropy(fwd.recon, batch);
   // KL(q(z|x) || N(0, I)) = -1/2 sum(1 + logvar - mu^2 - exp(logvar)).
-  double kl = 0.0;
+  // Per-latent-unit grads are elementwise; the KL sum reduces with fixed
+  // chunking so every thread count produces the same bits.
   Tensor grad_mu(fwd.mu.shape());
   Tensor grad_logvar(fwd.logvar.shape());
   float inv_n = 1.0f / static_cast<float>(n);
   float beta = static_cast<float>(config_.kl_weight);
-  for (int64_t i = 0; i < fwd.mu.size(); ++i) {
-    float m = fwd.mu[i];
-    float lv = fwd.logvar[i];
-    float ev = std::exp(lv);
-    kl += -0.5 * (1.0 + lv - m * m - ev);
-    grad_mu[i] = beta * m * inv_n;
-    grad_logvar[i] = beta * 0.5f * (ev - 1.0f) * inv_n;
-  }
+  double kl = runtime::ParallelReduce<double>(
+      0, fwd.mu.size(), 1 << 14, 0.0,
+      [&](int64_t begin, int64_t end) {
+        double partial = 0.0;
+        for (int64_t i = begin; i < end; ++i) {
+          float m = fwd.mu[i];
+          float lv = fwd.logvar[i];
+          float ev = std::exp(lv);
+          partial += -0.5 * (1.0 + lv - m * m - ev);
+          grad_mu[i] = beta * m * inv_n;
+          grad_logvar[i] = beta * 0.5f * (ev - 1.0f) * inv_n;
+        }
+        return partial;
+      },
+      [](double acc, double partial) { return acc + partial; });
   kl = config_.kl_weight * kl / static_cast<double>(n);
 
   // Backward: decoder -> dL/dz -> reparameterisation -> heads -> trunk.
   Tensor grad_z = decoder_.Backward(bce.grad);
-  for (int64_t i = 0; i < grad_z.size(); ++i) {
-    grad_mu[i] += grad_z[i];
-    grad_logvar[i] +=
-        grad_z[i] * fwd.eps[i] * 0.5f * std::exp(0.5f * fwd.logvar[i]);
-  }
+  runtime::ParallelFor(
+      0, grad_z.size(), 1 << 14, [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          grad_mu[i] += grad_z[i];
+          grad_logvar[i] +=
+              grad_z[i] * fwd.eps[i] * 0.5f * std::exp(0.5f * fwd.logvar[i]);
+        }
+      });
   Tensor grad_h = fc_mu_->Backward(grad_mu);
   tensor::AddInPlace(&grad_h, fc_logvar_->Backward(grad_logvar));
   encoder_trunk_.Backward(grad_h);
@@ -199,10 +211,17 @@ Tensor StackFrames(const std::vector<Tensor>& frames) {
   Tensor batch(Shape{n, fs.dim(0), fs.dim(1), fs.dim(2)});
   int64_t stride = fs.NumElements();
   for (int64_t i = 0; i < n; ++i) {
-    const Tensor& f = frames[static_cast<size_t>(i)];
-    VDRIFT_CHECK(f.shape() == fs);
-    std::copy(f.data(), f.data() + stride, batch.data() + i * stride);
+    VDRIFT_CHECK(frames[static_cast<size_t>(i)].shape() == fs);
   }
+  // Pure per-sample copies into disjoint batch slices.
+  runtime::ParallelFor(0, n, runtime::GrainForCost(stride),
+                       [&](int64_t begin, int64_t end) {
+                         for (int64_t i = begin; i < end; ++i) {
+                           const Tensor& f = frames[static_cast<size_t>(i)];
+                           std::copy(f.data(), f.data() + stride,
+                                     batch.data() + i * stride);
+                         }
+                       });
   return batch;
 }
 

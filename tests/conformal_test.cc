@@ -95,14 +95,43 @@ TEST(PointSetTest, KLargerThanSetIsClamped) {
 TEST(PValueTest, StrangeObservationGetsSmallP) {
   Rng rng(3);
   std::vector<double> sorted{1.0, 2.0, 3.0, 4.0, 5.0};
-  // a_f far above every reference score -> p = 0.
-  EXPECT_DOUBLE_EQ(ComputePValue(100.0, sorted, &rng), 0.0);
-  // a_f below every reference score -> p = 1.
-  EXPECT_DOUBLE_EQ(ComputePValue(0.5, sorted, &rng), 1.0);
-  // a_f in the middle: 2 of 5 greater -> p in [0.4, 0.6) with the tie term.
+  // a_f far above every reference score: only the self-tie term remains,
+  // so p = u/(n+1) in (0, 1/6].
+  double p_high = ComputePValue(100.0, sorted, &rng);
+  EXPECT_GT(p_high, 0.0);
+  EXPECT_LE(p_high, 1.0 / 6.0);
+  // a_f below every reference score -> p = (5 + u)/6 in (5/6, 1].
+  double p_low = ComputePValue(0.5, sorted, &rng);
+  EXPECT_GT(p_low, 5.0 / 6.0);
+  EXPECT_LE(p_low, 1.0);
+  // a_f in the middle: 2 of 5 greater, one tie (+ the self tie) ->
+  // p = (2 + u*2)/6 in (1/3, 2/3].
   double p = ComputePValue(3.0, sorted, &rng);
-  EXPECT_GE(p, 0.4);
-  EXPECT_LT(p, 0.6);
+  EXPECT_GT(p, 1.0 / 3.0);
+  EXPECT_LE(p, 2.0 / 3.0);
+}
+
+// Regression for the p-value degeneracy: a test score exceeding every
+// calibration score must still get a strictly positive p-value, and the
+// (unclamped) power betting increment and martingale update driven by it
+// must stay finite. With the old `p = #greater / n` convention this
+// produced p = 0 and an unbounded b(p) = eps * p^(eps-1) bet.
+TEST(PValueTest, ExceedsAllCalibrationScoresStaysFinite) {
+  Rng rng(17);
+  std::vector<double> sorted{1.0, 2.0, 3.0, 4.0, 5.0};
+  // Essentially-zero floor: finiteness must come from p > 0 itself, not
+  // from the betting function's defensive clamp.
+  PowerLogBetting betting(0.55, 1e-300);
+  ConformalMartingale martingale(&betting, 3, 0.5);
+  for (int i = 0; i < 200; ++i) {
+    double p = ComputePValue(1e12, sorted, &rng);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    double increment = betting.Increment(p);
+    EXPECT_TRUE(std::isfinite(increment)) << "p=" << p;
+    martingale.Update(p);
+    EXPECT_TRUE(std::isfinite(martingale.value()));
+  }
 }
 
 // Theorem 4.1: when observations are i.i.d. from the reference

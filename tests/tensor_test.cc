@@ -246,6 +246,41 @@ TEST(OpsTest, MatmulAttributesFlopsAndBytes) {
             bytes + 188);
 }
 
+// The GEMM kernels must do (and attribute) the full 2mkn FLOPs whatever
+// the data holds: a zero-padded A used to take a data-dependent skip
+// while VDRIFT_OP_PROBE still charged the full product, making FLOP
+// attribution wrong and benchmark numbers input-dependent.
+TEST(OpsTest, ZeroPaddedInputAttributesFullFlops) {
+  obs::MetricsRegistry& global = obs::Global();
+  Rng rng(79);
+  // A is all zeros except one row; B is dense.
+  Tensor a(Shape{6, 8});
+  for (int64_t j = 0; j < 8; ++j) a.At2(2, j) = 1.0f;
+  Tensor b = RandomTensor(Shape{8, 5}, &rng);
+  int64_t flops =
+      global.GetCounter("vdrift.ops.tensor.matmul.flops").value();
+  Tensor c = Matmul(a, b);
+  EXPECT_EQ(global.GetCounter("vdrift.ops.tensor.matmul.flops").value(),
+            flops + 2 * 6 * 8 * 5);
+  // Zero rows of A produce exactly-zero rows of C (no skip needed for
+  // numerical equivalence: 0 + 0 * x == 0 for finite x).
+  for (int64_t j = 0; j < 5; ++j) {
+    EXPECT_EQ(c.At2(0, j), 0.0f);
+    EXPECT_NE(c.At2(2, j), 0.0f);
+  }
+  int64_t ta_flops =
+      global.GetCounter("vdrift.ops.tensor.matmul_transposed_a.flops")
+          .value();
+  Tensor at(Shape{8, 6});  // A^T, same zero pattern
+  for (int64_t k = 0; k < 8; ++k) at.At2(k, 2) = 1.0f;
+  Tensor c2 = MatmulTransposedA(at, b);
+  EXPECT_EQ(
+      global.GetCounter("vdrift.ops.tensor.matmul_transposed_a.flops")
+          .value(),
+      ta_flops + 2 * 6 * 8 * 5);
+  ExpectTensorsNear(c2, c, 0.0f);
+}
+
 TEST(Im2ColTest, Im2ColAttributesZeroFlops) {
   obs::MetricsRegistry& global = obs::Global();
   int64_t calls = global.GetCounter("vdrift.ops.tensor.im2col.calls").value();

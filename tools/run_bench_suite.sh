@@ -7,6 +7,8 @@
 # Usage: tools/run_bench_suite.sh [options] [bench ...]
 #   --build-dir DIR   build tree to run from (default: build)
 #   --out-dir DIR     where BENCH_*.json land (default: repo root)
+#   --threads N       run with VDRIFT_THREADS=N (default: 1, so reports
+#                     are comparable to the committed serial baseline)
 #   --smoke           1 repeat / no warmup / tiny Tokyo-only workbench
 #   --asan            configure+build build-asan with
 #                     -DVDRIFT_ENABLE_SANITIZERS=ON and run from there
@@ -18,6 +20,7 @@ REPO_ROOT="$(pwd)"
 
 BUILD_DIR="build"
 OUT_DIR="$REPO_ROOT"
+THREADS=1
 SMOKE=0
 ASAN=0
 BENCHES=()
@@ -25,6 +28,7 @@ while [[ $# -gt 0 ]]; do
   case "$1" in
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --out-dir) OUT_DIR="$2"; shift 2 ;;
+    --threads) THREADS="$2"; shift 2 ;;
     --smoke) SMOKE=1; shift ;;
     --asan) ASAN=1; shift ;;
     -h|--help) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
@@ -48,6 +52,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${BENCHES[@]}"
 mkdir -p "$OUT_DIR"
 export VDRIFT_GIT_REV="${VDRIFT_GIT_REV:-$(git rev-parse --short=12 HEAD \
                                            2>/dev/null || echo unknown)}"
+export VDRIFT_THREADS="$THREADS"
 if [[ "$SMOKE" -eq 1 ]]; then
   export VDRIFT_BENCH_SMOKE=1
 fi
@@ -63,7 +68,7 @@ for bench in "${BENCHES[@]}"; do
   name="${bench#bench_}"
   report="$OUT_DIR/BENCH_${name}.json"
   echo
-  echo "== $bench (rev $VDRIFT_GIT_REV) =="
+  echo "== $bench (rev $VDRIFT_GIT_REV, threads $VDRIFT_THREADS) =="
   if ! VDRIFT_BENCH_JSON="$report" "$binary"; then
     echo "FAIL: $bench exited non-zero" >&2
     FAILED=1
