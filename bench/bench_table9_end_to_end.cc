@@ -20,6 +20,8 @@
 #include "benchutil/table.h"
 #include "benchutil/workbench.h"
 #include "detect/detector.h"
+#include "fault/fault.h"
+#include "fault/faulty_stream.h"
 #include "obs/metrics.h"
 #include "pipeline/pipeline.h"
 #include "stats/rng.h"
@@ -89,10 +91,40 @@ int main() {
     msbo_config.allow_training_new = false;
     msbo_config.provision = options.provision;
     video::StreamGenerator s1 = bench->dataset.MakeStream();
+    // VDRIFT_FAULT_SPEC arms the fault harness on the MSBO run: the stream
+    // gains the frame-level faults and the selector/annotator injection
+    // points roll the same injector's dice. Unset (the default) leaves the
+    // run untouched — the injector is never consulted.
+    fault::FaultPlan fault_plan = fault::FaultPlan::FromEnv();
+    fault::FaultInjector injector(fault_plan, options.seed);
+    fault::FaultyStream faulty1(&s1, &injector);
+    video::FrameSource* msbo_stream = &s1;
+    if (!fault_plan.empty()) {
+      msbo_config.injector = &injector;
+      msbo_stream = &faulty1;
+    }
     pipeline::DriftAwarePipeline msbo(&bench->registry,
                                       bench->calibration_samples,
                                       msbo_config);
-    PipelineMetrics msbo_metrics = msbo.Run(&s1).ValueOrDie();
+    PipelineMetrics msbo_metrics = msbo.Run(msbo_stream).ValueOrDie();
+    if (!fault_plan.empty()) {
+      const pipeline::DegradationStats& deg = msbo_metrics.degradation;
+      std::printf(
+          "  [fault] %s msbo: injected=%lld dropped=%lld stream(drop=%lld "
+          "dup=%lld stall=%lld) selector(fail=%lld retry=%lld "
+          "incumbent=%lld) annotator(defer=%lld err=%lld) oblivious=%d\n",
+          ds.c_str(), static_cast<long long>(injector.total_injected()),
+          static_cast<long long>(deg.frames_dropped),
+          static_cast<long long>(faulty1.dropped()),
+          static_cast<long long>(faulty1.duplicated()),
+          static_cast<long long>(faulty1.stalls()),
+          static_cast<long long>(deg.selector_failures),
+          static_cast<long long>(deg.selector_retries),
+          static_cast<long long>(deg.incumbent_fallbacks),
+          static_cast<long long>(deg.annotator_deferrals),
+          static_cast<long long>(deg.annotator_errors),
+          deg.drift_oblivious ? 1 : 0);
+    }
     Absorb(&harness, ds + ".msbo", msbo_metrics);
     double msbo_s = msbo_metrics.total_seconds;
 

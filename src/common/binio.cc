@@ -1,0 +1,125 @@
+#include "common/binio.h"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace vdrift {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = kTable[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(static_cast<uint64_t>(s.size()));
+  bytes_.append(s);
+}
+
+void BinaryWriter::WriteDoubleVec(const std::vector<double>& v) {
+  WriteU64(static_cast<uint64_t>(v.size()));
+  for (double d : v) WriteDouble(d);
+}
+
+void BinaryWriter::WriteI64Vec(const std::vector<int64_t>& v) {
+  WriteU64(static_cast<uint64_t>(v.size()));
+  for (int64_t d : v) WriteI64(d);
+}
+
+Status BinaryReader::ReadString(std::string* s) {
+  uint64_t size = 0;
+  VDRIFT_RETURN_NOT_OK(ReadU64(&size));
+  if (offset_ + size > bytes_.size()) {
+    return Status::DataLoss("truncated string of declared length " +
+                            std::to_string(size));
+  }
+  s->assign(bytes_.data() + offset_, size);
+  offset_ += size;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadDoubleVec(std::vector<double>* v) {
+  uint64_t size = 0;
+  VDRIFT_RETURN_NOT_OK(ReadU64(&size));
+  if (size > remaining() / sizeof(double)) {
+    return Status::DataLoss("truncated double vector of declared length " +
+                            std::to_string(size));
+  }
+  v->resize(size);
+  for (uint64_t i = 0; i < size; ++i) {
+    VDRIFT_RETURN_NOT_OK(ReadDouble(&(*v)[i]));
+  }
+  return Status::OK();
+}
+
+Status BinaryReader::ReadI64Vec(std::vector<int64_t>* v) {
+  uint64_t size = 0;
+  VDRIFT_RETURN_NOT_OK(ReadU64(&size));
+  if (size > remaining() / sizeof(int64_t)) {
+    return Status::DataLoss("truncated int64 vector of declared length " +
+                            std::to_string(size));
+  }
+  v->resize(size);
+  for (uint64_t i = 0; i < size; ++i) {
+    VDRIFT_RETURN_NOT_OK(ReadI64(&(*v)[i]));
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open '" + tmp + "' for writing");
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IoError("short write to '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("read failure on '" + path + "'");
+  }
+  return buffer.str();
+}
+
+}  // namespace vdrift

@@ -1,0 +1,97 @@
+#ifndef VDRIFT_COMMON_BINIO_H_
+#define VDRIFT_COMMON_BINIO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace vdrift {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) of `size` bytes.
+/// `seed` allows incremental computation: pass the previous return value.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+/// \brief Appends little-endian POD values and length-prefixed blobs to a
+/// byte buffer.
+///
+/// The writing half of the checkpoint codec: values are laid out in call
+/// order with no alignment or padding, so the byte stream is identical
+/// across platforms of the same endianness (we assume little-endian, as
+/// every deployment target is).
+class BinaryWriter {
+ public:
+  void WriteU8(uint8_t v) { Append(&v, sizeof(v)); }
+  void WriteU32(uint32_t v) { Append(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { Append(&v, sizeof(v)); }
+  void WriteI32(int32_t v) { Append(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { Append(&v, sizeof(v)); }
+  void WriteDouble(double v) { Append(&v, sizeof(v)); }
+  void WriteString(const std::string& s);
+  void WriteDoubleVec(const std::vector<double>& v);
+  void WriteI64Vec(const std::vector<int64_t>& v);
+
+  const std::string& bytes() const { return bytes_; }
+  std::string&& TakeBytes() { return std::move(bytes_); }
+
+ private:
+  void Append(const void* data, size_t size) {
+    bytes_.append(static_cast<const char*>(data), size);
+  }
+
+  std::string bytes_;
+};
+
+/// \brief Bounds-checked reader over a byte buffer written by BinaryWriter.
+///
+/// Every Read* returns kDataLoss on truncation instead of walking off the
+/// buffer — a torn checkpoint surfaces as a clean Status, never as UB.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& bytes) : bytes_(bytes) {}
+
+  Status ReadU8(uint8_t* v) { return Extract(v, sizeof(*v)); }
+  Status ReadU32(uint32_t* v) { return Extract(v, sizeof(*v)); }
+  Status ReadU64(uint64_t* v) { return Extract(v, sizeof(*v)); }
+  Status ReadI32(int32_t* v) { return Extract(v, sizeof(*v)); }
+  Status ReadI64(int64_t* v) { return Extract(v, sizeof(*v)); }
+  Status ReadDouble(double* v) { return Extract(v, sizeof(*v)); }
+  Status ReadString(std::string* s);
+  Status ReadDoubleVec(std::vector<double>* v);
+  Status ReadI64Vec(std::vector<int64_t>* v);
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return bytes_.size() - offset_; }
+
+ private:
+  Status Extract(void* out, size_t size) {
+    if (offset_ + size > bytes_.size()) {
+      return Status::DataLoss("truncated buffer: need " +
+                              std::to_string(size) + " bytes at offset " +
+                              std::to_string(offset_) + ", have " +
+                              std::to_string(bytes_.size() - offset_));
+    }
+    std::memcpy(out, bytes_.data() + offset_, size);
+    offset_ += size;
+    return Status::OK();
+  }
+
+  const std::string& bytes_;
+  size_t offset_ = 0;
+};
+
+/// Writes `bytes` to `path` atomically: the data lands in `path + ".tmp"`
+/// first and is renamed over `path` only after a successful close, so a
+/// crash mid-write can never leave a half-written file under the final
+/// name (rename(2) within one filesystem is atomic).
+Status AtomicWriteFile(const std::string& path, const std::string& bytes);
+
+/// Reads a whole file into a string. kIoError when it cannot be opened.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace vdrift
+
+#endif  // VDRIFT_COMMON_BINIO_H_

@@ -20,6 +20,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kIoError:
       return "IO error";
+    case StatusCode::kDataLoss:
+      return "Data loss";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
 }

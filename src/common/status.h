@@ -21,6 +21,12 @@ enum class StatusCode : int {
   kUnimplemented = 5,
   kInternal = 6,
   kIoError = 7,
+  /// Stored state is unreadable or failed integrity checks (bad magic,
+  /// version mismatch, CRC failure, truncation). Unlike kIoError the bytes
+  /// were read fine — they are wrong. Recoverable by cold-start.
+  kDataLoss = 8,
+  /// An operation overran its deadline (e.g. annotator latency budget).
+  kDeadlineExceeded = 9,
 };
 
 /// \brief Returns a human-readable name for a StatusCode ("OK",
@@ -74,6 +80,14 @@ class Status {
   /// Factory for an IoError.
   static Status IoError(std::string message) {
     return Status(StatusCode::kIoError, std::move(message));
+  }
+  /// Factory for a DataLoss error.
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  /// Factory for a DeadlineExceeded error.
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   /// True iff the status is OK.

@@ -1,5 +1,6 @@
 #include "core/drift_inspector.h"
 
+#include <cmath>
 #include <utility>
 
 #include "common/logging.h"
@@ -42,8 +43,36 @@ DriftInspector::Observation DriftInspector::Observe(
 
 DriftInspector::Observation DriftInspector::ObserveLatent(
     std::span<const float> latent) {
+  return Ingest(profile_->sigma().KnnScore(latent));
+}
+
+Result<DriftInspector::Observation> DriftInspector::TryObserve(
+    const tensor::Tensor& pixels) {
+  obs::TraceSpan span(&obs::Global(), "vdrift.di.observe_seconds");
+  // Snapshot the RNG across the sampled encoding so a rejected frame
+  // leaves the random sequence — and therefore every later p-value —
+  // exactly as if the frame had never arrived.
+  stats::Rng::State saved = rng_.state();
+  std::vector<float> latent = profile_->EncodeSampled(pixels, &rng_);
+  Result<Observation> result = TryObserveLatent(latent);
+  if (!result.ok()) rng_.set_state(saved);
+  return result;
+}
+
+Result<DriftInspector::Observation> DriftInspector::TryObserveLatent(
+    std::span<const float> latent) {
+  double score = profile_->sigma().KnnScore(latent);
+  if (!std::isfinite(score)) {
+    obs::Global().GetCounter("vdrift.di.nonfinite_rejected").Increment();
+    return Status::InvalidArgument(
+        "non-finite non-conformity score (NaN/Inf in frame or latent)");
+  }
+  return Ingest(score);
+}
+
+DriftInspector::Observation DriftInspector::Ingest(double score) {
   Observation observation;
-  observation.nonconformity = profile_->sigma().KnnScore(latent);
+  observation.nonconformity = score;
   observation.p_value = ComputePValue(
       observation.nonconformity, profile_->sigma().sorted_scores(), &rng_);
   observation.drift = martingale_.Update(observation.p_value);
@@ -66,6 +95,20 @@ DriftInspector::Observation DriftInspector::ObserveLatent(
 void DriftInspector::Reset() {
   martingale_.Reset();
   frames_seen_ = 0;
+}
+
+DriftInspector::State DriftInspector::SaveState() const {
+  State state;
+  state.frames_seen = frames_seen_;
+  state.rng = rng_.state();
+  state.martingale = martingale_.SaveState();
+  return state;
+}
+
+void DriftInspector::RestoreState(const State& state) {
+  frames_seen_ = state.frames_seen;
+  rng_.set_state(state.rng);
+  martingale_.RestoreState(state.martingale);
 }
 
 }  // namespace vdrift::conformal

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/result.h"
 #include "core/betting.h"
 #include "core/martingale.h"
 #include "core/profile.h"
@@ -48,7 +49,8 @@ class DriftInspector {
     bool drift = false;
   };
 
-  /// Processes one frame ([C, H, W] pixels).
+  /// Processes one frame ([C, H, W] pixels). Aborts on non-finite scores;
+  /// callers holding untrusted stream data use TryObserve instead.
   Observation Observe(const tensor::Tensor& pixels);
 
   /// Processes an already-encoded latent vector. Lets callers that share
@@ -56,6 +58,17 @@ class DriftInspector {
   /// window) avoid redundant VAE passes — only valid when the latent came
   /// from *this profile's* VAE.
   Observation ObserveLatent(std::span<const float> latent);
+
+  /// Status-guarded Observe for untrusted frames: a NaN/Inf pixel makes
+  /// the non-conformity score non-finite, which is rejected with
+  /// kInvalidArgument *before* touching the martingale (the inspector's
+  /// state, including its RNG, is left exactly as it was, so a rejected
+  /// frame is invisible to the detection trajectory). Rejections bump the
+  /// `vdrift.di.nonfinite_rejected` counter.
+  Result<Observation> TryObserve(const tensor::Tensor& pixels);
+
+  /// TryObserve for an already-encoded latent.
+  Result<Observation> TryObserveLatent(std::span<const float> latent);
 
   /// Frames processed since construction or the last Reset.
   int64_t frames_seen() const { return frames_seen_; }
@@ -72,6 +85,23 @@ class DriftInspector {
   /// Clears the martingale state (after a drift has been handled).
   void Reset();
 
+  /// \brief Complete serializable detector state (checkpointing): the
+  /// martingale trajectory plus the RNG that drives sampled encoding and
+  /// p-value tie-breaks. The monitored profile is NOT part of the state —
+  /// a restored inspector must be constructed against the same profile,
+  /// which the pipeline checkpoint guarantees via its registry fingerprint.
+  struct State {
+    int64_t frames_seen = 0;
+    stats::Rng::State rng;
+    ConformalMartingale::State martingale;
+  };
+
+  /// Captures the current state.
+  State SaveState() const;
+
+  /// Restores a captured state.
+  void RestoreState(const State& state);
+
   /// Streams every observation into `recorder` (null disables; default).
   /// The recorder must outlive the inspector; the pipeline shares one
   /// recorder across the inspectors it re-arms so episodes survive
@@ -79,6 +109,10 @@ class DriftInspector {
   void set_recorder(obs::EpisodeRecorder* recorder) { recorder_ = recorder; }
 
  private:
+  // Shared tail of ObserveLatent/TryObserveLatent: p-value, martingale
+  // update, telemetry. `score` must already be validated/finite.
+  Observation Ingest(double score);
+
   const DistributionProfile* profile_;
   std::shared_ptr<const BettingFunction> betting_;
   ConformalMartingale martingale_;

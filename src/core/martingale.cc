@@ -19,6 +19,8 @@ ConformalMartingale::ConformalMartingale(const BettingFunction* betting,
 }
 
 bool ConformalMartingale::Update(double p) {
+  VDRIFT_CHECK(std::isfinite(p))
+      << "martingale fed p=" << p << "; route untrusted data via TryUpdate";
   last_bet_ = betting_->Increment(p);
   current_ = std::max(0.0, current_ + last_bet_);
   ++count_;
@@ -30,6 +32,33 @@ bool ConformalMartingale::Update(double p) {
   }
   last_delta_ = std::abs(current_ - history_.front());
   return last_delta_ > threshold_;
+}
+
+Result<bool> ConformalMartingale::TryUpdate(double p) {
+  if (!std::isfinite(p) || p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("martingale p-value out of [0,1]: " +
+                                   std::to_string(p));
+  }
+  return Update(p);
+}
+
+ConformalMartingale::State ConformalMartingale::SaveState() const {
+  State state;
+  state.current = current_;
+  state.count = count_;
+  state.last_delta = last_delta_;
+  state.last_bet = last_bet_;
+  state.history.assign(history_.begin(), history_.end());
+  return state;
+}
+
+void ConformalMartingale::RestoreState(const State& state) {
+  current_ = state.current;
+  count_ = state.count;
+  last_delta_ = state.last_delta;
+  last_bet_ = state.last_bet;
+  history_.assign(state.history.begin(), state.history.end());
+  if (history_.empty()) history_.push_back(0.0);
 }
 
 void ConformalMartingale::Reset() {

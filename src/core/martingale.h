@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <vector>
 
+#include "common/result.h"
 #include "core/betting.h"
 #include "core/threshold.h"
 
@@ -25,7 +27,16 @@ class ConformalMartingale {
                       ThresholdPolicy policy = ThresholdPolicy::kPaper);
 
   /// Feeds one p-value; returns true if the windowed test fires.
+  /// Precondition: p is finite (aborts on NaN/Inf — use TryUpdate when p
+  /// comes from untrusted data; p=0 is tolerated because every betting
+  /// function clamps at its p_floor).
   bool Update(double p);
+
+  /// Status-guarded Update: rejects NaN/Inf and out-of-range p-values with
+  /// kInvalidArgument, leaving the martingale state untouched, instead of
+  /// folding a poisoned bet into S (one NaN would stick forever: NaN
+  /// propagates through every subsequent max/add).
+  Result<bool> TryUpdate(double p);
 
   /// The current statistic S.
   double value() const { return current_; }
@@ -42,6 +53,24 @@ class ConformalMartingale {
 
   /// Clears all state (used after a drift is handled).
   void Reset();
+
+  /// \brief The martingale's complete serializable state (checkpointing).
+  struct State {
+    double current = 0.0;
+    int64_t count = 0;
+    double last_delta = 0.0;
+    double last_bet = 0.0;
+    std::vector<double> history;  ///< Front-to-back copy of the S window.
+  };
+
+  /// Captures the current state.
+  State SaveState() const;
+
+  /// Restores a captured state. The window/threshold configuration is not
+  /// part of the state — the restoring martingale must be constructed with
+  /// the same config, which the checkpoint layer guarantees by rebuilding
+  /// from the same PipelineConfig.
+  void RestoreState(const State& state);
 
  private:
   const BettingFunction* betting_;

@@ -48,7 +48,14 @@ std::vector<int> Msbi::Round(const std::vector<tensor::Tensor>& window,
           CandidateResult& result = results[static_cast<size_t>(c)];
           for (int i = 0; i < limit; ++i) {
             ++result.invocations;
-            if (inspector.Observe(window[static_cast<size_t>(i)]).drift) {
+            // TryObserve rejects frames whose non-conformity is non-finite
+            // (NaN/Inf pixels) without touching inspector state; every
+            // candidate skips exactly the same frames, so the elimination
+            // stays deterministic under corrupted windows.
+            Result<conformal::DriftInspector::Observation> observation =
+                inspector.TryObserve(window[static_cast<size_t>(i)]);
+            if (!observation.ok()) continue;
+            if (observation.value().drift) {
               result.drift = true;
               break;  // profile rejected; no need to finish the window
             }

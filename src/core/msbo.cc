@@ -87,8 +87,9 @@ Msbo::Msbo(const ModelRegistry* registry, MsboCalibration calibration,
       config_(config) {
   VDRIFT_CHECK(registry_ != nullptr);
   VDRIFT_CHECK(config_.window_t >= 1);
-  VDRIFT_CHECK(static_cast<int>(calibration_.pc_avg.size()) ==
-               registry_->size());
+  // Calibration/registry agreement is data-dependent (the calibration may
+  // come from a checkpoint or a stale Recalibrate) — validated per Select
+  // with a Status, not a crash, so the pipeline can fall back.
 }
 
 Result<Selection> Msbo::Select(const std::vector<LabeledFrame>& window) const {
@@ -101,6 +102,19 @@ Result<Selection> Msbo::Select(const std::vector<LabeledFrame>& window) const {
     Selection selection;
     selection.train_new_model = true;
     return selection;
+  }
+  if (static_cast<int>(calibration_.pc_avg.size()) != registry_->size() ||
+      calibration_.sigma.size() != calibration_.pc_avg.size()) {
+    return Status::FailedPrecondition(
+        "MSBO calibration covers " +
+        std::to_string(calibration_.pc_avg.size()) + " models but registry has " +
+        std::to_string(registry_->size()) + "; recalibrate first");
+  }
+  for (int i = 0; i < registry_->size(); ++i) {
+    if (registry_->at(i).ensemble == nullptr) {
+      return Status::FailedPrecondition("MSBO requires an ensemble for model " +
+                                        registry_->at(i).name);
+    }
   }
   int limit = std::min<int>(config_.window_t,
                             static_cast<int>(window.size()));
@@ -116,8 +130,6 @@ Result<Selection> Msbo::Select(const std::vector<LabeledFrame>& window) const {
       0, registry_->size(), 1, [&](int64_t begin, int64_t end) {
         for (int64_t i = begin; i < end; ++i) {
           const ModelEntry& entry = registry_->at(static_cast<int>(i));
-          VDRIFT_CHECK(entry.ensemble != nullptr)
-              << "MSBO requires an ensemble for model " << entry.name;
           briers[static_cast<size_t>(i)] = entry.ensemble->AverageBrier(eval);
         }
       });

@@ -1,6 +1,7 @@
 #include "detect/image_classifier.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include "common/logging.h"
@@ -82,6 +83,12 @@ Result<std::vector<double>> ImageClassifier::Train(
       optimizer.ZeroGrad();
       Tensor logits = net_.Forward(batch);
       nn::LossResult loss = nn::SoftmaxCrossEntropy(logits, batch_labels);
+      if (!std::isfinite(loss.loss)) {
+        SetDropoutTraining(false);
+        return Status::Internal(
+            "classifier training loss became non-finite at epoch " +
+            std::to_string(epoch));
+      }
       net_.Backward(loss.grad);
       optimizer.Step();
       total += loss.loss;

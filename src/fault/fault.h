@@ -1,0 +1,144 @@
+#ifndef VDRIFT_FAULT_FAULT_H_
+#define VDRIFT_FAULT_FAULT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "stats/rng.h"
+#include "tensor/tensor.h"
+
+namespace vdrift::fault {
+
+/// \brief Everything the harness knows how to break.
+///
+/// Each kind corresponds to one injection point in the stream, the
+/// annotator/detector, the model selectors, or the checkpoint I/O path —
+/// the failure surfaces a deployed video-analytics pipeline actually has.
+enum class FaultKind : int {
+  kCorruptFrame = 0,    ///< Finite garbage pixels (sensor noise, codec damage).
+  kNanFrame,            ///< NaN-poisoned pixels (DMA/FP corruption).
+  kDropFrame,           ///< Frame silently lost upstream.
+  kDupFrame,            ///< Frame delivered twice (retrying transport).
+  kStall,               ///< Delivery stalls for `ms` milliseconds.
+  kAnnotatorDeadline,   ///< Annotator misses its re-annotation deadline.
+  kAnnotatorError,      ///< Annotator returns a spurious error Status.
+  kSelectorFail,        ///< MSBI/MSBO selection fails transiently.
+  kIoFail,              ///< Registry/model I/O returns kIoError.
+  kCheckpointCorrupt,   ///< Checkpoint bytes flipped / torn on write.
+  kNumKinds,            ///< Sentinel; not a fault.
+};
+
+inline constexpr int kNumFaultKinds = static_cast<int>(FaultKind::kNumKinds);
+
+/// Spec-string name of a kind (e.g. "corrupt_frame").
+const char* FaultKindName(FaultKind kind);
+
+/// \brief Injection rate of one fault kind.
+struct FaultRate {
+  double p = 0.0;  ///< Per-opportunity probability in [0, 1].
+  int ms = 0;      ///< Duration parameter (only kStall uses it).
+};
+
+/// \brief A complete, deterministic description of what to inject.
+///
+/// Parsed from a spec string of the form
+///   "corrupt_frame:p=0.01;stall:p=0.005,ms=50;selector_fail:p=0.02"
+/// (semicolon-separated clauses, each `kind:key=value[,key=value]`).
+/// The same plan + the same injector seed reproduces the same fault
+/// sequence bit-for-bit, so any crash found by the sweep is replayable.
+struct FaultPlan {
+  std::array<FaultRate, kNumFaultKinds> rates{};
+
+  /// Rate of one kind.
+  const FaultRate& rate(FaultKind kind) const {
+    return rates[static_cast<size_t>(kind)];
+  }
+  FaultRate& rate(FaultKind kind) {
+    return rates[static_cast<size_t>(kind)];
+  }
+
+  /// True iff every rate is zero (nothing will ever fire).
+  bool empty() const;
+
+  /// Canonical spec string (only non-zero clauses, enum order).
+  std::string ToString() const;
+
+  /// Parses a spec string. Unknown kinds, malformed clauses, or
+  /// probabilities outside [0, 1] are kInvalidArgument.
+  static Result<FaultPlan> Parse(const std::string& spec);
+
+  /// Plan from the VDRIFT_FAULT_SPEC environment variable; the empty plan
+  /// when unset or empty. A malformed spec aborts (a fault campaign with a
+  /// typo'd spec silently testing nothing is worse than a crash).
+  static FaultPlan FromEnv();
+};
+
+/// \brief Seed-driven fault source shared by every injection point.
+///
+/// All randomness comes from one PCG32 stream, so a (plan, seed) pair
+/// fully determines which opportunities fire and what the corruptions
+/// look like. Kinds with p == 0 never consume randomness — enabling one
+/// fault kind does not perturb the draw sequence of another that is off.
+/// Every injected fault bumps `vdrift.fault.injected.<kind>` in the
+/// global metrics registry and a per-kind local count, so a sweep can
+/// assert that nothing was lost silently.
+///
+/// Not thread-safe: injection points all sit on the serial control path
+/// of the pipeline (frame admission, drift handling, checkpoint I/O).
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, uint64_t seed);
+
+  /// Rolls the dice for one opportunity of `kind`. Returns true — and
+  /// records the injection — with probability plan.rate(kind).p.
+  bool ShouldInject(FaultKind kind);
+
+  /// Duration parameter for `kind` (kStall's sleep).
+  int duration_ms(FaultKind kind) const {
+    return plan_.rate(kind).ms;
+  }
+
+  /// Overwrites a deterministic band of pixels with finite garbage
+  /// (values in [-4, 4] — wild but representable, the kind of damage the
+  /// DI should absorb as "a very strange frame", not crash on).
+  void CorruptTensor(tensor::Tensor* tensor);
+
+  /// Poisons a deterministic subset of elements with quiet NaN.
+  void PoisonTensor(tensor::Tensor* tensor);
+
+  /// Flips one random bit of `bytes` (checkpoint-corruption fault);
+  /// no-op on an empty string.
+  void CorruptBytes(std::string* bytes);
+
+  /// Truncates `bytes` at a random interior point (torn write);
+  /// no-op when the string has fewer than 2 bytes.
+  void TearBytes(std::string* bytes);
+
+  /// Times `kind` fired so far.
+  int64_t count(FaultKind kind) const {
+    return counts_[static_cast<size_t>(kind)];
+  }
+
+  /// Total injections across all kinds.
+  int64_t total_injected() const;
+
+  /// The plan in force.
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Rewinds the RNG to the construction seed and zeroes the per-kind
+  /// counts (global metrics counters are monotonic and are not touched).
+  /// Lets a replay reproduce the exact fault sequence.
+  void Reset();
+
+ private:
+  FaultPlan plan_;
+  uint64_t seed_;
+  stats::Rng rng_;
+  std::array<int64_t, kNumFaultKinds> counts_{};
+};
+
+}  // namespace vdrift::fault
+
+#endif  // VDRIFT_FAULT_FAULT_H_

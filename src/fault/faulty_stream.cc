@@ -1,0 +1,62 @@
+#include "fault/faulty_stream.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace vdrift::fault {
+
+FaultyStream::FaultyStream(video::FrameSource* inner, FaultInjector* injector)
+    : inner_(inner), injector_(injector) {
+  VDRIFT_CHECK(inner_ != nullptr);
+  VDRIFT_CHECK(injector_ != nullptr);
+}
+
+bool FaultyStream::Next(video::Frame* frame) {
+  if (has_pending_dup_) {
+    *frame = pending_dup_;
+    has_pending_dup_ = false;
+    ++delivered_;
+    return true;
+  }
+  while (inner_->Next(frame)) {
+    if (injector_->ShouldInject(FaultKind::kDropFrame)) {
+      ++dropped_;
+      continue;  // swallowed upstream; consumer never sees it
+    }
+    if (injector_->ShouldInject(FaultKind::kDupFrame)) {
+      pending_dup_ = *frame;
+      has_pending_dup_ = true;
+      ++duplicated_;
+    }
+    if (injector_->ShouldInject(FaultKind::kStall)) {
+      ++stalls_;
+      int ms = injector_->duration_ms(FaultKind::kStall);
+      if (ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      }
+    }
+    if (injector_->ShouldInject(FaultKind::kCorruptFrame)) {
+      injector_->CorruptTensor(&frame->pixels);
+    }
+    if (injector_->ShouldInject(FaultKind::kNanFrame)) {
+      injector_->PoisonTensor(&frame->pixels);
+    }
+    ++delivered_;
+    return true;
+  }
+  return false;
+}
+
+void FaultyStream::Reset() {
+  inner_->Reset();
+  injector_->Reset();
+  has_pending_dup_ = false;
+  delivered_ = 0;
+  dropped_ = 0;
+  duplicated_ = 0;
+  stalls_ = 0;
+}
+
+}  // namespace vdrift::fault

@@ -1,0 +1,61 @@
+#ifndef VDRIFT_FAULT_FAULTY_STREAM_H_
+#define VDRIFT_FAULT_FAULTY_STREAM_H_
+
+#include <cstdint>
+
+#include "fault/fault.h"
+#include "video/frame.h"
+#include "video/stream.h"
+
+namespace vdrift::fault {
+
+/// \brief FrameSource decorator that injects stream-level faults.
+///
+/// Wraps any video::FrameSource and, per frame, may drop it, deliver it
+/// twice, stall delivery, garbage a pixel band, or poison pixels with NaN —
+/// according to the injector's plan. The pipeline underneath sees an
+/// ordinary FrameSource; nothing downstream knows the harness exists.
+///
+/// Replays are deterministic: Reset() rewinds the inner source AND the
+/// injector, so the n-th delivered frame carries the same damage every run.
+/// Neither the inner source nor the injector is owned; both must outlive
+/// the stream. The injector may be shared with the pipeline's other
+/// injection points (selector, checkpoint) — sharing interleaves their
+/// draws, which is still deterministic for a fixed (plan, seed, workload).
+class FaultyStream : public video::FrameSource {
+ public:
+  FaultyStream(video::FrameSource* inner, FaultInjector* injector);
+
+  bool Next(video::Frame* frame) override;
+
+  /// Frames *delivered* downstream (drops excluded, duplicates included) —
+  /// the cursor a checkpoint must record for the consumer's replay to line
+  /// up with what the consumer actually saw.
+  int64_t position() const override { return delivered_; }
+
+  int64_t total_frames() const override { return inner_->total_frames(); }
+
+  /// Rewinds the inner source and the injector for a bit-identical replay.
+  void Reset() override;
+
+  /// Frames silently dropped so far.
+  int64_t dropped() const { return dropped_; }
+  /// Extra deliveries due to duplication so far.
+  int64_t duplicated() const { return duplicated_; }
+  /// Delivery stalls so far.
+  int64_t stalls() const { return stalls_; }
+
+ private:
+  video::FrameSource* inner_;
+  FaultInjector* injector_;
+  video::Frame pending_dup_;
+  bool has_pending_dup_ = false;
+  int64_t delivered_ = 0;
+  int64_t dropped_ = 0;
+  int64_t duplicated_ = 0;
+  int64_t stalls_ = 0;
+};
+
+}  // namespace vdrift::fault
+
+#endif  // VDRIFT_FAULT_FAULTY_STREAM_H_

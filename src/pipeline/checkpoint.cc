@@ -1,0 +1,242 @@
+#include "pipeline/checkpoint.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/binio.h"
+
+namespace vdrift::pipeline {
+
+namespace {
+
+constexpr char kMagic[8] = {'V', 'D', 'C', 'K', 'P', 'T', '0', '1'};
+constexpr uint32_t kVersion = 1;
+// Magic + version + payload length + CRC trailer.
+constexpr size_t kEnvelopeBytes = sizeof(kMagic) + 4 + 8 + 4;
+
+void EncodeRngState(const stats::Rng::State& state, BinaryWriter* writer) {
+  writer->WriteU64(state.state);
+  writer->WriteU64(state.inc);
+  writer->WriteU8(state.has_spare ? 1 : 0);
+  writer->WriteDouble(state.spare);
+}
+
+Status DecodeRngState(BinaryReader* reader, stats::Rng::State* state) {
+  uint8_t has_spare = 0;
+  VDRIFT_RETURN_NOT_OK(reader->ReadU64(&state->state));
+  VDRIFT_RETURN_NOT_OK(reader->ReadU64(&state->inc));
+  VDRIFT_RETURN_NOT_OK(reader->ReadU8(&has_spare));
+  VDRIFT_RETURN_NOT_OK(reader->ReadDouble(&state->spare));
+  state->has_spare = has_spare != 0;
+  return Status::OK();
+}
+
+std::string EncodePayload(const PipelineCheckpoint& cp) {
+  BinaryWriter writer;
+  writer.WriteU32(static_cast<uint32_t>(cp.registry_fingerprint.size()));
+  for (const std::string& name : cp.registry_fingerprint) {
+    writer.WriteString(name);
+  }
+  writer.WriteI32(cp.deployed);
+  writer.WriteU8(cp.drift_oblivious ? 1 : 0);
+  writer.WriteI32(cp.consecutive_selection_failures);
+  EncodeRngState(cp.pipeline_rng, &writer);
+  writer.WriteI64(cp.inspector.frames_seen);
+  EncodeRngState(cp.inspector.rng, &writer);
+  writer.WriteDouble(cp.inspector.martingale.current);
+  writer.WriteI64(cp.inspector.martingale.count);
+  writer.WriteDouble(cp.inspector.martingale.last_delta);
+  writer.WriteDouble(cp.inspector.martingale.last_bet);
+  writer.WriteDoubleVec(cp.inspector.martingale.history);
+  writer.WriteDoubleVec(cp.calibration.pc_avg);
+  writer.WriteDoubleVec(cp.calibration.sigma);
+  writer.WriteDouble(cp.calibration.global_h);
+  writer.WriteU8(cp.calibrated ? 1 : 0);
+  writer.WriteI64(cp.stream_cursor);
+  writer.WriteI64(cp.frames);
+  writer.WriteI32(cp.drifts_detected);
+  writer.WriteI32(cp.new_models_trained);
+  writer.WriteI64Vec(cp.drift_frames);
+  writer.WriteU32(static_cast<uint32_t>(cp.selections.size()));
+  for (const std::string& selection : cp.selections) {
+    writer.WriteString(selection);
+  }
+  writer.WriteI64(cp.selection_invocations);
+  writer.WriteU32(static_cast<uint32_t>(cp.per_sequence.size()));
+  for (const auto& [id, acc] : cp.per_sequence) {
+    writer.WriteI32(id);
+    writer.WriteI64(acc.count_correct);
+    writer.WriteI64(acc.count_total);
+    writer.WriteI64(acc.predicate_correct);
+    writer.WriteI64(acc.predicate_total);
+    writer.WriteI64(acc.invocations);
+  }
+  writer.WriteI64(cp.degradation.frames_dropped);
+  writer.WriteI64(cp.degradation.selector_failures);
+  writer.WriteI64(cp.degradation.selector_retries);
+  writer.WriteI64(cp.degradation.incumbent_fallbacks);
+  writer.WriteI64(cp.degradation.annotator_deferrals);
+  writer.WriteI64(cp.degradation.annotator_errors);
+  writer.WriteI64(cp.degradation.recalibrate_failures);
+  writer.WriteI64(cp.degradation.checkpoint_failures);
+  writer.WriteU8(cp.degradation.drift_oblivious ? 1 : 0);
+  return std::move(writer).TakeBytes();
+}
+
+Status DecodePayload(const std::string& payload, PipelineCheckpoint* cp) {
+  BinaryReader reader(payload);
+  uint32_t n = 0;
+  VDRIFT_RETURN_NOT_OK(reader.ReadU32(&n));
+  cp->registry_fingerprint.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    VDRIFT_RETURN_NOT_OK(reader.ReadString(&cp->registry_fingerprint[i]));
+  }
+  uint8_t flag = 0;
+  VDRIFT_RETURN_NOT_OK(reader.ReadI32(&cp->deployed));
+  VDRIFT_RETURN_NOT_OK(reader.ReadU8(&flag));
+  cp->drift_oblivious = flag != 0;
+  VDRIFT_RETURN_NOT_OK(reader.ReadI32(&cp->consecutive_selection_failures));
+  VDRIFT_RETURN_NOT_OK(DecodeRngState(&reader, &cp->pipeline_rng));
+  VDRIFT_RETURN_NOT_OK(reader.ReadI64(&cp->inspector.frames_seen));
+  VDRIFT_RETURN_NOT_OK(DecodeRngState(&reader, &cp->inspector.rng));
+  VDRIFT_RETURN_NOT_OK(reader.ReadDouble(&cp->inspector.martingale.current));
+  VDRIFT_RETURN_NOT_OK(reader.ReadI64(&cp->inspector.martingale.count));
+  VDRIFT_RETURN_NOT_OK(
+      reader.ReadDouble(&cp->inspector.martingale.last_delta));
+  VDRIFT_RETURN_NOT_OK(reader.ReadDouble(&cp->inspector.martingale.last_bet));
+  VDRIFT_RETURN_NOT_OK(
+      reader.ReadDoubleVec(&cp->inspector.martingale.history));
+  VDRIFT_RETURN_NOT_OK(reader.ReadDoubleVec(&cp->calibration.pc_avg));
+  VDRIFT_RETURN_NOT_OK(reader.ReadDoubleVec(&cp->calibration.sigma));
+  VDRIFT_RETURN_NOT_OK(reader.ReadDouble(&cp->calibration.global_h));
+  VDRIFT_RETURN_NOT_OK(reader.ReadU8(&flag));
+  cp->calibrated = flag != 0;
+  VDRIFT_RETURN_NOT_OK(reader.ReadI64(&cp->stream_cursor));
+  VDRIFT_RETURN_NOT_OK(reader.ReadI64(&cp->frames));
+  VDRIFT_RETURN_NOT_OK(reader.ReadI32(&cp->drifts_detected));
+  VDRIFT_RETURN_NOT_OK(reader.ReadI32(&cp->new_models_trained));
+  VDRIFT_RETURN_NOT_OK(reader.ReadI64Vec(&cp->drift_frames));
+  VDRIFT_RETURN_NOT_OK(reader.ReadU32(&n));
+  cp->selections.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    VDRIFT_RETURN_NOT_OK(reader.ReadString(&cp->selections[i]));
+  }
+  VDRIFT_RETURN_NOT_OK(reader.ReadI64(&cp->selection_invocations));
+  VDRIFT_RETURN_NOT_OK(reader.ReadU32(&n));
+  for (uint32_t i = 0; i < n; ++i) {
+    int32_t id = 0;
+    SequenceAccuracy acc;
+    VDRIFT_RETURN_NOT_OK(reader.ReadI32(&id));
+    VDRIFT_RETURN_NOT_OK(reader.ReadI64(&acc.count_correct));
+    VDRIFT_RETURN_NOT_OK(reader.ReadI64(&acc.count_total));
+    VDRIFT_RETURN_NOT_OK(reader.ReadI64(&acc.predicate_correct));
+    VDRIFT_RETURN_NOT_OK(reader.ReadI64(&acc.predicate_total));
+    VDRIFT_RETURN_NOT_OK(reader.ReadI64(&acc.invocations));
+    cp->per_sequence[id] = acc;
+  }
+  VDRIFT_RETURN_NOT_OK(reader.ReadI64(&cp->degradation.frames_dropped));
+  VDRIFT_RETURN_NOT_OK(reader.ReadI64(&cp->degradation.selector_failures));
+  VDRIFT_RETURN_NOT_OK(reader.ReadI64(&cp->degradation.selector_retries));
+  VDRIFT_RETURN_NOT_OK(reader.ReadI64(&cp->degradation.incumbent_fallbacks));
+  VDRIFT_RETURN_NOT_OK(reader.ReadI64(&cp->degradation.annotator_deferrals));
+  VDRIFT_RETURN_NOT_OK(reader.ReadI64(&cp->degradation.annotator_errors));
+  VDRIFT_RETURN_NOT_OK(reader.ReadI64(&cp->degradation.recalibrate_failures));
+  VDRIFT_RETURN_NOT_OK(reader.ReadI64(&cp->degradation.checkpoint_failures));
+  VDRIFT_RETURN_NOT_OK(reader.ReadU8(&flag));
+  cp->degradation.drift_oblivious = flag != 0;
+  if (reader.remaining() != 0) {
+    return Status::DataLoss("checkpoint payload has " +
+                            std::to_string(reader.remaining()) +
+                            " trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeCheckpoint(const PipelineCheckpoint& checkpoint) {
+  std::string payload = EncodePayload(checkpoint);
+  BinaryWriter writer;
+  uint64_t magic = 0;
+  std::memcpy(&magic, kMagic, sizeof(magic));
+  writer.WriteU64(magic);
+  writer.WriteU32(kVersion);
+  writer.WriteU64(payload.size());
+  std::string bytes = std::move(writer).TakeBytes();
+  bytes += payload;
+  uint32_t crc = Crc32(payload.data(), payload.size());
+  bytes.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  return bytes;
+}
+
+Result<PipelineCheckpoint> DecodeCheckpoint(const std::string& bytes) {
+  if (bytes.size() < kEnvelopeBytes) {
+    return Status::DataLoss("checkpoint too small: " +
+                            std::to_string(bytes.size()) + " bytes");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss("checkpoint magic mismatch");
+  }
+  uint32_t version = 0;
+  uint64_t payload_size = 0;
+  std::memcpy(&version, bytes.data() + sizeof(kMagic), sizeof(version));
+  std::memcpy(&payload_size, bytes.data() + sizeof(kMagic) + sizeof(version),
+              sizeof(payload_size));
+  if (version != kVersion) {
+    return Status::DataLoss("checkpoint version " + std::to_string(version) +
+                            " not supported (want " +
+                            std::to_string(kVersion) + ")");
+  }
+  if (payload_size != bytes.size() - kEnvelopeBytes) {
+    return Status::DataLoss(
+        "checkpoint payload length mismatch: header says " +
+        std::to_string(payload_size) + ", file holds " +
+        std::to_string(bytes.size() - kEnvelopeBytes));
+  }
+  const char* payload_begin = bytes.data() + sizeof(kMagic) + 4 + 8;
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, payload_begin + payload_size, sizeof(stored_crc));
+  uint32_t actual_crc = Crc32(payload_begin, payload_size);
+  if (stored_crc != actual_crc) {
+    return Status::DataLoss("checkpoint CRC mismatch: stored " +
+                            std::to_string(stored_crc) + ", computed " +
+                            std::to_string(actual_crc));
+  }
+  std::string payload(payload_begin, payload_size);
+  PipelineCheckpoint checkpoint;
+  VDRIFT_RETURN_NOT_OK(DecodePayload(payload, &checkpoint));
+  return checkpoint;
+}
+
+Status WriteCheckpointFile(const PipelineCheckpoint& checkpoint,
+                           const std::string& path,
+                           fault::FaultInjector* injector) {
+  if (injector != nullptr &&
+      injector->ShouldInject(fault::FaultKind::kIoFail)) {
+    return Status::IoError("injected: checkpoint write failed");
+  }
+  std::string bytes = EncodeCheckpoint(checkpoint);
+  if (injector != nullptr &&
+      injector->ShouldInject(fault::FaultKind::kCheckpointCorrupt)) {
+    // Half the injections flip a bit (silent media corruption), half tear
+    // the buffer (power loss mid-write); both must be caught by Resume.
+    if (injector->count(fault::FaultKind::kCheckpointCorrupt) % 2 == 1) {
+      injector->CorruptBytes(&bytes);
+    } else {
+      injector->TearBytes(&bytes);
+    }
+  }
+  return AtomicWriteFile(path, bytes);
+}
+
+Result<PipelineCheckpoint> ReadCheckpointFile(const std::string& path,
+                                              fault::FaultInjector* injector) {
+  if (injector != nullptr &&
+      injector->ShouldInject(fault::FaultKind::kIoFail)) {
+    return Status::IoError("injected: checkpoint read failed");
+  }
+  VDRIFT_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  return DecodeCheckpoint(bytes);
+}
+
+}  // namespace vdrift::pipeline

@@ -1,9 +1,12 @@
 #include "pipeline/pipeline.h"
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
 
 #include "common/logging.h"
 #include "obs/timer.h"
+#include "pipeline/checkpoint.h"
 #include "stats/distance.h"
 
 namespace vdrift::pipeline {
@@ -31,6 +34,16 @@ void DeriveTimingFields(PipelineMetrics* metrics) {
   metrics->detect_seconds = reg.GetHistogram(kDetectSpan).sum();
   metrics->select_seconds = reg.GetHistogram(kSelectSpan).sum();
   metrics->query_seconds = reg.GetHistogram(kQuerySpan).sum();
+}
+
+// True iff every element is finite. Only called on the drift-handling
+// path (recovery/training windows), never per streamed frame — the main
+// loop's non-finite screen is the DI score check, which is O(1).
+bool AllFinite(const tensor::Tensor& tensor) {
+  for (int64_t i = 0; i < tensor.size(); ++i) {
+    if (!std::isfinite(tensor[i])) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -63,16 +76,27 @@ DriftAwarePipeline::DriftAwarePipeline(
     VDRIFT_CHECK(static_cast<int>(calibration_samples_.size()) ==
                  registry_->size())
         << "MSBO needs one calibration sample per model";
-    VDRIFT_CHECK_OK(Recalibrate());
+    // Calibration itself is deferred to the first Run: its failure modes
+    // are data-dependent (empty samples, missing ensembles) and surface
+    // as a Status there instead of aborting construction.
   }
   inspector_ = std::make_unique<conformal::DriftInspector>(
       registry_->at(deployed_).profile.get(), config_.di, config_.seed);
+  AttachObservability(&metrics_);
 }
 
 Status DriftAwarePipeline::Recalibrate() {
   VDRIFT_ASSIGN_OR_RETURN(
       calibration_, select::CalibrateMsbo(*registry_, calibration_samples_));
+  calibrated_ = true;
   return Status::OK();
+}
+
+Status DriftAwarePipeline::EnsureCalibrated() {
+  if (calibrated_ || config_.selector != PipelineConfig::Selector::kMsbo) {
+    return Status::OK();
+  }
+  return Recalibrate();
 }
 
 void DriftAwarePipeline::RecordQueries(const video::Frame& frame,
@@ -93,40 +117,114 @@ void DriftAwarePipeline::RecordQueries(const video::Frame& frame,
   }
 }
 
-Status DriftAwarePipeline::HandleDrift(video::StreamGenerator* stream,
-                                       PipelineMetrics* metrics) {
-  // Collect the recovery window (frames keep being processed by the
-  // still-deployed model while the selector decides).
-  std::vector<video::Frame> window;
-  video::Frame frame;
-  while (static_cast<int>(window.size()) < config_.recovery_window &&
-         stream->Next(&frame)) {
-    metrics->frames += 1;
-    if (config_.run_queries) RecordQueries(frame, metrics);
-    window.push_back(frame);
-  }
-  if (window.empty()) return Status::OK();  // stream ended at the drift
-
-  select::Selection selection;
-  {
-    obs::TraceSpan select_span(metrics->registry.get(), kSelectSpan);
-    if (config_.selector == PipelineConfig::Selector::kMsbo) {
-      std::vector<select::LabeledFrame> labeled;
-      labeled.reserve(window.size());
-      int count_classes = config_.provision.count_classes;
-      for (const video::Frame& f : window) {
-        video::FrameTruth truth = oracle_.Annotate(f);
-        labeled.push_back(
-            {f.pixels, detect::CountLabel(truth, count_classes)});
-      }
-      select::Msbo msbo(registry_, calibration_, config_.msbo);
-      VDRIFT_ASSIGN_OR_RETURN(selection, msbo.Select(labeled));
-    } else {
-      select::Msbi msbi(registry_, config_.msbi);
-      VDRIFT_ASSIGN_OR_RETURN(selection,
-                              msbi.Select(video::PixelsOf(window)));
+Result<select::Selection> DriftAwarePipeline::AttemptSelection(
+    const std::vector<video::Frame>& window, PipelineMetrics* metrics) {
+  fault::FaultInjector* injector = config_.injector;
+  if (injector != nullptr) {
+    // The selector's real failure surfaces: the registry read that loads
+    // candidate models, and the selection computation itself.
+    if (injector->ShouldInject(fault::FaultKind::kIoFail)) {
+      return Status::IoError("injected: model registry read failed");
+    }
+    if (injector->ShouldInject(fault::FaultKind::kSelectorFail)) {
+      return Status::Internal("injected: transient selector failure");
     }
   }
+  if (config_.selector == PipelineConfig::Selector::kMsbo) {
+    std::vector<select::LabeledFrame> labeled;
+    labeled.reserve(window.size());
+    int count_classes = config_.provision.count_classes;
+    for (const video::Frame& f : window) {
+      if (injector != nullptr) {
+        if (injector->ShouldInject(fault::FaultKind::kAnnotatorDeadline)) {
+          // Label arrives too late for this selection round; the frame's
+          // re-annotation is deferred rather than blocking recovery.
+          metrics->degradation.annotator_deferrals += 1;
+          continue;
+        }
+        if (injector->ShouldInject(fault::FaultKind::kAnnotatorError)) {
+          metrics->degradation.annotator_errors += 1;
+          continue;
+        }
+      }
+      video::FrameTruth truth = oracle_.Annotate(f);
+      labeled.push_back({f.pixels, detect::CountLabel(truth, count_classes)});
+    }
+    if (labeled.empty()) {
+      return Status::DeadlineExceeded(
+          "no recovery frame was annotated in time");
+    }
+    select::Msbo msbo(registry_, calibration_, config_.msbo);
+    return msbo.Select(labeled);
+  }
+  select::Msbi msbi(registry_, config_.msbi);
+  return msbi.Select(video::PixelsOf(window));
+}
+
+Status DriftAwarePipeline::HandleDrift(video::FrameSource* stream,
+                                       PipelineMetrics* metrics) {
+  // Collect the recovery window (frames keep being processed by the
+  // still-deployed model while the selector decides). Non-finite frames
+  // are useless to both the selector and the queries: dropped + counted.
+  std::vector<video::Frame> window;
+  video::Frame frame;
+  auto collect = [&](int target) {
+    while (static_cast<int>(window.size()) < target && stream->Next(&frame)) {
+      metrics->frames += 1;
+      if (!AllFinite(frame.pixels)) {
+        metrics->degradation.frames_dropped += 1;
+        metrics->registry->GetCounter("vdrift.pipeline.frames_dropped")
+            .Increment();
+        continue;
+      }
+      if (config_.run_queries) RecordQueries(frame, metrics);
+      window.push_back(frame);
+    }
+  };
+  collect(config_.recovery_window);
+  if (window.empty()) return Status::OK();  // stream ended at the drift
+
+  // Bounded retry with exponential backoff in stream time: each failed
+  // attempt widens the recovery window before trying again, and after
+  // max_selection_retries the drift is resolved by keeping the incumbent
+  // (better a possibly-stale model than a dead pipeline).
+  select::Selection selection;
+  int target = static_cast<int>(window.size());
+  int backoff = std::max(1, config_.degrade.backoff_initial_frames);
+  int attempt = 0;
+  while (true) {
+    Result<select::Selection> attempted = [&] {
+      obs::TraceSpan select_span(metrics->registry.get(), kSelectSpan);
+      return AttemptSelection(window, metrics);
+    }();
+    if (attempted.ok()) {
+      selection = std::move(attempted).value();
+      break;
+    }
+    metrics->degradation.selector_failures += 1;
+    metrics->registry->GetCounter("vdrift.pipeline.selection_failures")
+        .Increment();
+    if (attempt >= config_.degrade.max_selection_retries) {
+      metrics->degradation.incumbent_fallbacks += 1;
+      metrics->selections.push_back("<incumbent>");
+      metrics->episodes->AnnotateDecision("<incumbent>");
+      ++consecutive_selection_failures_;
+      if (config_.degrade.max_consecutive_failures > 0 &&
+          consecutive_selection_failures_ >=
+              config_.degrade.max_consecutive_failures) {
+        drift_oblivious_ = true;
+        metrics->degradation.drift_oblivious = true;
+      }
+      inspector_->Reset();
+      return Status::OK();
+    }
+    ++attempt;
+    metrics->degradation.selector_retries += 1;
+    target += backoff;
+    backoff *= 2;
+    collect(target);
+  }
+  consecutive_selection_failures_ = 0;
   metrics->selection_invocations += selection.invocations;
 
   if (selection.train_new_model) {
@@ -143,6 +241,12 @@ Status DriftAwarePipeline::HandleDrift(video::StreamGenerator* stream,
     while (static_cast<int>(training.size()) < config_.new_model_window &&
            stream->Next(&frame)) {
       metrics->frames += 1;
+      if (!AllFinite(frame.pixels)) {
+        metrics->degradation.frames_dropped += 1;
+        metrics->registry->GetCounter("vdrift.pipeline.frames_dropped")
+            .Increment();
+        continue;  // never train on poisoned pixels
+      }
       if (config_.run_queries) RecordQueries(frame, metrics);
       training.push_back(frame);
     }
@@ -155,7 +259,15 @@ Status DriftAwarePipeline::HandleDrift(video::StreamGenerator* stream,
     calibration_samples_.push_back(MakeLabeledSample(
         training, config_.provision.count_classes, 32, &rng_));
     if (config_.selector == PipelineConfig::Selector::kMsbo) {
-      VDRIFT_RETURN_NOT_OK(Recalibrate());
+      Status recalibrated = Recalibrate();
+      if (!recalibrated.ok()) {
+        // Keep serving on the old calibration, extended with a permissive
+        // baseline for the new model so it stays selectable; the next
+        // successful Recalibrate replaces the whole vector anyway.
+        metrics->degradation.recalibrate_failures += 1;
+        calibration_.pc_avg.push_back(1.0);
+        calibration_.sigma.push_back(0.0);
+      }
     }
     deployed_ = index;
     metrics->new_models_trained += 1;
@@ -174,37 +286,147 @@ Status DriftAwarePipeline::HandleDrift(video::StreamGenerator* stream,
   return Status::OK();
 }
 
-Result<PipelineMetrics> DriftAwarePipeline::Run(
-    video::StreamGenerator* stream) {
-  PipelineMetrics metrics;
-  AttachObservability(&metrics);
-  inspector_->set_recorder(metrics.episodes.get());
+Result<PipelineMetrics> DriftAwarePipeline::Run(video::FrameSource* stream,
+                                                const RunOptions& options) {
+  VDRIFT_RETURN_NOT_OK(EnsureCalibrated());
+  inspector_->set_recorder(metrics_.episodes.get());
   obs::Counter& frame_counter =
-      metrics.registry->GetCounter("vdrift.pipeline.frames");
+      metrics_.registry->GetCounter("vdrift.pipeline.frames");
   obs::Counter& drift_counter =
-      metrics.registry->GetCounter("vdrift.pipeline.drifts");
+      metrics_.registry->GetCounter("vdrift.pipeline.drifts");
+  obs::Counter& dropped_counter =
+      metrics_.registry->GetCounter("vdrift.pipeline.frames_dropped");
   {
-    obs::TraceSpan run_span(metrics.registry.get(), kRunSpan);
+    obs::TraceSpan run_span(metrics_.registry.get(), kRunSpan);
     video::Frame frame;
-    while (stream->Next(&frame)) {
-      metrics.frames += 1;
+    int64_t admitted = 0;
+    while ((options.max_frames < 0 || admitted < options.max_frames) &&
+           stream->Next(&frame)) {
+      ++admitted;
+      metrics_.frames += 1;
       frame_counter.Increment();
-      if (config_.run_queries) RecordQueries(frame, &metrics);
-      conformal::DriftInspector::Observation observation;
-      {
-        obs::TraceSpan detect_span(metrics.registry.get(), kDetectSpan);
-        observation = inspector_->Observe(frame.pixels);
+      if (drift_oblivious_) {
+        // Degraded endgame: DI is disarmed, the incumbent keeps serving.
+        if (config_.run_queries) RecordQueries(frame, &metrics_);
+        continue;
       }
-      if (observation.drift) {
-        metrics.drifts_detected += 1;
+      Result<conformal::DriftInspector::Observation> observation = [&] {
+        obs::TraceSpan detect_span(metrics_.registry.get(), kDetectSpan);
+        return inspector_->TryObserve(frame.pixels);
+      }();
+      if (!observation.ok()) {
+        // Frame too corrupt to score (NaN/Inf): skip it, count it, and
+        // keep the run alive — one bad frame must not kill the stream.
+        metrics_.degradation.frames_dropped += 1;
+        dropped_counter.Increment();
+        continue;
+      }
+      if (config_.run_queries) RecordQueries(frame, &metrics_);
+      if (observation.value().drift) {
+        metrics_.drifts_detected += 1;
         drift_counter.Increment();
-        metrics.drift_frames.push_back(frame.truth.frame_index);
-        VDRIFT_RETURN_NOT_OK(HandleDrift(stream, &metrics));
+        metrics_.drift_frames.push_back(frame.truth.frame_index);
+        VDRIFT_RETURN_NOT_OK(HandleDrift(stream, &metrics_));
       }
     }
   }
-  DeriveTimingFields(&metrics);
-  return metrics;
+  DeriveTimingFields(&metrics_);
+  return metrics_;
+}
+
+Status DriftAwarePipeline::Checkpoint(const std::string& path,
+                                      const video::FrameSource& stream) {
+  PipelineCheckpoint cp;
+  cp.registry_fingerprint.reserve(static_cast<size_t>(registry_->size()));
+  for (int i = 0; i < registry_->size(); ++i) {
+    cp.registry_fingerprint.push_back(registry_->at(i).name);
+  }
+  cp.deployed = deployed_;
+  cp.drift_oblivious = drift_oblivious_;
+  cp.consecutive_selection_failures = consecutive_selection_failures_;
+  cp.pipeline_rng = rng_.state();
+  cp.inspector = inspector_->SaveState();
+  cp.calibration = calibration_;
+  cp.calibrated = calibrated_;
+  cp.stream_cursor = stream.position();
+  cp.frames = metrics_.frames;
+  cp.drifts_detected = metrics_.drifts_detected;
+  cp.new_models_trained = metrics_.new_models_trained;
+  cp.drift_frames = metrics_.drift_frames;
+  cp.selections = metrics_.selections;
+  cp.selection_invocations = metrics_.selection_invocations;
+  cp.per_sequence = metrics_.per_sequence;
+  cp.degradation = metrics_.degradation;
+  Status written = WriteCheckpointFile(cp, path, config_.injector);
+  if (!written.ok()) {
+    metrics_.degradation.checkpoint_failures += 1;
+    metrics_.registry->GetCounter("vdrift.pipeline.checkpoint_failures")
+        .Increment();
+  }
+  return written;
+}
+
+Status DriftAwarePipeline::Resume(const std::string& path,
+                                  video::FrameSource* stream) {
+  VDRIFT_CHECK(stream != nullptr);
+  Result<PipelineCheckpoint> read = ReadCheckpointFile(path, config_.injector);
+  VDRIFT_RETURN_NOT_OK(read.status());
+  const PipelineCheckpoint& cp = read.value();
+  // Validate everything BEFORE touching pipeline state, so a failed
+  // Resume leaves the cold-start pipeline intact for the fallback run.
+  if (static_cast<int>(cp.registry_fingerprint.size()) != registry_->size()) {
+    return Status::DataLoss(
+        "checkpoint registry fingerprint has " +
+        std::to_string(cp.registry_fingerprint.size()) +
+        " models, live registry has " + std::to_string(registry_->size()));
+  }
+  for (int i = 0; i < registry_->size(); ++i) {
+    if (cp.registry_fingerprint[static_cast<size_t>(i)] !=
+        registry_->at(i).name) {
+      return Status::DataLoss("checkpoint model " + std::to_string(i) +
+                              " is '" +
+                              cp.registry_fingerprint[static_cast<size_t>(i)] +
+                              "', live registry has '" + registry_->at(i).name +
+                              "'");
+    }
+  }
+  if (cp.deployed < 0 || cp.deployed >= registry_->size()) {
+    return Status::DataLoss("checkpoint deployed index out of range: " +
+                            std::to_string(cp.deployed));
+  }
+  if (cp.stream_cursor < 0) {
+    return Status::DataLoss("checkpoint stream cursor is negative");
+  }
+  stream->Reset();
+  video::Frame frame;
+  for (int64_t i = 0; i < cp.stream_cursor; ++i) {
+    if (!stream->Next(&frame)) {
+      return Status::DataLoss("stream ended at frame " + std::to_string(i) +
+                              ", before the checkpoint cursor " +
+                              std::to_string(cp.stream_cursor));
+    }
+  }
+  deployed_ = cp.deployed;
+  drift_oblivious_ = cp.drift_oblivious;
+  consecutive_selection_failures_ = cp.consecutive_selection_failures;
+  rng_.set_state(cp.pipeline_rng);
+  calibration_ = cp.calibration;
+  calibrated_ = cp.calibrated;
+  inspector_ = std::make_unique<conformal::DriftInspector>(
+      registry_->at(deployed_).profile.get(), config_.di, config_.seed);
+  inspector_->RestoreState(cp.inspector);
+  metrics_ = PipelineMetrics{};
+  AttachObservability(&metrics_);
+  metrics_.frames = cp.frames;
+  metrics_.drifts_detected = cp.drifts_detected;
+  metrics_.new_models_trained = cp.new_models_trained;
+  metrics_.drift_frames = cp.drift_frames;
+  metrics_.selections = cp.selections;
+  metrics_.selection_invocations = cp.selection_invocations;
+  metrics_.per_sequence = cp.per_sequence;
+  metrics_.degradation = cp.degradation;
+  inspector_->set_recorder(metrics_.episodes.get());
+  return Status::OK();
 }
 
 OdinPipeline::OdinPipeline(
@@ -233,7 +455,7 @@ OdinPipeline::OdinPipeline(
   }
 }
 
-Result<PipelineMetrics> OdinPipeline::Run(video::StreamGenerator* stream) {
+Result<PipelineMetrics> OdinPipeline::Run(video::FrameSource* stream) {
   PipelineMetrics metrics;
   AttachObservability(&metrics);
   const conformal::DistributionProfile& encoder =
@@ -344,7 +566,7 @@ Result<PipelineMetrics> OdinPipeline::Run(video::StreamGenerator* stream) {
 }
 
 Result<PipelineMetrics> StaticDetectorPipeline::RunDetector(
-    detect::SimulatedDetector* detector, video::StreamGenerator* stream,
+    detect::SimulatedDetector* detector, video::FrameSource* stream,
     bool run_predicate) {
   if (detector == nullptr) {
     return Status::InvalidArgument("detector is null");
@@ -376,7 +598,7 @@ Result<PipelineMetrics> StaticDetectorPipeline::RunDetector(
 }
 
 Result<PipelineMetrics> StaticDetectorPipeline::RunOracle(
-    int work_dim, video::StreamGenerator* stream) {
+    int work_dim, video::FrameSource* stream) {
   PipelineMetrics metrics;
   AttachObservability(&metrics);
   detect::OracleAnnotator oracle(work_dim);

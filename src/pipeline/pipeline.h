@@ -16,6 +16,7 @@
 #include "core/registry.h"
 #include "detect/annotator.h"
 #include "detect/detector.h"
+#include "fault/fault.h"
 #include "obs/episode_trace.h"
 #include "obs/metrics.h"
 #include "pipeline/provision.h"
@@ -59,6 +60,31 @@ struct SequenceAccuracy {
   }
 };
 
+/// \brief What the pipeline absorbed instead of crashing.
+///
+/// Every graceful-degradation path increments exactly one field here, so
+/// a fault sweep can reconcile the books: frames delivered == frames
+/// queried + frames dropped, drifts detected == selections + incumbent
+/// fallbacks, and so on. Silent loss is the one outcome these counters
+/// make impossible.
+struct DegradationStats {
+  int64_t frames_dropped = 0;        ///< Non-finite frames skipped (DI + window).
+  int64_t selector_failures = 0;     ///< Failed Select attempts (incl. retries).
+  int64_t selector_retries = 0;      ///< Retries after a failed attempt.
+  int64_t incumbent_fallbacks = 0;   ///< Drifts resolved by keeping the incumbent.
+  int64_t annotator_deferrals = 0;   ///< Deadline overruns: label deferred.
+  int64_t annotator_errors = 0;      ///< Spurious annotator errors tolerated.
+  int64_t recalibrate_failures = 0;  ///< Recalibrations that kept old calibration.
+  int64_t checkpoint_failures = 0;   ///< Checkpoint writes that failed.
+  bool drift_oblivious = false;      ///< True once drift handling gave up.
+
+  int64_t total_events() const {
+    return frames_dropped + selector_failures + selector_retries +
+           incumbent_fallbacks + annotator_deferrals + annotator_errors +
+           recalibrate_failures + checkpoint_failures;
+  }
+};
+
 /// \brief Everything a pipeline run reports.
 struct PipelineMetrics {
   int64_t frames = 0;
@@ -68,6 +94,7 @@ struct PipelineMetrics {
   std::vector<std::string> selections;    ///< Model picked per drift.
   int64_t selection_invocations = 0;      ///< Selector-internal invocations.
   std::map<int, SequenceAccuracy> per_sequence;  ///< Keyed by sequence id.
+  DegradationStats degradation;           ///< Faults absorbed, not crashed on.
 
   /// Derived views over the obs spans recorded in `registry` (sums of the
   /// `vdrift.pipeline.*_seconds` histograms) — kept as plain fields so
@@ -86,6 +113,22 @@ struct PipelineMetrics {
 
   /// Aggregates the per-sequence counters.
   SequenceAccuracy Totals() const;
+};
+
+/// \brief How hard the pipeline fights before giving up on drift handling.
+struct DegradationPolicy {
+  /// Failed selections are retried this many times before the drift is
+  /// resolved by keeping the incumbent model.
+  int max_selection_retries = 2;
+  /// Frames of extra recovery window collected before the first retry;
+  /// doubles on each subsequent retry (exponential backoff expressed in
+  /// stream time — the pipeline keeps serving frames while it waits).
+  int backoff_initial_frames = 4;
+  /// After this many *consecutive* drifts end in incumbent fallback, the
+  /// pipeline stops trying: it drops to drift-oblivious operation (queries
+  /// keep running on the incumbent; DI is disarmed) rather than burning
+  /// the selector on every window. 0 disables the tripwire.
+  int max_consecutive_failures = 3;
 };
 
 /// \brief Configuration of the drift-aware pipeline (Fig. 1 architecture).
@@ -107,6 +150,13 @@ struct PipelineConfig {
   bool run_queries = true;      ///< Execute count/predicate queries.
   bool run_predicate = false;   ///< Also score the spatial query.
   uint64_t seed = 4242;
+  DegradationPolicy degrade;    ///< Graceful-degradation knobs.
+  /// Optional fault source (not owned; must outlive the pipeline). When
+  /// set, the selector, annotator, and checkpoint paths roll its dice at
+  /// their injection points. Null (the default) costs nothing: every
+  /// injection check is a single pointer test on the drift-handling path,
+  /// never per frame.
+  fault::FaultInjector* injector = nullptr;
 };
 
 /// \brief The paper's end-to-end system: DI + (MSBO or MSBI) + deployment.
@@ -118,6 +168,15 @@ struct PipelineConfig {
 /// selected), the Model Selector picks the best provisioned model — or
 /// signals that a new one must be trained (§5.4) — and the pipeline
 /// redeploys and re-arms DI against the new distribution.
+/// \brief Limits on one DriftAwarePipeline::Run call (checkpoint drills
+/// pause a run mid-stream).
+struct RunOptions {
+  /// Frames to admit from the stream in this call; -1 = until the
+  /// stream is exhausted. Frames consumed inside drift handling
+  /// (recovery window, training window) do not count against the limit.
+  int64_t max_frames = -1;
+};
+
 class DriftAwarePipeline {
  public:
   /// `registry` must outlive the pipeline. `calibration_samples` holds the
@@ -127,14 +186,52 @@ class DriftAwarePipeline {
       std::vector<std::vector<select::LabeledFrame>> calibration_samples,
       const PipelineConfig& config);
 
-  /// Processes the whole stream; returns metrics.
-  Result<PipelineMetrics> Run(video::StreamGenerator* stream);
+  /// Processes the stream (or `options.max_frames` of it); returns the
+  /// cumulative metrics. Metrics accumulate across Run calls on the same
+  /// pipeline, so pause/checkpoint/continue reports the same totals as an
+  /// uninterrupted run.
+  Result<PipelineMetrics> Run(video::FrameSource* stream,
+                              const RunOptions& options = {});
 
   /// The currently deployed model index.
   int deployed_model() const { return deployed_; }
 
+  /// True once repeated selection failures tripped the pipeline into
+  /// drift-oblivious operation.
+  bool drift_oblivious() const { return drift_oblivious_; }
+
+  /// Cumulative metrics so far (valid between Run calls).
+  const PipelineMetrics& metrics() const { return metrics_; }
+
+  /// The active drift inspector (tests probe its martingale trajectory).
+  const conformal::DriftInspector& inspector() const { return *inspector_; }
+
+  /// \brief Writes a versioned, CRC-guarded snapshot of the pipeline's
+  /// recoverable state to `path` (atomic tmp+rename): inspector state
+  /// (martingale trajectory, RNG), deployed model, MSBO calibration,
+  /// degradation state, cumulative metrics counters, and the stream
+  /// cursor `stream->position()`. Model weights are NOT serialized; the
+  /// snapshot records a registry fingerprint instead, so resuming
+  /// requires re-provisioning the same registry (see Resume). Non-const
+  /// because a failed or fault-injected write is itself recorded in the
+  /// degradation stats.
+  Status Checkpoint(const std::string& path, const video::FrameSource& stream);
+
+  /// \brief Restores a snapshot written by Checkpoint and fast-forwards
+  /// `stream` (Reset + replay) to the saved cursor.
+  ///
+  /// Any integrity failure — bad magic, unknown version, CRC mismatch,
+  /// truncation, registry fingerprint mismatch, or a stream shorter than
+  /// the cursor — returns kDataLoss and leaves the pipeline in its
+  /// cold-start state, so the caller's fallback is simply to Run from the
+  /// beginning; nothing crashes on a torn or corrupted file.
+  Status Resume(const std::string& path, video::FrameSource* stream);
+
  private:
-  Status HandleDrift(video::StreamGenerator* stream, PipelineMetrics* metrics);
+  Status EnsureCalibrated();
+  Status HandleDrift(video::FrameSource* stream, PipelineMetrics* metrics);
+  Result<select::Selection> AttemptSelection(
+      const std::vector<video::Frame>& window, PipelineMetrics* metrics);
   void RecordQueries(const video::Frame& frame, PipelineMetrics* metrics);
   Status Recalibrate();
 
@@ -142,10 +239,14 @@ class DriftAwarePipeline {
   std::vector<std::vector<select::LabeledFrame>> calibration_samples_;
   PipelineConfig config_;
   select::MsboCalibration calibration_;
+  bool calibrated_ = false;
   detect::OracleAnnotator oracle_;
   stats::Rng rng_;
   int deployed_ = 0;
+  bool drift_oblivious_ = false;
+  int consecutive_selection_failures_ = 0;
   std::unique_ptr<conformal::DriftInspector> inspector_;
+  PipelineMetrics metrics_;
 };
 
 /// \brief The ODIN baseline pipeline: ODIN-Detect + ODIN-Select per frame.
@@ -172,7 +273,7 @@ class OdinPipeline {
                const std::vector<std::vector<video::Frame>>& training_frames,
                const Config& config);
 
-  Result<PipelineMetrics> Run(video::StreamGenerator* stream);
+  Result<PipelineMetrics> Run(video::FrameSource* stream);
 
   /// Number of permanent clusters after the run.
   int num_clusters() const { return odin_.num_clusters(); }
@@ -189,14 +290,14 @@ class StaticDetectorPipeline {
  public:
   /// YOLOv7 substitute: runs the given detector on every frame.
   static Result<PipelineMetrics> RunDetector(
-      detect::SimulatedDetector* detector, video::StreamGenerator* stream,
+      detect::SimulatedDetector* detector, video::FrameSource* stream,
       bool run_predicate);
 
   /// Mask R-CNN substitute: the oracle annotator labels every frame (its
   /// accuracy is 1.0 by construction); `work_dim` sets the simulated
   /// per-frame segmentation cost.
   static Result<PipelineMetrics> RunOracle(int work_dim,
-                                           video::StreamGenerator* stream);
+                                           video::FrameSource* stream);
 };
 
 }  // namespace vdrift::pipeline

@@ -49,6 +49,30 @@ class Rng {
   /// A fresh Rng derived from this one (independent stream).
   Rng Split();
 
+  /// \brief The generator's complete serializable state.
+  ///
+  /// Captured/restored by the pipeline checkpoint so that a resumed run
+  /// draws the exact same tail of the random sequence as an uninterrupted
+  /// one (the spare Gaussian must round-trip too, or the first
+  /// NextGaussian after resume would diverge).
+  struct State {
+    uint64_t state = 0;
+    uint64_t inc = 0;
+    bool has_spare = false;
+    double spare = 0.0;
+  };
+
+  /// The current state (for checkpointing).
+  State state() const { return {state_, inc_, has_spare_, spare_}; }
+
+  /// Restores a previously captured state.
+  void set_state(const State& s) {
+    state_ = s.state;
+    inc_ = s.inc;
+    has_spare_ = s.has_spare;
+    spare_ = s.spare;
+  }
+
  private:
   uint64_t state_;
   uint64_t inc_;

@@ -1,6 +1,7 @@
 #include "vae/trainer.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 #include "nn/optimizer.h"
@@ -67,6 +68,13 @@ Result<std::vector<double>> VaeTrainer::Train(
                             start + static_cast<size_t>(config_.batch_size));
       tensor::Tensor batch = GatherBatch(frames, order, start, end);
       Vae::Losses losses = vae->TrainStep(batch, &optimizer, rng);
+      if (!std::isfinite(losses.total())) {
+        // A NaN/Inf loss means the weights are already poisoned (bad
+        // frame or exploded gradient); report instead of training onward
+        // into a silently broken encoder.
+        return Status::Internal("VAE training loss became non-finite at epoch " +
+                                std::to_string(epoch));
+      }
       total += losses.total();
       ++batches;
     }

@@ -11,6 +11,30 @@
 
 namespace vdrift::video {
 
+/// \brief Abstract frame producer: the minimal surface a pipeline needs.
+///
+/// Both synthetic generators implement it, and decorators (e.g.
+/// fault::FaultyStream) wrap any FrameSource to perturb what flows
+/// downstream without the pipeline knowing. Implementations must make
+/// Reset() a bit-identical replay so checkpoint/resume can fast-forward
+/// a fresh source to a saved cursor.
+class FrameSource {
+ public:
+  virtual ~FrameSource() = default;
+
+  /// Produces the next frame; returns false once the stream is exhausted.
+  virtual bool Next(Frame* frame) = 0;
+
+  /// Frames produced so far (index of the next frame).
+  virtual int64_t position() const = 0;
+
+  /// Total frames in the stream.
+  virtual int64_t total_frames() const = 0;
+
+  /// Restarts the stream for a bit-identical replay.
+  virtual void Reset() = 0;
+};
+
 /// \brief One stationary stretch of the stream: a spec and its length.
 struct Segment {
   SceneSpec spec;
@@ -22,19 +46,19 @@ struct Segment {
 /// Models the paper's problem statement: frames f_1..f_theta ~ F_k, then
 /// f_{theta+1}.. ~ F_{k+1} and so on. The segment boundaries are the ground
 /// truth drift points theta that the Drift Inspector must locate.
-class StreamGenerator {
+class StreamGenerator : public FrameSource {
  public:
   StreamGenerator(std::vector<Segment> segments, int image_size,
                   uint64_t seed);
 
   /// Produces the next frame; returns false once the stream is exhausted.
-  bool Next(Frame* frame);
+  bool Next(Frame* frame) override;
 
   /// Index of the next frame to be produced (frames produced so far).
-  int64_t position() const { return position_; }
+  int64_t position() const override { return position_; }
 
   /// Total frames in the stream.
-  int64_t total_frames() const { return total_; }
+  int64_t total_frames() const override { return total_; }
 
   /// Global frame indices at which the distribution changes (the first
   /// frame of every segment after the first).
@@ -44,7 +68,7 @@ class StreamGenerator {
   int current_sequence() const { return segment_index_; }
 
   /// Restarts the stream with the same seed (bit-identical replay).
-  void Reset();
+  void Reset() override;
 
  private:
   std::vector<Segment> segments_;
@@ -64,19 +88,19 @@ class StreamGenerator {
 /// ramping linearly from 0 to 1 across the middle `transition_fraction` of
 /// the stream (plateaus at each end). The nominal drift point — the
 /// "sunset" moment used as ground truth — is the frame where t crosses 0.5.
-class SlowDriftStream {
+class SlowDriftStream : public FrameSource {
  public:
   SlowDriftStream(SceneSpec from, SceneSpec to, int64_t length,
                   double transition_fraction, int image_size, uint64_t seed);
 
-  bool Next(Frame* frame);
-  int64_t position() const { return position_; }
-  int64_t total_frames() const { return length_; }
+  bool Next(Frame* frame) override;
+  int64_t position() const override { return position_; }
+  int64_t total_frames() const override { return length_; }
   /// Frame index where the interpolation parameter crosses 0.5.
   int64_t nominal_drift_point() const { return nominal_drift_; }
   /// Interpolation parameter for a given frame index.
   double MixAt(int64_t index) const;
-  void Reset();
+  void Reset() override;
 
  private:
   SceneSpec from_;

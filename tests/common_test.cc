@@ -30,6 +30,9 @@ TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
   Status s = Status::InvalidArgument("bad k");
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.message(), "bad k");
@@ -44,9 +47,15 @@ TEST(StatusTest, EqualityComparesCodeAndMessage) {
 }
 
 TEST(StatusCodeTest, AllCodesHaveNames) {
-  for (int c = 0; c <= 7; ++c) {
+  for (int c = 0; c <= 9; ++c) {
     EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
   }
+}
+
+TEST(StatusCodeTest, RecoveryCodesRenderDistinctly) {
+  EXPECT_EQ(Status::DataLoss("torn file").ToString(), "Data loss: torn file");
+  EXPECT_EQ(Status::DeadlineExceeded("slow").ToString(),
+            "Deadline exceeded: slow");
 }
 
 TEST(ResultTest, HoldsValue) {

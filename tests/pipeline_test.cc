@@ -2,14 +2,21 @@
 // on multi-sequence streams, the trainNewModel path, the ODIN baseline
 // pipeline, and the static-detector pipelines.
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "benchutil/workbench.h"
+#include "fault/fault.h"
+#include "fault/faulty_stream.h"
+#include "pipeline/checkpoint.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/provision.h"
+#include "runtime/parallel.h"
 #include "stats/rng.h"
 #include "video/datasets.h"
 #include "video/stream.h"
@@ -227,6 +234,223 @@ TEST(TrainNewModelTest, PipelineProvisionsOnUnseenDistribution) {
   EXPECT_EQ(metrics.selections[0].rfind("learned-", 0), 0u)
       << "first selection should be a freshly trained model, got "
       << metrics.selections[0];
+}
+
+TEST_F(PipelineFixture, NanFramesAreDroppedNotFatal) {
+  // End-to-end NaN regression: poisoned frames must be skipped and
+  // counted, never crash the run or stick the martingale at NaN.
+  video::StreamGenerator inner = bench_->dataset.MakeStream();
+  fault::FaultPlan plan =
+      fault::FaultPlan::Parse("nan_frame:p=0.05").ValueOrDie();
+  fault::FaultInjector injector(plan, 2024);
+  fault::FaultyStream stream(&inner, &injector);
+  PipelineConfig config = BaseConfig(PipelineConfig::Selector::kMsbo);
+  DriftAwarePipeline pipeline(&bench_->registry,
+                              bench_->calibration_samples, config);
+  Result<PipelineMetrics> run = pipeline.Run(&stream);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const PipelineMetrics& metrics = run.value();
+  EXPECT_GT(injector.count(fault::FaultKind::kNanFrame), 0);
+  EXPECT_GT(metrics.degradation.frames_dropped, 0);
+  // Zero silent losses: every delivered frame was either queried or
+  // explicitly dropped.
+  EXPECT_EQ(metrics.frames, stream.position());
+  EXPECT_EQ(metrics.Totals().count_total + metrics.degradation.frames_dropped,
+            metrics.frames);
+  // The surviving trajectory is still a working detector.
+  EXPECT_GE(metrics.drifts_detected, 1);
+}
+
+TEST_F(PipelineFixture, SelectorFailuresDegradeToIncumbentThenOblivious) {
+  // A selector that always fails must never kill the run: bounded retries,
+  // then incumbent fallback, then (after repeated failures) the pipeline
+  // trips into drift-oblivious operation.
+  video::StreamGenerator stream = bench_->dataset.MakeStream();
+  fault::FaultPlan plan =
+      fault::FaultPlan::Parse("selector_fail:p=1").ValueOrDie();
+  fault::FaultInjector injector(plan, 7);
+  PipelineConfig config = BaseConfig(PipelineConfig::Selector::kMsbo);
+  config.injector = &injector;
+  config.degrade.max_selection_retries = 1;
+  config.degrade.max_consecutive_failures = 2;
+  DriftAwarePipeline pipeline(&bench_->registry,
+                              bench_->calibration_samples, config);
+  Result<PipelineMetrics> run = pipeline.Run(&stream);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const PipelineMetrics& metrics = run.value();
+  EXPECT_EQ(metrics.frames, bench_->dataset.total_frames());
+  ASSERT_GE(metrics.degradation.incumbent_fallbacks, 1);
+  EXPECT_EQ(metrics.degradation.selector_retries,
+            metrics.degradation.incumbent_fallbacks);
+  EXPECT_EQ(metrics.degradation.selector_failures,
+            2 * metrics.degradation.incumbent_fallbacks);
+  // Every drift is accounted for: a selection entry ("<incumbent>") per
+  // detection, and the queries kept running throughout.
+  EXPECT_EQ(static_cast<int>(metrics.selections.size()),
+            metrics.drifts_detected);
+  for (const std::string& selection : metrics.selections) {
+    EXPECT_EQ(selection, "<incumbent>");
+  }
+  if (metrics.degradation.incumbent_fallbacks >= 2) {
+    EXPECT_TRUE(metrics.degradation.drift_oblivious);
+    EXPECT_TRUE(pipeline.drift_oblivious());
+  }
+  EXPECT_EQ(metrics.Totals().count_total, metrics.frames);
+}
+
+TEST_F(PipelineFixture, AnnotatorFaultsAreDeferredNotFatal) {
+  // Annotator deadline overruns and spurious errors shrink the labeled
+  // recovery window but must not fail MSBO selection outright.
+  video::StreamGenerator stream = bench_->dataset.MakeStream();
+  fault::FaultPlan plan =
+      fault::FaultPlan::Parse("annotator_deadline:p=0.3;annotator_error:p=0.1")
+          .ValueOrDie();
+  fault::FaultInjector injector(plan, 13);
+  PipelineConfig config = BaseConfig(PipelineConfig::Selector::kMsbo);
+  config.injector = &injector;
+  DriftAwarePipeline pipeline(&bench_->registry,
+                              bench_->calibration_samples, config);
+  Result<PipelineMetrics> run = pipeline.Run(&stream);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const PipelineMetrics& metrics = run.value();
+  EXPECT_GE(metrics.drifts_detected, 2);
+  EXPECT_GT(metrics.degradation.annotator_deferrals, 0);
+  // Selection still succeeded from the frames that were labeled in time.
+  EXPECT_EQ(metrics.degradation.incumbent_fallbacks, 0);
+}
+
+TEST_F(PipelineFixture, CheckpointResumeIsBitIdentical) {
+  // Crash-recovery drill, run at 1 and 4 worker threads: pause a run
+  // mid-stream, checkpoint, resume into a FRESH pipeline + stream, and
+  // require the final counters to be bit-identical to an uninterrupted
+  // run — accuracy counters, detection indices, selections, and the
+  // martingale trajectory all included.
+  for (int threads : {1, 4}) {
+    runtime::ScopedThreads scoped(threads);
+    PipelineConfig config = BaseConfig(PipelineConfig::Selector::kMsbo);
+
+    video::StreamGenerator baseline_stream = bench_->dataset.MakeStream();
+    DriftAwarePipeline baseline(&bench_->registry,
+                                bench_->calibration_samples, config);
+    PipelineMetrics uninterrupted =
+        baseline.Run(&baseline_stream).ValueOrDie();
+
+    std::string path = ::testing::TempDir() + "/vdrift_resume_drill_" +
+                       std::to_string(threads) + ".ckpt";
+    video::StreamGenerator first_stream = bench_->dataset.MakeStream();
+    DriftAwarePipeline first(&bench_->registry, bench_->calibration_samples,
+                             config);
+    RunOptions half;
+    half.max_frames = bench_->dataset.total_frames() / 2;
+    ASSERT_TRUE(first.Run(&first_stream, half).ok());
+    ASSERT_TRUE(first.Checkpoint(path, first_stream).ok());
+
+    // "Crash": everything below uses fresh objects only.
+    video::StreamGenerator second_stream = bench_->dataset.MakeStream();
+    DriftAwarePipeline second(&bench_->registry, bench_->calibration_samples,
+                              config);
+    Status resumed = second.Resume(path, &second_stream);
+    ASSERT_TRUE(resumed.ok()) << resumed.ToString();
+    PipelineMetrics recovered = second.Run(&second_stream).ValueOrDie();
+
+    EXPECT_EQ(recovered.frames, uninterrupted.frames);
+    EXPECT_EQ(recovered.drifts_detected, uninterrupted.drifts_detected);
+    EXPECT_EQ(recovered.drift_frames, uninterrupted.drift_frames);
+    EXPECT_EQ(recovered.selections, uninterrupted.selections);
+    EXPECT_EQ(recovered.selection_invocations,
+              uninterrupted.selection_invocations);
+    ASSERT_EQ(recovered.per_sequence.size(),
+              uninterrupted.per_sequence.size());
+    for (const auto& [id, acc] : uninterrupted.per_sequence) {
+      const SequenceAccuracy& other = recovered.per_sequence.at(id);
+      EXPECT_EQ(other.count_correct, acc.count_correct) << "seq " << id;
+      EXPECT_EQ(other.count_total, acc.count_total) << "seq " << id;
+      EXPECT_EQ(other.invocations, acc.invocations) << "seq " << id;
+    }
+    // Martingale trajectory converged to the same bit pattern.
+    EXPECT_EQ(second.inspector().martingale_value(),
+              baseline.inspector().martingale_value());
+    EXPECT_EQ(second.inspector().frames_seen(),
+              baseline.inspector().frames_seen());
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(PipelineFixture, ResumeFromCorruptCheckpointIsDataLossNotCrash) {
+  PipelineConfig config = BaseConfig(PipelineConfig::Selector::kMsbo);
+  video::StreamGenerator stream = bench_->dataset.MakeStream();
+  DriftAwarePipeline pipeline(&bench_->registry,
+                              bench_->calibration_samples, config);
+  RunOptions some;
+  some.max_frames = 40;
+  ASSERT_TRUE(pipeline.Run(&stream, some).ok());
+  std::string path = ::testing::TempDir() + "/vdrift_corrupt_resume.ckpt";
+  ASSERT_TRUE(pipeline.Checkpoint(path, stream).ok());
+
+  // Corrupt the file on disk; a fresh pipeline must report kDataLoss and
+  // stay usable for the cold-start fallback.
+  fault::FaultPlan plan =
+      fault::FaultPlan::Parse("checkpoint_corrupt:p=1").ValueOrDie();
+  fault::FaultInjector injector(plan, 3);
+  {
+    FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 100, SEEK_SET);
+    int byte = std::fgetc(f);
+    std::fseek(f, 100, SEEK_SET);
+    std::fputc(byte ^ 0x20, f);
+    std::fclose(f);
+  }
+  video::StreamGenerator fresh_stream = bench_->dataset.MakeStream();
+  DriftAwarePipeline fresh(&bench_->registry, bench_->calibration_samples,
+                           config);
+  Status resumed = fresh.Resume(path, &fresh_stream);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.code(), StatusCode::kDataLoss);
+  // Cold start still works after the failed resume.
+  fresh_stream.Reset();
+  RunOptions a_bit;
+  a_bit.max_frames = 30;
+  EXPECT_TRUE(fresh.Run(&fresh_stream, a_bit).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(PipelineFixture, FaultSweepNeverCrashesAndLosesNothing) {
+  // The acceptance sweep in miniature: 8 seeds of a broad fault mix over
+  // the full pipeline. Every run must finish with OK status and balanced
+  // books — frames delivered == frames queried + frames dropped. CI shards
+  // extra seed ranges by exporting VDRIFT_FAULT_SEED as the base.
+  fault::FaultPlan plan =
+      fault::FaultPlan::Parse(
+          "corrupt_frame:p=0.02;nan_frame:p=0.02;drop_frame:p=0.02;"
+          "dup_frame:p=0.02;stall:p=0.005,ms=1;selector_fail:p=0.3;"
+          "io_fail:p=0.1;annotator_deadline:p=0.2;annotator_error:p=0.1")
+          .ValueOrDie();
+  uint64_t base_seed = 0;
+  if (const char* env = std::getenv("VDRIFT_FAULT_SEED")) {
+    base_seed = std::strtoull(env, nullptr, 10);
+  }
+  for (uint64_t seed = base_seed; seed < base_seed + 8; ++seed) {
+    fault::FaultInjector injector(plan, seed);
+    video::StreamGenerator inner = bench_->dataset.MakeStream();
+    fault::FaultyStream stream(&inner, &injector);
+    PipelineConfig config = BaseConfig(PipelineConfig::Selector::kMsbo);
+    config.injector = &injector;
+    DriftAwarePipeline pipeline(&bench_->registry,
+                                bench_->calibration_samples, config);
+    Result<PipelineMetrics> run = pipeline.Run(&stream);
+    ASSERT_TRUE(run.ok()) << "seed " << seed << ": "
+                          << run.status().ToString();
+    const PipelineMetrics& metrics = run.value();
+    EXPECT_EQ(metrics.frames, stream.position()) << "seed " << seed;
+    EXPECT_EQ(
+        metrics.Totals().count_total + metrics.degradation.frames_dropped,
+        metrics.frames)
+        << "seed " << seed << ": a frame fell through the books";
+    EXPECT_EQ(static_cast<int64_t>(metrics.selections.size()),
+              static_cast<int64_t>(metrics.drifts_detected))
+        << "seed " << seed << ": a drift was handled without a decision";
+  }
 }
 
 TEST(ProvisionTest, RejectsBadInput) {
