@@ -12,10 +12,18 @@
 //
 // Runs on the BenchHarness: VDRIFT_BENCH_{SMOKE,DATASET,SEED,JSON} steer
 // the run and a BENCH_table6_detection_time.json report is written;
-// VDRIFT_METRICS_JSON overrides the metrics report path. With
-// VDRIFT_TRACE_JSON set, a drift-aware pipeline pass over the last dataset
-// is appended so the flight-recorder trace also shows the nested
-// detect/select/query stages around the tensor-op events.
+// VDRIFT_METRICS_JSON overrides the metrics report path. A drift-aware
+// pipeline pass over the last dataset is appended when any of the deeper
+// observability surfaces is armed:
+//   - VDRIFT_TRACE_JSON: flight-recorder trace with the nested
+//     detect/select/query stage spans around the tensor-op events,
+//   - VDRIFT_SAMPLE_INTERVAL (+ VDRIFT_METRICS_JSONL / VDRIFT_SLO_SPEC):
+//     windowed time-series sampling and the SLO health watchdog, whose
+//     alerts land in the metrics report's "alerts" array,
+//   - VDRIFT_FAULT_SPEC: the pass runs against a FaultyStream + injector,
+//     so the watchdog can be proven to surface injected faults.
+// VDRIFT_METRICS_OPENMETRICS additionally exports the global registry in
+// the OpenMetrics text exposition format.
 
 #include <cstdio>
 #include <memory>
@@ -27,6 +35,8 @@
 #include "benchutil/workbench.h"
 #include "core/drift_inspector.h"
 #include "baseline/odin.h"
+#include "fault/fault.h"
+#include "fault/faulty_stream.h"
 #include "obs/episode_trace.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
@@ -97,8 +107,10 @@ int main() {
       }
     }
     double di_seconds = di_hist.sum();
+    // One labeled series per dataset: same metric family, the dataset is a
+    // dimension instead of being mangled into the name.
     obs::Global()
-        .GetCounter("table6." + prefix + ".di_detections")
+        .GetCounter("vdrift.di.detections", {{"dataset", prefix}})
         .Increment(detections);
 
     // --- ODIN-Detect over the whole stream (all clusters seeded). ---
@@ -135,26 +147,53 @@ int main() {
   }
   table.Print();
 
-  // With the flight recorder armed, append one drift-aware pipeline pass
-  // so the exported trace carries the nested pipeline stage spans
-  // (detect/select/query around the tensor/nn op events). Last so the
-  // events survive any ring wraparound from the long loops above.
-  if (last_bench != nullptr && obs::TraceLog::Instance().enabled()) {
+  // With any deeper observability surface armed, append one drift-aware
+  // pipeline pass: the flight-recorder trace gets the nested pipeline
+  // stage spans, the sampler gets a real windowed run to export, and the
+  // SLO watchdog gets evaluated against it (with VDRIFT_FAULT_SPEC set,
+  // against an injected-fault run). Last so the trace events survive any
+  // ring wraparound from the long loops above.
+  pipeline::PipelineObsOptions obs_options =
+      pipeline::PipelineObsOptions::FromEnv();
+  fault::FaultPlan fault_plan = fault::FaultPlan::FromEnv();
+  std::shared_ptr<obs::HealthWatchdog> watchdog;
+  bool pass_armed = obs::TraceLog::Instance().enabled() ||
+                    obs_options.sample_interval_frames > 0 ||
+                    !fault_plan.empty();
+  if (last_bench != nullptr && pass_armed) {
     pipeline::PipelineConfig config;
     config.selector = pipeline::PipelineConfig::Selector::kMsbi;
     config.allow_training_new = false;
     config.provision = options.provision;
-    video::StreamGenerator stream = last_bench->dataset.MakeStream();
+    config.obs = obs_options;
+    fault::FaultInjector injector(fault_plan, harness.config().seed);
+    if (!fault_plan.empty()) config.injector = &injector;
+    video::StreamGenerator inner = last_bench->dataset.MakeStream();
+    fault::FaultyStream faulty(&inner, &injector);
+    video::FrameSource* stream =
+        fault_plan.empty() ? static_cast<video::FrameSource*>(&inner)
+                           : &faulty;
     pipeline::DriftAwarePipeline traced(&last_bench->registry,
                                         last_bench->calibration_samples,
                                         config);
-    (void)traced.Run(&stream).ValueOrDie();
-    std::printf("trace pass: drift-aware pipeline run recorded\n");
+    pipeline::PipelineMetrics run = traced.Run(stream).ValueOrDie();
+    watchdog = run.watchdog;
+    std::printf("pipeline pass: %lld frames", (long long)run.frames);
+    if (run.sampler != nullptr) {
+      std::printf(", %lld sampled window(s)",
+                  (long long)run.sampler->windows_sampled());
+    }
+    if (run.watchdog != nullptr) {
+      std::printf(", %lld SLO alert(s)",
+                  (long long)run.watchdog->total_alerts());
+    }
+    std::printf("\n");
   }
 
   benchutil::PrintMetricsTable(obs::Global());
-  benchutil::EmitMetricsJson(obs::Global(), &episodes,
+  benchutil::EmitMetricsJson(obs::Global(), &episodes, watchdog.get(),
                              "metrics_table6.json");
+  benchutil::EmitOpenMetrics(obs::Global());
   harness.WriteReport();
   return 0;
 }

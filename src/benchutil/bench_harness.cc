@@ -248,12 +248,16 @@ std::string BenchHarness::ReportJson() const {
     out += "\"" + obs::json::Escape(name) + "\":{";
     out += "\"count\":" + std::to_string(snap.count);
     out += ",\"fps\":" + obs::json::FormatDouble(StageFps(snap));
-    out += ",\"max\":" + obs::json::FormatDouble(snap.max);
-    out += ",\"mean\":" + obs::json::FormatDouble(snap.Mean());
-    out += ",\"min\":" + obs::json::FormatDouble(snap.min);
-    out += ",\"p50\":" + obs::json::FormatDouble(snap.Quantile(0.50));
-    out += ",\"p90\":" + obs::json::FormatDouble(snap.Quantile(0.90));
-    out += ",\"p99\":" + obs::json::FormatDouble(snap.Quantile(0.99));
+    // Shape keys only exist when the stage recorded something: a 0-count
+    // stage's "p99 = 0" would be indistinguishable from a real 0s p99.
+    if (snap.count > 0) {
+      out += ",\"max\":" + obs::json::FormatDouble(snap.max);
+      out += ",\"mean\":" + obs::json::FormatDouble(snap.Mean());
+      out += ",\"min\":" + obs::json::FormatDouble(snap.min);
+      out += ",\"p50\":" + obs::json::FormatDouble(snap.Quantile(0.50));
+      out += ",\"p90\":" + obs::json::FormatDouble(snap.Quantile(0.90));
+      out += ",\"p99\":" + obs::json::FormatDouble(snap.Quantile(0.99));
+    }
     out += ",\"sum_seconds\":" + obs::json::FormatDouble(snap.sum);
     out += "}";
   }

@@ -5,6 +5,7 @@
 
 #include "benchutil/table.h"
 #include "common/status.h"
+#include "obs/openmetrics.h"
 #include "obs/report.h"
 
 namespace vdrift::benchutil {
@@ -38,6 +39,11 @@ void PrintMetricsTable(const obs::MetricsRegistry& registry) {
   if (!histograms.empty()) {
     Table dist({"histogram", "count", "mean", "p50", "p90", "p99", "sum"});
     for (const auto& [name, snap] : histograms) {
+      if (snap.count == 0) {
+        // An empty distribution has no shape; "-" beats a fake 0.
+        dist.AddRow({name, "0", "-", "-", "-", "-", Num(snap.sum)});
+        continue;
+      }
       dist.AddRow({name, std::to_string(snap.count), Num(snap.Mean()),
                    Num(snap.Quantile(0.5)), Num(snap.Quantile(0.9)),
                    Num(snap.Quantile(0.99)), Num(snap.sum)});
@@ -50,16 +56,36 @@ void PrintMetricsTable(const obs::MetricsRegistry& registry) {
 std::string EmitMetricsJson(const obs::MetricsRegistry& registry,
                             const obs::EpisodeRecorder* episodes,
                             const std::string& default_path) {
+  return EmitMetricsJson(registry, episodes, nullptr, default_path);
+}
+
+std::string EmitMetricsJson(const obs::MetricsRegistry& registry,
+                            const obs::EpisodeRecorder* episodes,
+                            const obs::HealthWatchdog* watchdog,
+                            const std::string& default_path) {
   const char* override_path = std::getenv("VDRIFT_METRICS_JSON");
   std::string path =
       override_path != nullptr ? override_path : default_path;
-  Status status = obs::WriteMetricsJson(registry, episodes, path);
+  Status status = obs::WriteMetricsJson(registry, episodes, watchdog, path);
   if (!status.ok()) {
     std::fprintf(stderr, "metrics report not written: %s\n",
                  status.ToString().c_str());
     return "";
   }
   std::printf("metrics report written to %s\n", path.c_str());
+  return path;
+}
+
+std::string EmitOpenMetrics(const obs::MetricsRegistry& registry) {
+  const char* path = std::getenv("VDRIFT_METRICS_OPENMETRICS");
+  if (path == nullptr || path[0] == '\0') return "";
+  Status status = obs::WriteOpenMetrics(registry, path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "openmetrics export not written: %s\n",
+                 status.ToString().c_str());
+    return "";
+  }
+  std::printf("openmetrics export written to %s\n", path);
   return path;
 }
 

@@ -5,11 +5,13 @@
 
 #include "obs/episode_trace.h"
 #include "obs/metrics.h"
+#include "obs/watchdog.h"
 
 namespace vdrift::benchutil {
 
 /// Renders the registry as human-readable tables (counters/gauges, then
 /// histograms with count/mean/p50/p90/p99/sum) and prints them to stdout.
+/// Empty histograms show "-" for the shape columns instead of a fake 0.
 void PrintMetricsTable(const obs::MetricsRegistry& registry);
 
 /// Writes the JSON metrics report (registry + optional episode trace) to
@@ -19,6 +21,19 @@ void PrintMetricsTable(const obs::MetricsRegistry& registry);
 std::string EmitMetricsJson(const obs::MetricsRegistry& registry,
                             const obs::EpisodeRecorder* episodes,
                             const std::string& default_path);
+
+/// As above, with the SLO watchdog's alert log spliced in under "alerts"
+/// (pass null for the plain report).
+std::string EmitMetricsJson(const obs::MetricsRegistry& registry,
+                            const obs::EpisodeRecorder* episodes,
+                            const obs::HealthWatchdog* watchdog,
+                            const std::string& default_path);
+
+/// Writes the registry in OpenMetrics text exposition format when the
+/// VDRIFT_METRICS_OPENMETRICS env var names a path (no-op otherwise,
+/// mirroring how VDRIFT_TRACE_JSON gates the flight recorder). Returns the
+/// path written ("" when unset or on failure, with the error printed).
+std::string EmitOpenMetrics(const obs::MetricsRegistry& registry);
 
 }  // namespace vdrift::benchutil
 

@@ -9,6 +9,7 @@ EpisodeRecorder::EpisodeRecorder(const EpisodeRecorderOptions& options)
     : options_(options) {
   VDRIFT_CHECK(options_.ring_capacity >= 1);
   VDRIFT_CHECK(options_.max_episodes >= 1);
+  VDRIFT_CHECK(options_.max_alerts >= 1);
   ring_.reserve(static_cast<size_t>(options_.ring_capacity));
 }
 
@@ -51,6 +52,14 @@ void EpisodeRecorder::AnnotateDecision(const std::string& decision) {
   if (!episodes_.empty()) episodes_.back().decision = decision;
 }
 
+void EpisodeRecorder::RecordAlert(const AlertMark& alert) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  alerts_.push_back(alert);
+  while (static_cast<int>(alerts_.size()) > options_.max_alerts) {
+    alerts_.pop_front();
+  }
+}
+
 std::vector<Episode> EpisodeRecorder::episodes() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return {episodes_.begin(), episodes_.end()};
@@ -64,6 +73,11 @@ int64_t EpisodeRecorder::frames_recorded() const {
 std::vector<EpisodeFrame> EpisodeRecorder::RingContents() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return RingContentsLocked();
+}
+
+std::vector<AlertMark> EpisodeRecorder::alerts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {alerts_.begin(), alerts_.end()};
 }
 
 namespace {

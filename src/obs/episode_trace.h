@@ -27,6 +27,17 @@ struct EpisodeRecorderOptions {
   /// Episodes retained (oldest dropped first) — the recorder stays bounded
   /// no matter how noisy the detector is.
   int max_episodes = 32;
+  /// SLO alert marks retained (oldest dropped first).
+  int max_alerts = 64;
+};
+
+/// \brief One SLO watchdog alert pinned to the stream position where it
+/// fired, so a degraded stretch can be lined up against the drift episodes
+/// around it.
+struct AlertMark {
+  int64_t frame = 0;  ///< Pipeline frame index at the firing window's end.
+  std::string rule;   ///< SloRule name that breached.
+  std::string json;   ///< The firing AlertEvent, serialized (ToJson()).
 };
 
 /// \brief A snapshot of the frames leading up to (and including) one drift
@@ -56,8 +67,13 @@ class EpisodeRecorder {
   /// when no episode exists yet).
   void AnnotateDecision(const std::string& decision);
 
+  /// Appends one SLO watchdog alert mark (bounded by max_alerts).
+  void RecordAlert(const AlertMark& alert);
+
   /// Captured episodes, oldest first.
   std::vector<Episode> episodes() const;
+  /// Recorded alert marks, oldest first (at most max_alerts).
+  std::vector<AlertMark> alerts() const;
   int64_t frames_recorded() const;
   /// Current ring contents, oldest first (at most ring_capacity frames).
   std::vector<EpisodeFrame> RingContents() const;
@@ -79,6 +95,7 @@ class EpisodeRecorder {
   size_t next_ = 0;                 ///< Ring slot the next frame lands in.
   int64_t total_ = 0;
   std::deque<Episode> episodes_;
+  std::deque<AlertMark> alerts_;
 };
 
 }  // namespace vdrift::obs

@@ -1,0 +1,121 @@
+#include "obs/labels.h"
+
+#include <algorithm>
+
+namespace vdrift::obs {
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatMetricKey(const std::string& name, const LabelSet& labels) {
+  if (labels.empty()) return name;
+  LabelSet sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = name;
+  out += '{';
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ',';
+    out += sorted[i].first;
+    out += "=\"";
+    out += EscapeLabelValue(sorted[i].second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+namespace {
+
+Status Malformed(const std::string& key, const char* what) {
+  return Status::InvalidArgument("malformed metric key '" + key +
+                                 "': " + what);
+}
+
+}  // namespace
+
+Result<MetricKey> ParseMetricKey(const std::string& key) {
+  MetricKey out;
+  size_t brace = key.find('{');
+  if (brace == std::string::npos) {
+    if (key.find('}') != std::string::npos) {
+      return Malformed(key, "'}' without '{'");
+    }
+    out.name = key;
+    return out;
+  }
+  if (brace == 0) return Malformed(key, "empty metric name");
+  if (key.back() != '}') return Malformed(key, "label block not terminated");
+  out.name = key.substr(0, brace);
+
+  size_t i = brace + 1;
+  size_t end = key.size() - 1;  // index of the closing '}'
+  while (i < end) {
+    size_t eq = key.find('=', i);
+    if (eq == std::string::npos || eq >= end) {
+      return Malformed(key, "label without '='");
+    }
+    std::string label_key = key.substr(i, eq - i);
+    if (label_key.empty()) return Malformed(key, "empty label key");
+    if (eq + 1 >= end || key[eq + 1] != '"') {
+      return Malformed(key, "label value not quoted");
+    }
+    std::string value;
+    size_t j = eq + 2;
+    bool closed = false;
+    while (j < end) {
+      char c = key[j];
+      if (c == '\\') {
+        if (j + 1 >= end) return Malformed(key, "dangling escape");
+        char next = key[j + 1];
+        if (next == '\\') {
+          value += '\\';
+        } else if (next == '"') {
+          value += '"';
+        } else if (next == 'n') {
+          value += '\n';
+        } else {
+          return Malformed(key, "unknown escape in label value");
+        }
+        j += 2;
+      } else if (c == '"') {
+        closed = true;
+        ++j;
+        break;
+      } else {
+        value += c;
+        ++j;
+      }
+    }
+    if (!closed) return Malformed(key, "label value not terminated");
+    out.labels.emplace_back(std::move(label_key), std::move(value));
+    if (j < end) {
+      if (key[j] != ',') return Malformed(key, "expected ',' between labels");
+      ++j;
+      if (j >= end) return Malformed(key, "trailing ',' in label block");
+    }
+    i = j;
+  }
+  if (out.labels.empty()) return Malformed(key, "empty label block");
+  std::sort(out.labels.begin(), out.labels.end());
+  return out;
+}
+
+}  // namespace vdrift::obs

@@ -1,0 +1,46 @@
+#ifndef VDRIFT_OBS_LABELS_H_
+#define VDRIFT_OBS_LABELS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vdrift::obs {
+
+/// \brief One dimension of a labeled metric (e.g. {"stream", "cam12"}).
+using Label = std::pair<std::string, std::string>;
+
+/// \brief A set of labels. Order does not matter to callers; the canonical
+/// encoding sorts by key so `{a,b}` and `{b,a}` address the same series.
+using LabelSet = std::vector<Label>;
+
+/// Canonical full key of a (name, labels) pair:
+///   name                                  when labels is empty
+///   name{k1="v1",k2="v2"}                 otherwise, keys sorted, values
+///                                         escaped (\\, \", \n)
+/// This string is the registry map key, so labeled lookups cost one string
+/// compose + one map probe — callers on hot paths cache the returned
+/// instrument reference exactly as they do for unlabeled metrics.
+std::string FormatMetricKey(const std::string& name, const LabelSet& labels);
+
+/// \brief A full key split back into name + labels (exporters group
+/// series into metric families with this).
+struct MetricKey {
+  std::string name;
+  LabelSet labels;  ///< Sorted by key, values unescaped.
+};
+
+/// Parses a canonical full key. A plain name (no '{') parses to an empty
+/// label set. Malformed label blocks — unterminated braces, missing '=',
+/// unquoted values, bad escapes — are kInvalidArgument.
+Result<MetricKey> ParseMetricKey(const std::string& key);
+
+/// Escapes a label value for the canonical encoding (also the OpenMetrics
+/// label-value escaping: backslash, double quote, newline).
+std::string EscapeLabelValue(const std::string& value);
+
+}  // namespace vdrift::obs
+
+#endif  // VDRIFT_OBS_LABELS_H_

@@ -46,6 +46,15 @@ void Histogram::Record(double value) {
   count_ += 1;
 }
 
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
 Histogram::Snapshot Histogram::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Snapshot snap;
@@ -144,6 +153,46 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
   return *slot;
 }
 
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const LabelSet& labels) {
+  return GetCounter(FormatMetricKey(name, labels));
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const LabelSet& labels) {
+  return GetGauge(FormatMetricKey(name, labels));
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const LabelSet& labels,
+                                         const HistogramOptions& options) {
+  return GetHistogram(FormatMetricKey(name, labels), options);
+}
+
+void MetricsRegistry::Reset() {
+  // Collect instrument pointers under the registry lock, reset outside it
+  // (histograms have their own lock; never hold both at once).
+  std::vector<Counter*> counters;
+  std::vector<Gauge*> gauges;
+  std::vector<Histogram*> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+      counters.push_back(counter.get());
+    }
+    gauges.reserve(gauges_.size());
+    for (const auto& [name, gauge] : gauges_) gauges.push_back(gauge.get());
+    histograms.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_) {
+      histograms.push_back(histogram.get());
+    }
+  }
+  for (Counter* counter : counters) counter->Reset();
+  for (Gauge* gauge : gauges) gauge->Reset();
+  for (Histogram* histogram : histograms) histogram->Reset();
+}
+
 std::map<std::string, int64_t> MetricsRegistry::Counters() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::map<std::string, int64_t> out;
@@ -200,12 +249,16 @@ std::string MetricsRegistry::ToJson() const {
     out += "\"" + json::Escape(name) + "\":{";
     out += "\"count\":" + std::to_string(snap.count);
     out += ",\"sum\":" + json::FormatDouble(snap.sum);
-    out += ",\"min\":" + json::FormatDouble(snap.min);
-    out += ",\"max\":" + json::FormatDouble(snap.max);
-    out += ",\"mean\":" + json::FormatDouble(snap.Mean());
-    out += ",\"p50\":" + json::FormatDouble(snap.Quantile(0.50));
-    out += ",\"p90\":" + json::FormatDouble(snap.Quantile(0.90));
-    out += ",\"p99\":" + json::FormatDouble(snap.Quantile(0.99));
+    // An empty histogram has no extrema or quantiles; omitting the keys
+    // keeps a real 0 distinguishable from "no data".
+    if (snap.count > 0) {
+      out += ",\"min\":" + json::FormatDouble(snap.min);
+      out += ",\"max\":" + json::FormatDouble(snap.max);
+      out += ",\"mean\":" + json::FormatDouble(snap.Mean());
+      out += ",\"p50\":" + json::FormatDouble(snap.Quantile(0.50));
+      out += ",\"p90\":" + json::FormatDouble(snap.Quantile(0.90));
+      out += ",\"p99\":" + json::FormatDouble(snap.Quantile(0.99));
+    }
     out += "}";
   }
   out += "}}";

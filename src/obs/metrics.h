@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/labels.h"
+
 namespace vdrift::obs {
 
 /// \brief Monotonically increasing event count. Lock-free.
@@ -19,6 +21,10 @@ class Counter {
   }
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
+  /// Back to zero (MetricsRegistry::Reset); the instrument stays
+  /// registered and every cached reference stays valid.
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
  private:
   std::atomic<int64_t> value_{0};
 };
@@ -28,6 +34,8 @@ class Gauge {
  public:
   void Set(double value) { value_.store(value, std::memory_order_relaxed); }
   double value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
   std::atomic<double> value_{0.0};
@@ -59,6 +67,10 @@ class Histogram {
 
   void Record(double value);
 
+  /// Clears buckets/count/sum/min/max; the bucket layout (options) and
+  /// every cached reference stay valid.
+  void Reset();
+
   /// A consistent point-in-time copy of the distribution.
   struct Snapshot {
     HistogramOptions options;
@@ -71,10 +83,13 @@ class Histogram {
     double Mean() const;
     /// Quantile estimate (q in [0,1]) by intra-bucket interpolation;
     /// exact for values tracked by min/max, otherwise accurate to one
-    /// bucket width. Returns 0 when empty.
+    /// bucket width. Returns 0 when empty — callers serialising snapshots
+    /// omit quantile keys for empty histograms instead of exporting that
+    /// ambiguous 0 (see MetricsRegistry::ToJson).
     double Quantile(double q) const;
 
-   private:
+    /// Bucket boundaries of the snapshot's layout (exporters rendering
+    /// cumulative `le` bounds use these).
     double BucketLower(int index) const;
     double BucketUpper(int index) const;
   };
@@ -104,6 +119,12 @@ class Histogram {
 /// `vdrift.odin.*`, `vdrift.train.*`. Get* registers on first use and
 /// returns a reference that stays valid for the registry's lifetime (the
 /// instruments themselves are thread-safe).
+///
+/// Instruments can carry a label set (`vdrift.di.detections{stream="cam12"}`)
+/// — each distinct (name, labels) pair is its own series, stored under the
+/// canonical FormatMetricKey encoding. The label-free overloads are
+/// unchanged, and a labeled lookup is one key compose + one map probe;
+/// hot paths cache the returned reference either way.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -111,18 +132,33 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   Counter& GetCounter(const std::string& name);
+  Counter& GetCounter(const std::string& name, const LabelSet& labels);
   Gauge& GetGauge(const std::string& name);
+  Gauge& GetGauge(const std::string& name, const LabelSet& labels);
   /// `options` only applies on first registration of `name`.
   Histogram& GetHistogram(const std::string& name,
                           const HistogramOptions& options = HistogramOptions());
+  Histogram& GetHistogram(const std::string& name, const LabelSet& labels,
+                          const HistogramOptions& options = HistogramOptions());
 
-  /// Sorted point-in-time copies, for export/reporting.
+  /// Sorted point-in-time copies, for export/reporting. Keys are canonical
+  /// full keys (labels included).
   std::map<std::string, int64_t> Counters() const;
   std::map<std::string, double> Gauges() const;
   std::map<std::string, Histogram::Snapshot> Histograms() const;
 
+  /// Zeroes every counter and gauge and clears every histogram while
+  /// keeping all registrations (cached instrument references stay valid).
+  /// Gives multi-Run pipelines and tests an explicit per-run delta path
+  /// instead of readings that accumulate across runs. Any MetricsSampler
+  /// watching this registry must be re-created afterwards: its deltas are
+  /// computed against pre-Reset totals.
+  void Reset();
+
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
-  /// max,mean,p50,p90,p99},...}}.
+  /// max,mean,p50,p90,p99},...}}. Quantile keys (p50/p90/p99) and min/max
+  /// are omitted for empty histograms — an empty distribution has no
+  /// quantiles, and emitting 0 would be indistinguishable from a real 0.
   std::string ToJson() const;
 
  private:

@@ -1,0 +1,166 @@
+#include "obs/openmetrics.h"
+
+#include <fstream>
+#include <set>
+
+#include "common/logging.h"
+#include "obs/json.h"
+#include "obs/labels.h"
+
+namespace vdrift::obs {
+
+namespace {
+
+// Exposition-format metric name charset: [a-zA-Z_:][a-zA-Z0-9_:]*.
+// The registry's dotted names map onto it with '.' -> '_'.
+std::string SanitizeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out = "_" + out;
+  return out;
+}
+
+// Label name charset: [a-zA-Z_][a-zA-Z0-9_]*.
+std::string SanitizeLabelName(const std::string& name) {
+  std::string out = SanitizeName(name);
+  for (char& c : out) {
+    if (c == ':') c = '_';
+  }
+  return out;
+}
+
+std::string RenderLabels(const LabelSet& labels,
+                         const std::string& extra_key = "",
+                         const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += SanitizeLabelName(key) + "=\"" + EscapeLabelValue(value) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + EscapeLabelValue(extra_value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Splits a registry key; an unparsable key (never produced by
+// FormatMetricKey, but the registry accepts arbitrary strings) is treated
+// as a label-free name.
+MetricKey SplitKey(const std::string& key) {
+  Result<MetricKey> parsed = ParseMetricKey(key);
+  if (parsed.ok()) return std::move(parsed).value();
+  return MetricKey{key, {}};
+}
+
+// One family = every series sharing a sanitised name. `emitted` guards
+// against a name collision across instrument kinds (the TYPE line must be
+// unique per family).
+bool ClaimFamily(const std::string& family, const char* type,
+                 std::set<std::string>* emitted, std::string* out) {
+  if (!emitted->insert(family).second) {
+    VDRIFT_LOG_WARNING << "openmetrics: family " << family
+                       << " already emitted; skipping duplicate";
+    return false;
+  }
+  *out += "# TYPE " + family + " " + type + "\n";
+  return true;
+}
+
+}  // namespace
+
+std::string OpenMetricsText(const MetricsRegistry& registry) {
+  std::string out;
+  std::set<std::string> emitted;
+
+  // Group series by family (sanitised base name). std::map iteration is
+  // sorted by full key, and FormatMetricKey puts the name first, so all
+  // series of a family are contiguous.
+  auto counters = registry.Counters();
+  std::string family;
+  bool family_ok = false;
+  for (const auto& [key, value] : counters) {
+    MetricKey split = SplitKey(key);
+    std::string name = SanitizeName(split.name);
+    if (name != family) {
+      family = name;
+      family_ok = ClaimFamily(family, "counter", &emitted, &out);
+    }
+    if (!family_ok) continue;
+    out += family + "_total" + RenderLabels(split.labels) + " " +
+           std::to_string(value) + "\n";
+  }
+
+  family.clear();
+  family_ok = false;
+  for (const auto& [key, value] : registry.Gauges()) {
+    MetricKey split = SplitKey(key);
+    std::string name = SanitizeName(split.name);
+    if (name != family) {
+      family = name;
+      family_ok = ClaimFamily(family, "gauge", &emitted, &out);
+    }
+    if (!family_ok) continue;
+    out += family + RenderLabels(split.labels) + " " +
+           json::FormatDouble(value) + "\n";
+  }
+
+  family.clear();
+  family_ok = false;
+  for (const auto& [key, snap] : registry.Histograms()) {
+    MetricKey split = SplitKey(key);
+    std::string name = SanitizeName(split.name);
+    if (name != family) {
+      family = name;
+      family_ok = ClaimFamily(family, "histogram", &emitted, &out);
+    }
+    if (!family_ok) continue;
+    // Cumulative buckets; empty buckets coalesce. The top bucket also
+    // holds values clamped in from above the configured range, so its
+    // finite bound would over-claim — it folds into +Inf instead.
+    int64_t cumulative = 0;
+    int bucket_count = static_cast<int>(snap.buckets.size());
+    for (int i = 0; i + 1 < bucket_count; ++i) {
+      int64_t in_bucket = snap.buckets[static_cast<size_t>(i)];
+      if (in_bucket == 0) continue;
+      cumulative += in_bucket;
+      out += family + "_bucket" +
+             RenderLabels(split.labels, "le",
+                          json::FormatDouble(snap.BucketUpper(i))) +
+             " " + std::to_string(cumulative) + "\n";
+    }
+    out += family + "_bucket" + RenderLabels(split.labels, "le", "+Inf") +
+           " " + std::to_string(snap.count) + "\n";
+    out += family + "_sum" + RenderLabels(split.labels) + " " +
+           json::FormatDouble(snap.sum) + "\n";
+    out += family + "_count" + RenderLabels(split.labels) + " " +
+           std::to_string(snap.count) + "\n";
+  }
+
+  out += "# EOF\n";
+  return out;
+}
+
+Status WriteOpenMetrics(const MetricsRegistry& registry,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open openmetrics export for writing: " +
+                           path);
+  }
+  out << OpenMetricsText(registry);
+  out.flush();
+  if (!out) return Status::IoError("failed writing openmetrics: " + path);
+  return Status::OK();
+}
+
+}  // namespace vdrift::obs

@@ -1,0 +1,41 @@
+#ifndef VDRIFT_OBS_OPENMETRICS_H_
+#define VDRIFT_OBS_OPENMETRICS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace vdrift::obs {
+
+/// \brief Renders the registry in the OpenMetrics / Prometheus text
+/// exposition format.
+///
+/// Canonical metric keys are split back into name + labels
+/// (ParseMetricKey), names are sanitised to the exposition charset
+/// (dots become underscores), and series of the same name are grouped
+/// into one metric family:
+///
+///   # TYPE vdrift_di_detections counter
+///   vdrift_di_detections_total{dataset="Tokyo"} 3
+///   # TYPE vdrift_di_observe_seconds histogram
+///   vdrift_di_observe_seconds_bucket{le="0.001"} 17
+///   vdrift_di_observe_seconds_bucket{le="+Inf"} 450
+///   vdrift_di_observe_seconds_sum 0.042
+///   vdrift_di_observe_seconds_count 450
+///   # EOF
+///
+/// Histogram buckets are cumulative; empty buckets are coalesced (only
+/// boundaries where the cumulative count changes are emitted, plus the
+/// mandatory +Inf bucket). Values recorded outside the configured bucket
+/// range are covered by the +Inf bucket, so bucket counts always sum to
+/// `_count`. The document ends with the OpenMetrics `# EOF` terminator.
+std::string OpenMetricsText(const MetricsRegistry& registry);
+
+/// Writes OpenMetricsText() to `path`.
+Status WriteOpenMetrics(const MetricsRegistry& registry,
+                        const std::string& path);
+
+}  // namespace vdrift::obs
+
+#endif  // VDRIFT_OBS_OPENMETRICS_H_

@@ -6,11 +6,19 @@ namespace vdrift::obs {
 
 std::string MetricsReportJson(const MetricsRegistry& registry,
                               const EpisodeRecorder* episodes) {
+  return MetricsReportJson(registry, episodes, nullptr);
+}
+
+std::string MetricsReportJson(const MetricsRegistry& registry,
+                              const EpisodeRecorder* episodes,
+                              const HealthWatchdog* watchdog) {
   std::string metrics = registry.ToJson();
-  // Splice "episodes" into the registry's top-level object.
+  // Splice "episodes" and "alerts" into the registry's top-level object.
   metrics.pop_back();  // trailing '}'
   metrics += ",\"episodes\":";
   metrics += episodes == nullptr ? "[]" : episodes->ToJson();
+  metrics += ",\"alerts\":";
+  metrics += watchdog == nullptr ? "[]" : watchdog->AlertsJson();
   metrics += "}";
   return metrics;
 }
@@ -18,11 +26,18 @@ std::string MetricsReportJson(const MetricsRegistry& registry,
 Status WriteMetricsJson(const MetricsRegistry& registry,
                         const EpisodeRecorder* episodes,
                         const std::string& path) {
+  return WriteMetricsJson(registry, episodes, nullptr, path);
+}
+
+Status WriteMetricsJson(const MetricsRegistry& registry,
+                        const EpisodeRecorder* episodes,
+                        const HealthWatchdog* watchdog,
+                        const std::string& path) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     return Status::IoError("cannot open metrics report for writing: " + path);
   }
-  out << MetricsReportJson(registry, episodes) << "\n";
+  out << MetricsReportJson(registry, episodes, watchdog) << "\n";
   out.flush();
   if (!out) return Status::IoError("failed writing metrics report: " + path);
   return Status::OK();

@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "obs/episode_trace.h"
 #include "obs/metrics.h"
+#include "obs/watchdog.h"
 
 namespace vdrift::obs {
 
@@ -16,9 +17,22 @@ namespace vdrift::obs {
 std::string MetricsReportJson(const MetricsRegistry& registry,
                               const EpisodeRecorder* episodes);
 
+/// As above, plus the SLO watchdog's alert log under an "alerts" key
+/// ([] when `watchdog` is null). check_metrics.sh asserts this array is
+/// empty on clean runs and non-empty under injected faults.
+std::string MetricsReportJson(const MetricsRegistry& registry,
+                              const EpisodeRecorder* episodes,
+                              const HealthWatchdog* watchdog);
+
 /// Writes MetricsReportJson to `path` (trailing newline included).
 Status WriteMetricsJson(const MetricsRegistry& registry,
                         const EpisodeRecorder* episodes,
+                        const std::string& path);
+
+/// Watchdog-aware overload of WriteMetricsJson.
+Status WriteMetricsJson(const MetricsRegistry& registry,
+                        const EpisodeRecorder* episodes,
+                        const HealthWatchdog* watchdog,
                         const std::string& path);
 
 }  // namespace vdrift::obs

@@ -1,0 +1,166 @@
+#include "obs/sampler.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/json.h"
+
+namespace vdrift::obs {
+
+namespace {
+
+// Window delta of a histogram: bucket-wise difference of two cumulative
+// snapshots. min/max are inherited from the cumulative snapshot (they
+// bound every window's values, so Quantile's clamp stays sound) — the
+// delta's quantiles come from the delta buckets.
+Histogram::Snapshot DeltaSnapshot(const Histogram::Snapshot& cur,
+                                  const Histogram::Snapshot& prev) {
+  Histogram::Snapshot delta = cur;
+  if (prev.count == 0) return delta;
+  delta.count = cur.count - prev.count;
+  delta.sum = cur.sum - prev.sum;
+  if (cur.buckets.size() == prev.buckets.size()) {
+    for (size_t i = 0; i < delta.buckets.size(); ++i) {
+      delta.buckets[i] = cur.buckets[i] - prev.buckets[i];
+    }
+  }
+  return delta;
+}
+
+}  // namespace
+
+std::string MetricsWindow::ToJson() const {
+  std::string out = "{\"window\":" + std::to_string(index);
+  out += ",\"start\":" + json::FormatDouble(start_time);
+  out += ",\"end\":" + json::FormatDouble(end_time);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, total] : counter_totals) {
+    if (!first) out += ",";
+    first = false;
+    auto delta = counter_deltas.find(name);
+    out += "\"" + json::Escape(name) + "\":{\"delta\":" +
+           std::to_string(delta == counter_deltas.end() ? total
+                                                        : delta->second) +
+           ",\"total\":" + std::to_string(total) + "}";
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json::Escape(name) + "\":" + json::FormatDouble(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, snap] : histograms) {
+    if (snap.count <= 0) continue;  // empty window: no quantiles to report
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json::Escape(name) + "\":{";
+    out += "\"count\":" + std::to_string(snap.count);
+    out += ",\"sum\":" + json::FormatDouble(snap.sum);
+    out += ",\"mean\":" + json::FormatDouble(snap.Mean());
+    out += ",\"p50\":" + json::FormatDouble(snap.Quantile(0.50));
+    out += ",\"p90\":" + json::FormatDouble(snap.Quantile(0.90));
+    out += ",\"p99\":" + json::FormatDouble(snap.Quantile(0.99));
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsSampler::MetricsSampler(const MetricsRegistry* registry)
+    : MetricsSampler(registry, Options()) {}
+
+MetricsSampler::MetricsSampler(const MetricsRegistry* registry,
+                               const Options& options)
+    : registry_(registry), options_(options) {
+  VDRIFT_CHECK(registry_ != nullptr);
+  VDRIFT_CHECK(options_.max_windows >= 1);
+}
+
+MetricsWindow MetricsSampler::Sample(double now) {
+  // Registry snapshots are taken outside the sampler lock (each accessor
+  // locks the registry internally; the sampler's own state is serial).
+  std::map<std::string, int64_t> counters = registry_->Counters();
+  std::map<std::string, double> gauges = registry_->Gauges();
+  std::map<std::string, Histogram::Snapshot> histograms =
+      registry_->Histograms();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsWindow window;
+  window.index = taken_;
+  window.start_time = last_time_;
+  window.end_time = now;
+  window.gauges = std::move(gauges);
+  for (const auto& [name, total] : counters) {
+    auto prev = prev_counters_.find(name);
+    int64_t before = prev == prev_counters_.end() ? 0 : prev->second;
+    window.counter_deltas[name] = total - before;
+    window.counter_totals[name] = total;
+  }
+  for (const auto& [name, snap] : histograms) {
+    auto prev = prev_histograms_.find(name);
+    Histogram::Snapshot delta = prev == prev_histograms_.end()
+                                    ? snap
+                                    : DeltaSnapshot(snap, prev->second);
+    // A histogram untouched during the window has no shape to report —
+    // omitted entirely, so in-memory windows match the JSONL and the
+    // watchdog's missing-data skip applies uniformly.
+    if (delta.count > 0) window.histograms[name] = delta;
+  }
+  prev_counters_ = std::move(counters);
+  prev_histograms_ = std::move(histograms);
+  last_time_ = now;
+  taken_ += 1;
+
+  if (!options_.jsonl_path.empty() && !jsonl_failed_) {
+    if (jsonl_ == nullptr) {
+      jsonl_ = std::make_unique<std::ofstream>(options_.jsonl_path,
+                                               std::ios::app);
+      if (!*jsonl_) {
+        VDRIFT_LOG_WARNING << "metrics JSONL sink disabled: cannot open "
+                           << options_.jsonl_path;
+        jsonl_failed_ = true;
+        jsonl_.reset();
+      }
+    }
+    if (jsonl_ != nullptr) {
+      *jsonl_ << window.ToJson() << "\n";
+      jsonl_->flush();
+    }
+  }
+
+  windows_.push_back(window);
+  while (static_cast<int>(windows_.size()) > options_.max_windows) {
+    windows_.pop_front();
+  }
+  return window;
+}
+
+std::vector<MetricsWindow> MetricsSampler::windows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {windows_.begin(), windows_.end()};
+}
+
+int64_t MetricsSampler::windows_sampled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return taken_;
+}
+
+double MetricsSampler::last_sample_time() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_time_;
+}
+
+std::string MetricsSampler::ToJsonl() const {
+  std::string out;
+  for (const MetricsWindow& window : windows()) {
+    out += window.ToJson();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace vdrift::obs

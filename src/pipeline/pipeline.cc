@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/labels.h"
 #include "obs/timer.h"
 #include "pipeline/checkpoint.h"
 #include "stats/distance.h"
@@ -28,12 +30,30 @@ void AttachObservability(PipelineMetrics* metrics) {
 }
 
 // Copies the span sums into the legacy timing fields.
-void DeriveTimingFields(PipelineMetrics* metrics) {
+void DeriveTimingFields(PipelineMetrics* metrics, const std::string& run,
+                        const std::string& detect, const std::string& select,
+                        const std::string& query) {
   obs::MetricsRegistry& reg = *metrics->registry;
-  metrics->total_seconds = reg.GetHistogram(kRunSpan).sum();
-  metrics->detect_seconds = reg.GetHistogram(kDetectSpan).sum();
-  metrics->select_seconds = reg.GetHistogram(kSelectSpan).sum();
-  metrics->query_seconds = reg.GetHistogram(kQuerySpan).sum();
+  metrics->total_seconds = reg.GetHistogram(run).sum();
+  metrics->detect_seconds = reg.GetHistogram(detect).sum();
+  metrics->select_seconds = reg.GetHistogram(select).sum();
+  metrics->query_seconds = reg.GetHistogram(query).sum();
+}
+
+void DeriveTimingFields(PipelineMetrics* metrics) {
+  DeriveTimingFields(metrics, kRunSpan, kDetectSpan, kSelectSpan, kQuerySpan);
+}
+
+// Detection-lag histogram layout: frames between the true distribution
+// change and DI's declaration, spanning 1 frame to 1M frames at constant
+// relative resolution.
+obs::HistogramOptions DetectLagOptions() {
+  obs::HistogramOptions options;
+  options.scale = obs::HistogramOptions::Scale::kLog;
+  options.min_value = 1.0;
+  options.max_value = 1e6;
+  options.bucket_count = 64;
+  return options;
 }
 
 // True iff every element is finite. Only called on the drift-handling
@@ -47,6 +67,21 @@ bool AllFinite(const tensor::Tensor& tensor) {
 }
 
 }  // namespace
+
+PipelineObsOptions PipelineObsOptions::FromEnv() {
+  PipelineObsOptions options;
+  if (const char* v = std::getenv("VDRIFT_SAMPLE_INTERVAL")) {
+    options.sample_interval_frames = std::max(0, std::atoi(v));
+  }
+  if (const char* v = std::getenv("VDRIFT_SLO_SPEC")) options.slo_spec = v;
+  if (const char* v = std::getenv("VDRIFT_METRICS_JSONL")) {
+    options.jsonl_path = v;
+  }
+  if (const char* v = std::getenv("VDRIFT_STREAM_LABEL")) {
+    options.stream_label = v;
+  }
+  return options;
+}
 
 SequenceAccuracy PipelineMetrics::Totals() const {
   SequenceAccuracy total;
@@ -82,7 +117,93 @@ DriftAwarePipeline::DriftAwarePipeline(
   }
   inspector_ = std::make_unique<conformal::DriftInspector>(
       registry_->at(deployed_).profile.get(), config_.di, config_.seed);
+  AttachRunObservability();
+}
+
+void DriftAwarePipeline::AttachRunObservability() {
   AttachObservability(&metrics_);
+  const PipelineObsOptions& obs = config_.obs;
+  auto named = [&](const char* base) {
+    return obs.stream_label.empty()
+               ? std::string(base)
+               : obs::FormatMetricKey(base, {{"stream", obs.stream_label}});
+  };
+  names_.run_span = named(kRunSpan);
+  names_.detect_span = named(kDetectSpan);
+  names_.select_span = named(kSelectSpan);
+  names_.query_span = named(kQuerySpan);
+  names_.frames = named("vdrift.pipeline.frames");
+  names_.drifts = named("vdrift.pipeline.drifts");
+  names_.frames_dropped = named("vdrift.pipeline.frames_dropped");
+  names_.selection_failures = named("vdrift.pipeline.selection_failures");
+  names_.redeployments = named("vdrift.pipeline.redeployments");
+  names_.checkpoint_failures = named("vdrift.pipeline.checkpoint_failures");
+  names_.detect_lag = named("vdrift.pipeline.detect_lag_frames");
+  names_.drift_oblivious = named("vdrift.pipeline.drift_oblivious");
+  names_.incumbent_fallbacks = named("vdrift.pipeline.incumbent_fallbacks");
+  names_.annotator_deferrals = named("vdrift.pipeline.annotator_deferrals");
+  names_.annotator_errors = named("vdrift.pipeline.annotator_errors");
+  names_.selector_retries = named("vdrift.pipeline.selector_retries");
+  names_.recalibrate_failures = named("vdrift.pipeline.recalibrate_failures");
+  names_.martingale = named("vdrift.di.martingale");
+  names_.p_value = named("vdrift.di.p_value");
+  last_sample_frame_ = 0;
+  last_p_value_ = 1.0;
+  last_sequence_id_ = -1;
+  frames_since_sequence_change_ = 0;
+  metrics_.sampler.reset();
+  metrics_.watchdog.reset();
+  if (obs.sample_interval_frames <= 0) return;
+  obs::MetricsSampler::Options sampler_options;
+  sampler_options.max_windows = obs.max_windows;
+  sampler_options.jsonl_path = obs.jsonl_path;
+  metrics_.sampler = std::make_shared<obs::MetricsSampler>(
+      metrics_.registry.get(), sampler_options);
+  if (obs.slo_spec.empty()) return;
+  std::string spec =
+      obs.slo_spec == "default" ? obs::DefaultSloSpec() : obs.slo_spec;
+  Result<std::vector<obs::SloRule>> rules = obs::ParseSloSpec(spec);
+  if (!rules.ok()) {
+    // A typo in VDRIFT_SLO_SPEC must not kill the serving run.
+    VDRIFT_LOG_WARNING << "SLO watchdog disabled: "
+                       << rules.status().ToString();
+    return;
+  }
+  metrics_.watchdog =
+      std::make_shared<obs::HealthWatchdog>(std::move(rules).value());
+}
+
+void DriftAwarePipeline::TickObs(bool force) {
+  if (metrics_.sampler == nullptr) return;
+  int64_t frame_clock = metrics_.frames;
+  int64_t elapsed = frame_clock - last_sample_frame_;
+  if (elapsed < (force ? 1 : config_.obs.sample_interval_frames)) return;
+  // Mirror the non-counter pipeline state into gauges so windows (and SLO
+  // rules) can see it. Counter-backed state is already in the registry.
+  obs::MetricsRegistry& reg = *metrics_.registry;
+  const DegradationStats& degradation = metrics_.degradation;
+  reg.GetGauge(names_.drift_oblivious).Set(drift_oblivious_ ? 1.0 : 0.0);
+  reg.GetGauge(names_.incumbent_fallbacks)
+      .Set(static_cast<double>(degradation.incumbent_fallbacks));
+  reg.GetGauge(names_.annotator_deferrals)
+      .Set(static_cast<double>(degradation.annotator_deferrals));
+  reg.GetGauge(names_.annotator_errors)
+      .Set(static_cast<double>(degradation.annotator_errors));
+  reg.GetGauge(names_.selector_retries)
+      .Set(static_cast<double>(degradation.selector_retries));
+  reg.GetGauge(names_.recalibrate_failures)
+      .Set(static_cast<double>(degradation.recalibrate_failures));
+  reg.GetGauge(names_.martingale).Set(inspector_->martingale_value());
+  reg.GetGauge(names_.p_value).Set(last_p_value_);
+  obs::MetricsWindow window =
+      metrics_.sampler->Sample(static_cast<double>(frame_clock));
+  last_sample_frame_ = frame_clock;
+  if (metrics_.watchdog == nullptr) return;
+  for (const obs::AlertEvent& alert : metrics_.watchdog->Evaluate(window)) {
+    reg.GetCounter("vdrift.slo.alerts", {{"rule", alert.rule}}).Increment();
+    metrics_.episodes->RecordAlert({frame_clock, alert.rule, alert.ToJson()});
+    VDRIFT_LOG_WARNING << "SLO alert: " << alert.message;
+  }
 }
 
 Status DriftAwarePipeline::Recalibrate() {
@@ -101,7 +222,7 @@ Status DriftAwarePipeline::EnsureCalibrated() {
 
 void DriftAwarePipeline::RecordQueries(const video::Frame& frame,
                                        PipelineMetrics* metrics) {
-  obs::TraceSpan query_span(metrics->registry.get(), kQuerySpan);
+  obs::TraceSpan query_span(metrics->registry.get(), names_.query_span);
   SequenceAccuracy& acc = metrics->per_sequence[frame.truth.sequence_id];
   const select::ModelEntry& entry = registry_->at(deployed_);
   int count_classes = entry.count_model->num_classes();
@@ -171,10 +292,10 @@ Status DriftAwarePipeline::HandleDrift(video::FrameSource* stream,
   auto collect = [&](int target) {
     while (static_cast<int>(window.size()) < target && stream->Next(&frame)) {
       metrics->frames += 1;
+      metrics->registry->GetCounter(names_.frames).Increment();
       if (!AllFinite(frame.pixels)) {
         metrics->degradation.frames_dropped += 1;
-        metrics->registry->GetCounter("vdrift.pipeline.frames_dropped")
-            .Increment();
+        metrics->registry->GetCounter(names_.frames_dropped).Increment();
         continue;
       }
       if (config_.run_queries) RecordQueries(frame, metrics);
@@ -194,7 +315,7 @@ Status DriftAwarePipeline::HandleDrift(video::FrameSource* stream,
   int attempt = 0;
   while (true) {
     Result<select::Selection> attempted = [&] {
-      obs::TraceSpan select_span(metrics->registry.get(), kSelectSpan);
+      obs::TraceSpan select_span(metrics->registry.get(), names_.select_span);
       return AttemptSelection(window, metrics);
     }();
     if (attempted.ok()) {
@@ -202,8 +323,7 @@ Status DriftAwarePipeline::HandleDrift(video::FrameSource* stream,
       break;
     }
     metrics->degradation.selector_failures += 1;
-    metrics->registry->GetCounter("vdrift.pipeline.selection_failures")
-        .Increment();
+    metrics->registry->GetCounter(names_.selection_failures).Increment();
     if (attempt >= config_.degrade.max_selection_retries) {
       metrics->degradation.incumbent_fallbacks += 1;
       metrics->selections.push_back("<incumbent>");
@@ -241,10 +361,10 @@ Status DriftAwarePipeline::HandleDrift(video::FrameSource* stream,
     while (static_cast<int>(training.size()) < config_.new_model_window &&
            stream->Next(&frame)) {
       metrics->frames += 1;
+      metrics->registry->GetCounter(names_.frames).Increment();
       if (!AllFinite(frame.pixels)) {
         metrics->degradation.frames_dropped += 1;
-        metrics->registry->GetCounter("vdrift.pipeline.frames_dropped")
-            .Increment();
+        metrics->registry->GetCounter(names_.frames_dropped).Increment();
         continue;  // never train on poisoned pixels
       }
       if (config_.run_queries) RecordQueries(frame, metrics);
@@ -277,7 +397,7 @@ Status DriftAwarePipeline::HandleDrift(video::FrameSource* stream,
     metrics->selections.push_back(registry_->at(deployed_).name);
   }
   metrics->episodes->AnnotateDecision(metrics->selections.back());
-  metrics->registry->GetCounter("vdrift.pipeline.redeployments").Increment();
+  metrics->registry->GetCounter(names_.redeployments).Increment();
   // Re-arm DI against the newly deployed distribution.
   inspector_ = std::make_unique<conformal::DriftInspector>(
       registry_->at(deployed_).profile.get(), config_.di,
@@ -291,13 +411,15 @@ Result<PipelineMetrics> DriftAwarePipeline::Run(video::FrameSource* stream,
   VDRIFT_RETURN_NOT_OK(EnsureCalibrated());
   inspector_->set_recorder(metrics_.episodes.get());
   obs::Counter& frame_counter =
-      metrics_.registry->GetCounter("vdrift.pipeline.frames");
+      metrics_.registry->GetCounter(names_.frames);
   obs::Counter& drift_counter =
-      metrics_.registry->GetCounter("vdrift.pipeline.drifts");
+      metrics_.registry->GetCounter(names_.drifts);
   obs::Counter& dropped_counter =
-      metrics_.registry->GetCounter("vdrift.pipeline.frames_dropped");
+      metrics_.registry->GetCounter(names_.frames_dropped);
+  obs::Histogram& detect_lag =
+      metrics_.registry->GetHistogram(names_.detect_lag, DetectLagOptions());
   {
-    obs::TraceSpan run_span(metrics_.registry.get(), kRunSpan);
+    obs::TraceSpan run_span(metrics_.registry.get(), names_.run_span);
     video::Frame frame;
     int64_t admitted = 0;
     while ((options.max_frames < 0 || admitted < options.max_frames) &&
@@ -305,13 +427,23 @@ Result<PipelineMetrics> DriftAwarePipeline::Run(video::FrameSource* stream,
       ++admitted;
       metrics_.frames += 1;
       frame_counter.Increment();
+      // Detection-lag clock: a ground-truth sequence change is the true
+      // drift onset the next detection is measured against.
+      if (frame.truth.sequence_id != last_sequence_id_) {
+        last_sequence_id_ = frame.truth.sequence_id;
+        frames_since_sequence_change_ = 0;
+      } else {
+        frames_since_sequence_change_ += 1;
+      }
       if (drift_oblivious_) {
         // Degraded endgame: DI is disarmed, the incumbent keeps serving.
         if (config_.run_queries) RecordQueries(frame, &metrics_);
+        TickObs(false);
         continue;
       }
       Result<conformal::DriftInspector::Observation> observation = [&] {
-        obs::TraceSpan detect_span(metrics_.registry.get(), kDetectSpan);
+        obs::TraceSpan detect_span(metrics_.registry.get(),
+                                   names_.detect_span);
         return inspector_->TryObserve(frame.pixels);
       }();
       if (!observation.ok()) {
@@ -319,18 +451,27 @@ Result<PipelineMetrics> DriftAwarePipeline::Run(video::FrameSource* stream,
         // keep the run alive — one bad frame must not kill the stream.
         metrics_.degradation.frames_dropped += 1;
         dropped_counter.Increment();
+        TickObs(false);
         continue;
       }
+      last_p_value_ = observation.value().p_value;
       if (config_.run_queries) RecordQueries(frame, &metrics_);
       if (observation.value().drift) {
         metrics_.drifts_detected += 1;
         drift_counter.Increment();
         metrics_.drift_frames.push_back(frame.truth.frame_index);
+        detect_lag.Record(static_cast<double>(
+            std::max<int64_t>(1, frames_since_sequence_change_)));
         VDRIFT_RETURN_NOT_OK(HandleDrift(stream, &metrics_));
       }
+      TickObs(false);
     }
   }
-  DeriveTimingFields(&metrics_);
+  // Close the final partial window so the exported series covers every
+  // admitted frame (the JSONL delta-sum invariant depends on this).
+  TickObs(true);
+  DeriveTimingFields(&metrics_, names_.run_span, names_.detect_span,
+                     names_.select_span, names_.query_span);
   return metrics_;
 }
 
@@ -360,8 +501,7 @@ Status DriftAwarePipeline::Checkpoint(const std::string& path,
   Status written = WriteCheckpointFile(cp, path, config_.injector);
   if (!written.ok()) {
     metrics_.degradation.checkpoint_failures += 1;
-    metrics_.registry->GetCounter("vdrift.pipeline.checkpoint_failures")
-        .Increment();
+    metrics_.registry->GetCounter(names_.checkpoint_failures).Increment();
   }
   return written;
 }
@@ -416,7 +556,7 @@ Status DriftAwarePipeline::Resume(const std::string& path,
       registry_->at(deployed_).profile.get(), config_.di, config_.seed);
   inspector_->RestoreState(cp.inspector);
   metrics_ = PipelineMetrics{};
-  AttachObservability(&metrics_);
+  AttachRunObservability();
   metrics_.frames = cp.frames;
   metrics_.drifts_detected = cp.drifts_detected;
   metrics_.new_models_trained = cp.new_models_trained;

@@ -19,6 +19,8 @@
 #include "fault/fault.h"
 #include "obs/episode_trace.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/watchdog.h"
 #include "pipeline/provision.h"
 #include "stats/rng.h"
 #include "video/stream.h"
@@ -85,6 +87,36 @@ struct DegradationStats {
   }
 };
 
+/// \brief Observability wiring of one pipeline run: the windowed metrics
+/// sampler and the SLO health watchdog.
+///
+/// Sampling is driven by the pipeline's admitted-frame count, not wall
+/// time, so the window series (and every watchdog verdict) is
+/// deterministic across machines and reruns of the same stream.
+struct PipelineObsOptions {
+  /// Admitted frames per sampling window; 0 disables the sampler (and
+  /// with it the watchdog and the JSONL sink).
+  int sample_interval_frames = 0;
+  /// Sampler ring capacity (the JSONL sink keeps the full series).
+  int max_windows = 1024;
+  /// SLO rule spec (obs::ParseSloSpec grammar). "" runs without a
+  /// watchdog; the literal "default" arms obs::DefaultSloSpec(). A spec
+  /// that fails to parse logs a warning and disarms the watchdog rather
+  /// than failing the run.
+  std::string slo_spec;
+  /// Per-window JSONL time-series sink ("" disables).
+  std::string jsonl_path;
+  /// When non-empty, every pipeline instrument carries {stream="<label>"}
+  /// so several pipelines can share one registry without colliding
+  /// (multi-stream serving).
+  std::string stream_label;
+
+  /// Reads VDRIFT_SAMPLE_INTERVAL, VDRIFT_SLO_SPEC, VDRIFT_METRICS_JSONL,
+  /// and VDRIFT_STREAM_LABEL. Unset variables keep the defaults above, so
+  /// an unconfigured environment costs nothing.
+  static PipelineObsOptions FromEnv();
+};
+
 /// \brief Everything a pipeline run reports.
 struct PipelineMetrics {
   int64_t frames = 0;
@@ -110,6 +142,12 @@ struct PipelineMetrics {
   /// Drift-episode telemetry: martingale/p-value/bet traces around each
   /// detection with the selector's decision attached.
   std::shared_ptr<obs::EpisodeRecorder> episodes;
+  /// Windowed time-series over `registry` (null unless
+  /// PipelineObsOptions::sample_interval_frames > 0).
+  std::shared_ptr<obs::MetricsSampler> sampler;
+  /// SLO watchdog evaluated on every sampled window (null unless a
+  /// slo_spec is armed).
+  std::shared_ptr<obs::HealthWatchdog> watchdog;
 
   /// Aggregates the per-sequence counters.
   SequenceAccuracy Totals() const;
@@ -157,6 +195,9 @@ struct PipelineConfig {
   /// injection check is a single pointer test on the drift-handling path,
   /// never per frame.
   fault::FaultInjector* injector = nullptr;
+  /// Sampler / SLO watchdog / JSONL exporter wiring (disabled by default;
+  /// PipelineObsOptions::FromEnv() arms it from the environment).
+  PipelineObsOptions obs;
 };
 
 /// \brief The paper's end-to-end system: DI + (MSBO or MSBI) + deployment.
@@ -228,12 +269,31 @@ class DriftAwarePipeline {
   Status Resume(const std::string& path, video::FrameSource* stream);
 
  private:
+  /// Per-run instrument names; when PipelineObsOptions::stream_label is
+  /// set every name carries a {stream="..."} label so several pipelines
+  /// can share one registry.
+  struct ObsNames {
+    std::string run_span, detect_span, select_span, query_span;
+    std::string frames, drifts, frames_dropped, selection_failures,
+        redeployments, checkpoint_failures;
+    std::string detect_lag, drift_oblivious, incumbent_fallbacks,
+        annotator_deferrals, annotator_errors, selector_retries,
+        recalibrate_failures, martingale, p_value;
+  };
+
   Status EnsureCalibrated();
   Status HandleDrift(video::FrameSource* stream, PipelineMetrics* metrics);
   Result<select::Selection> AttemptSelection(
       const std::vector<video::Frame>& window, PipelineMetrics* metrics);
   void RecordQueries(const video::Frame& frame, PipelineMetrics* metrics);
   Status Recalibrate();
+  /// (Re)creates the per-run registry/episodes plus, when armed, the
+  /// sampler and watchdog (constructor and Resume).
+  void AttachRunObservability();
+  /// Mirrors pipeline state into gauges and closes a sampling window when
+  /// the admitted-frame clock crossed the interval (`force` closes the
+  /// final partial window at the end of a Run).
+  void TickObs(bool force);
 
   select::ModelRegistry* registry_;
   std::vector<std::vector<select::LabeledFrame>> calibration_samples_;
@@ -247,6 +307,11 @@ class DriftAwarePipeline {
   int consecutive_selection_failures_ = 0;
   std::unique_ptr<conformal::DriftInspector> inspector_;
   PipelineMetrics metrics_;
+  ObsNames names_;
+  int64_t last_sample_frame_ = 0;   ///< Admitted-frame clock at last window.
+  double last_p_value_ = 1.0;       ///< Most recent DI observation's p.
+  int last_sequence_id_ = -1;       ///< Ground-truth sequence under way.
+  int64_t frames_since_sequence_change_ = 0;  ///< Detection-lag clock.
 };
 
 /// \brief The ODIN baseline pipeline: ODIN-Detect + ODIN-Select per frame.

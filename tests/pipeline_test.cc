@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -450,6 +451,98 @@ TEST_F(PipelineFixture, FaultSweepNeverCrashesAndLosesNothing) {
     EXPECT_EQ(static_cast<int64_t>(metrics.selections.size()),
               static_cast<int64_t>(metrics.drifts_detected))
         << "seed " << seed << ": a drift was handled without a decision";
+  }
+}
+
+TEST_F(PipelineFixture, SamplerWindowsAreDeterministicAndCleanRunIsQuiet) {
+  // A clean run with the sampler + default SLO watchdog armed: windows are
+  // taken on the admitted-frame clock, their counter deltas sum exactly to
+  // the final totals, and no alert fires.
+  video::StreamGenerator stream = bench_->dataset.MakeStream();
+  PipelineConfig config = BaseConfig(PipelineConfig::Selector::kMsbo);
+  config.obs.sample_interval_frames = 32;
+  config.obs.slo_spec = "default";
+  DriftAwarePipeline pipeline(&bench_->registry,
+                              bench_->calibration_samples, config);
+  PipelineMetrics metrics = pipeline.Run(&stream).ValueOrDie();
+  ASSERT_NE(metrics.sampler, nullptr);
+  ASSERT_NE(metrics.watchdog, nullptr);
+  ASSERT_GE(metrics.sampler->windows_sampled(), metrics.frames / 32);
+  std::vector<obs::MetricsWindow> windows = metrics.sampler->windows();
+  ASSERT_FALSE(windows.empty());
+  // Stream-time clock: window boundaries are admitted-frame counts.
+  EXPECT_EQ(windows[0].end_time, 32.0);
+  std::map<std::string, int64_t> delta_sums;
+  std::map<std::string, int64_t> finals;
+  for (const obs::MetricsWindow& w : windows) {
+    for (const auto& [name, delta] : w.counter_deltas) {
+      delta_sums[name] += delta;
+    }
+    for (const auto& [name, total] : w.counter_totals) {
+      finals[name] = total;
+    }
+  }
+  EXPECT_EQ(delta_sums, finals);
+  EXPECT_EQ(finals.at("vdrift.pipeline.frames"), metrics.frames);
+  EXPECT_EQ(metrics.watchdog->total_alerts(), 0)
+      << metrics.watchdog->AlertsJson();
+  EXPECT_TRUE(metrics.episodes->alerts().empty());
+
+  // Same stream, same config: bit-identical window series.
+  video::StreamGenerator again = bench_->dataset.MakeStream();
+  DriftAwarePipeline rerun(&bench_->registry, bench_->calibration_samples,
+                           config);
+  PipelineMetrics second = rerun.Run(&again).ValueOrDie();
+  std::vector<obs::MetricsWindow> rewindows = second.sampler->windows();
+  ASSERT_EQ(rewindows.size(), windows.size());
+  for (size_t i = 0; i < windows.size(); ++i) {
+    EXPECT_EQ(rewindows[i].end_time, windows[i].end_time);
+    EXPECT_EQ(rewindows[i].counter_deltas, windows[i].counter_deltas);
+    EXPECT_EQ(rewindows[i].gauges, windows[i].gauges);
+  }
+}
+
+TEST_F(PipelineFixture, InjectedFaultsRaiseSloAlerts) {
+  // The watchdog's reason to exist: a fault injection run must surface as
+  // structured alerts — in the watchdog log, as labeled alert counters,
+  // and as AlertMarks on the episode recorder.
+  video::StreamGenerator inner = bench_->dataset.MakeStream();
+  fault::FaultPlan plan =
+      fault::FaultPlan::Parse("nan_frame:p=0.1;selector_fail:p=0.8")
+          .ValueOrDie();
+  fault::FaultInjector injector(plan, 2024);
+  fault::FaultyStream stream(&inner, &injector);
+  PipelineConfig config = BaseConfig(PipelineConfig::Selector::kMsbo);
+  config.injector = &injector;
+  config.obs.sample_interval_frames = 32;
+  config.obs.slo_spec = "default";
+  DriftAwarePipeline pipeline(&bench_->registry,
+                              bench_->calibration_samples, config);
+  Result<PipelineMetrics> run = pipeline.Run(&stream);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const PipelineMetrics& metrics = run.value();
+  ASSERT_NE(metrics.watchdog, nullptr);
+  ASSERT_GE(metrics.watchdog->total_alerts(), 1)
+      << "injected faults raised no alerts";
+  // Every alert is attributable to one of the injected fault kinds.
+  std::vector<obs::AlertEvent> alerts = metrics.watchdog->alerts();
+  for (const obs::AlertEvent& alert : alerts) {
+    EXPECT_TRUE(alert.rule == "frame_drop_ratio" ||
+                alert.rule == "selector_failures" ||
+                alert.rule == "drift_oblivious")
+        << "unexpected rule " << alert.rule << ": " << alert.message;
+    // The labeled per-rule alert counter was bumped.
+    EXPECT_GE(metrics.registry
+                  ->GetCounter("vdrift.slo.alerts", {{"rule", alert.rule}})
+                  .value(),
+              1);
+  }
+  // The episode recorder holds matching marks at the firing frames.
+  std::vector<obs::AlertMark> marks = metrics.episodes->alerts();
+  ASSERT_EQ(marks.size(), alerts.size());
+  for (size_t i = 0; i < marks.size(); ++i) {
+    EXPECT_EQ(marks[i].rule, alerts[i].rule);
+    EXPECT_EQ(marks[i].frame, static_cast<int64_t>(alerts[i].time));
   }
 }
 

@@ -1,11 +1,21 @@
 #!/usr/bin/env bash
 # Runs one bench harness with the full observability surface armed and
 # validates everything it emits:
-#   - the metrics JSON report (counters, DI latency histogram, episodes),
+#   - the metrics JSON report (counters, DI latency histogram, episodes,
+#     SLO alerts array — empty on this clean run),
 #   - the flight-recorder Chrome trace (well-formed event array, ph in
 #     {B,E,X}, monotonic timestamps per tid, nested pipeline stage spans,
 #     tensor-op events carrying FLOP args),
-#   - the BENCH_*.json harness report (schema + quantile ordering).
+#   - the BENCH_*.json harness report (schema + quantile ordering;
+#     empty stages legitimately omit quantile keys),
+#   - the OpenMetrics text exposition (family grammar, counter _total
+#     suffix, cumulative histogram buckets ending in +Inf == _count,
+#     terminating # EOF),
+#   - the sampler's JSONL time series (per-window counter deltas sum
+#     exactly to the final cumulative totals; render_timeline.py parses it).
+# A second, smoke-sized run with VDRIFT_FAULT_SPEC set then asserts the
+# SLO watchdog actually fires: injected faults must surface as alerts
+# attributable to the fault kind, and the clean run above must have none.
 #
 # Usage: tools/check_metrics.sh [build_dir]
 # Env:   VDRIFT_BENCH_DATASET (default Tokyo — the cheapest workbench).
@@ -23,15 +33,24 @@ export VDRIFT_BENCH_DATASET="${VDRIFT_BENCH_DATASET:-Tokyo}"
 REPORT="$(mktemp /tmp/vdrift_metrics.XXXXXX.json)"
 TRACE="$(mktemp /tmp/vdrift_trace.XXXXXX.json)"
 BENCH_JSON="$(mktemp /tmp/vdrift_bench.XXXXXX.json)"
-trap 'rm -f "$REPORT" "$TRACE" "$BENCH_JSON"' EXIT
+OPENMETRICS="$(mktemp /tmp/vdrift_om.XXXXXX.txt)"
+JSONL="$(mktemp /tmp/vdrift_windows.XXXXXX.jsonl)"
+FAULT_REPORT="$(mktemp /tmp/vdrift_metrics_fault.XXXXXX.json)"
+FAULT_BENCH_JSON="$(mktemp /tmp/vdrift_bench_fault.XXXXXX.json)"
+trap 'rm -f "$REPORT" "$TRACE" "$BENCH_JSON" "$OPENMETRICS" "$JSONL" \
+  "$FAULT_REPORT" "$FAULT_BENCH_JSON"' EXIT
 export VDRIFT_METRICS_JSON="$REPORT"
 export VDRIFT_TRACE_JSON="$TRACE"
 export VDRIFT_BENCH_JSON="$BENCH_JSON"
+export VDRIFT_METRICS_OPENMETRICS="$OPENMETRICS"
+export VDRIFT_METRICS_JSONL="$JSONL"
+export VDRIFT_SAMPLE_INTERVAL="${VDRIFT_SAMPLE_INTERVAL:-32}"
+export VDRIFT_SLO_SPEC="${VDRIFT_SLO_SPEC:-default}"
 
-echo "running $BENCH (dataset=$VDRIFT_BENCH_DATASET, trace+bench armed)..."
+echo "running $BENCH (dataset=$VDRIFT_BENCH_DATASET, trace+bench+sampler+slo armed)..."
 "$BENCH"
 
-for f in "$REPORT" "$TRACE" "$BENCH_JSON"; do
+for f in "$REPORT" "$TRACE" "$BENCH_JSON" "$OPENMETRICS" "$JSONL"; do
   if [[ ! -s "$f" ]]; then
     echo "FAIL: bench did not write $f" >&2
     exit 1
@@ -51,6 +70,9 @@ def fail(msg):
 
 if not report.get("counters"):
     fail("no counters in report")
+if not any(name.startswith('vdrift.di.detections{')
+           for name in report["counters"]):
+    fail("no labeled vdrift.di.detections{dataset=...} counter")
 hist = report.get("histograms", {}).get("vdrift.di.observe_seconds")
 if hist is None:
     fail("missing vdrift.di.observe_seconds histogram")
@@ -61,6 +83,9 @@ for q in ("p50", "p99"):
         fail(f"DI latency histogram missing {q}")
     if not (0 <= hist[q] <= hist.get("max", float("inf")) + 1e-12):
         fail(f"DI latency {q}={hist[q]} outside [0, max]")
+for name, h in report.get("histograms", {}).items():
+    if h.get("count", 0) == 0 and "p50" in h:
+        fail(f"empty histogram {name} still exports quantile keys")
 episodes = report.get("episodes")
 if not episodes:
     fail("no drift episodes captured")
@@ -69,11 +94,16 @@ for episode in episodes:
         fail("episode with empty frame trace")
     if not episode["frames"][-1].get("drift"):
         fail("episode trace does not end on the drift frame")
+alerts = report.get("alerts")
+if alerts is None:
+    fail("report has no alerts key")
+if alerts:
+    fail(f"clean run raised SLO alerts: {alerts}")
 
 print(f"OK: {len(report['counters'])} counters, "
       f"{len(report.get('histograms', {}))} histograms, "
       f"DI p50={hist['p50']:.6f}s p99={hist['p99']:.6f}s, "
-      f"{len(episodes)} drift episode(s)")
+      f"{len(episodes)} drift episode(s), 0 alerts (clean)")
 EOF
 
 python3 - "$TRACE" <<'EOF'
@@ -152,16 +182,21 @@ if not report["stages"]:
     fail("no stages recorded")
 populated = 0
 for name, stage in report["stages"].items():
-    for key in ("count", "fps", "min", "max", "mean", "p50", "p90", "p99",
-                "sum_seconds"):
+    for key in ("count", "fps", "sum_seconds"):
         if key not in stage:
             fail(f"stage {name} missing {key}")
     if stage["count"] > 0:
+        # Shape keys are mandatory exactly when the stage has samples.
+        for key in ("min", "max", "mean", "p50", "p90", "p99"):
+            if key not in stage:
+                fail(f"populated stage {name} missing {key}")
         populated += 1
         if not (stage["p50"] <= stage["p90"] + 1e-12
                 and stage["p90"] <= stage["p99"] + 1e-12):
             fail(f"stage {name} quantiles not ordered: "
                  f"{stage['p50']} / {stage['p90']} / {stage['p99']}")
+    elif "p50" in stage:
+        fail(f"empty stage {name} still exports quantile keys")
 if populated == 0:
     fail("every stage is empty")
 if report["throughput_fps"] <= 0:
@@ -173,4 +208,183 @@ print(f"OK: bench report {report['name']} @ {report['git_rev']}: "
       f"{populated} populated stage(s), "
       f"throughput {report['throughput_fps']:.2f} fps, "
       f"{report['flops_total']:,} FLOPs")
+EOF
+
+python3 - "$OPENMETRICS" <<'EOF'
+import re
+import sys
+
+with open(sys.argv[1]) as f:
+    lines = f.read().splitlines()
+
+def fail(msg):
+    print(f"FAIL: openmetrics: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+if not lines or lines[-1] != "# EOF":
+    fail("document does not end with # EOF")
+NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+LABELS = r"\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\"" \
+         r"(?:,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\}"
+SAMPLE = re.compile(rf"^({NAME})({LABELS})? (\S+)$")
+TYPE = re.compile(rf"^# TYPE ({NAME}) (counter|gauge|histogram)$")
+families = {}
+current = None
+samples = 0
+labeled = 0
+hist_state = {}
+for i, line in enumerate(lines[:-1], 1):
+    m = TYPE.match(line)
+    if m:
+        family, kind = m.groups()
+        if family in families:
+            fail(f"line {i}: duplicate family {family}")
+        families[family] = kind
+        current = (family, kind)
+        continue
+    m = SAMPLE.match(line)
+    if m is None:
+        fail(f"line {i}: unparsable line {line!r}")
+    name, labels, value = m.group(1), m.group(2), m.group(3)
+    if current is None:
+        fail(f"line {i}: sample before any # TYPE")
+    family, kind = current
+    samples += 1
+    if labels:
+        labeled += 1
+    try:
+        number = float(value.replace("+Inf", "inf"))
+    except ValueError:
+        fail(f"line {i}: bad sample value {value!r}")
+    if kind == "counter":
+        if name != family + "_total":
+            fail(f"line {i}: counter sample {name} lacks _total suffix")
+        if number < 0:
+            fail(f"line {i}: negative counter {name}")
+    elif kind == "gauge":
+        if name != family:
+            fail(f"line {i}: gauge sample {name} != family {family}")
+    else:
+        # The le label distinguishes buckets *within* one series — group
+        # histogram state by the labels with le stripped out.
+        pairs = re.findall(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"',
+                           labels or "")
+        kept = [f'{k}="{v}"' for k, v in pairs if k != "le"]
+        series = "{" + ",".join(kept) + "}" if kept else ""
+        state = hist_state.setdefault((family, series),
+                                      {"last": -1.0, "inf": None, "count": None})
+        if name == family + "_bucket":
+            le = re.search(r'le="([^"]*)"', labels or "")
+            if le is None:
+                fail(f"line {i}: histogram bucket without le label")
+            if le.group(1) == "+Inf":
+                state["inf"] = number
+            else:
+                if number < state["last"]:
+                    fail(f"line {i}: non-cumulative buckets in {family}")
+                state["last"] = number
+        elif name == family + "_count":
+            state["count"] = number
+        elif name != family + "_sum":
+            fail(f"line {i}: unexpected histogram sample {name}")
+for (family, labels), state in hist_state.items():
+    if state["inf"] is None:
+        fail(f"histogram {family}{labels} has no +Inf bucket")
+    if state["count"] is None:
+        fail(f"histogram {family}{labels} has no _count")
+    if state["inf"] != state["count"]:
+        fail(f"histogram {family}{labels}: +Inf bucket {state['inf']} "
+             f"!= _count {state['count']}")
+    if state["last"] > state["inf"]:
+        fail(f"histogram {family}{labels}: finite bucket exceeds +Inf")
+if labeled == 0:
+    fail("no labeled series (expected vdrift_di_detections{dataset=...})")
+
+print(f"OK: openmetrics: {len(families)} families, {samples} samples "
+      f"({labeled} labeled), histograms cumulative and +Inf == _count")
+EOF
+
+python3 - "$JSONL" <<'EOF'
+import json
+import sys
+
+def fail(msg):
+    print(f"FAIL: jsonl: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+windows = []
+with open(sys.argv[1]) as f:
+    for n, line in enumerate(f, 1):
+        try:
+            windows.append(json.loads(line))
+        except json.JSONDecodeError as err:
+            fail(f"line {n}: invalid JSON: {err}")
+if not windows:
+    fail("no windows sampled")
+deltas = {}
+finals = {}
+prev_index = -1
+prev_end = float("-inf")
+for w in windows:
+    if w["window"] != prev_index + 1:
+        fail(f"window indices not consecutive at {w['window']}")
+    prev_index = w["window"]
+    if w["end"] < prev_end:
+        fail(f"window end times not monotonic at {w['window']}")
+    prev_end = w["end"]
+    for name, c in w["counters"].items():
+        deltas[name] = deltas.get(name, 0) + c["delta"]
+        finals[name] = c["total"]
+    for name, h in w.get("histograms", {}).items():
+        if h.get("count", 0) <= 0:
+            fail(f"window {w['window']}: empty histogram {name} exported")
+if deltas != finals:
+    bad = {k: (deltas.get(k), finals.get(k))
+           for k in set(deltas) | set(finals)
+           if deltas.get(k) != finals.get(k)}
+    fail(f"window deltas do not sum to final totals: {bad}")
+
+print(f"OK: jsonl: {len(windows)} window(s), "
+      f"{len(finals)} counter(s) — deltas sum exactly to cumulative totals")
+EOF
+
+echo "rendering timeline from the JSONL series..."
+python3 tools/render_timeline.py "$JSONL" --report "$REPORT" | tail -n 3
+
+# --- Fault pass: injected faults must surface as SLO alerts. ---
+echo "running fault pass (smoke, nan_frame + selector_fail injected)..."
+VDRIFT_BENCH_SMOKE=1 \
+  VDRIFT_FAULT_SPEC="nan_frame:p=0.1;selector_fail:p=0.8" \
+  VDRIFT_METRICS_JSON="$FAULT_REPORT" \
+  VDRIFT_TRACE_JSON="" VDRIFT_METRICS_OPENMETRICS="" \
+  VDRIFT_METRICS_JSONL="" VDRIFT_BENCH_JSON="$FAULT_BENCH_JSON" \
+  "$BENCH" > /dev/null
+
+python3 - "$FAULT_REPORT" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+def fail(msg):
+    print(f"FAIL: fault pass: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+alerts = report.get("alerts")
+if not alerts:
+    fail("injected faults raised no SLO alerts")
+# nan_frame poisons pixels -> dropped frames; selector_fail ->
+# selection failures (and possibly drift-oblivious degradation).
+attributable = {"frame_drop_ratio", "selector_failures", "drift_oblivious"}
+rules = {a["rule"] for a in alerts}
+if not rules & attributable:
+    fail(f"alerts {rules} not attributable to the injected fault kinds")
+for a in alerts:
+    for key in ("rule", "window", "time", "value", "op", "threshold",
+                "message"):
+        if key not in a:
+            fail(f"alert missing key {key}: {a}")
+
+print(f"OK: fault pass: {len(alerts)} alert(s) on rules {sorted(rules)}")
 EOF

@@ -11,15 +11,24 @@ Usage:
   tools/compare_bench.py --baseline BENCH_x.json --candidate BENCH_y.json
   tools/compare_bench.py --baseline baseline_dir/ --candidate out_dir/
   tools/compare_bench.py --baseline base/ --candidate out/ --threshold 0.1
+  tools/compare_bench.py --baseline base/ --candidate out/ --json
 
 Directory mode pairs files by filename; candidates without a baseline
-counterpart are reported as "new" and skipped.
+counterpart are reported as "new" and skipped. With --json the human table
+is replaced by one machine-readable verdict object on stdout (the exit
+code is unchanged, so scripts can use either).
 """
 
 import argparse
 import json
+import math
 import os
 import sys
+
+
+def finite_or_none(value):
+    """JSON has no Infinity; a missing ratio is explicit null instead."""
+    return value if math.isfinite(value) else None
 
 
 def load_report(path):
@@ -31,7 +40,7 @@ def load_report(path):
     return report
 
 
-def pair_reports(baseline, candidate):
+def pair_reports(baseline, candidate, quiet=False):
     """Yields (label, baseline_path, candidate_path) for file or dir mode."""
     if os.path.isdir(candidate) != os.path.isdir(baseline):
         raise ValueError("--baseline and --candidate must both be files or "
@@ -46,16 +55,25 @@ def pair_reports(baseline, candidate):
     for name in names:
         base = os.path.join(baseline, name)
         if not os.path.exists(base):
-            print(f"  new (no baseline): {name}")
+            if not quiet:
+                print(f"  new (no baseline): {name}")
             continue
         yield name, base, os.path.join(candidate, name)
 
 
-def compare_one(label, base, cand, threshold, min_seconds):
-    """Prints the comparison; returns the list of regression descriptions."""
+def compare_one(label, base, cand, threshold, min_seconds, quiet=False):
+    """Prints the comparison (unless quiet); returns the regression
+    descriptions and a machine-readable record of every comparison made."""
     regressions = []
-    print(f"{label}: {base.get('git_rev', '?')} -> "
-          f"{cand.get('git_rev', '?')}")
+    record = {
+        "report": label,
+        "baseline_rev": base.get("git_rev", "?"),
+        "candidate_rev": cand.get("git_rev", "?"),
+        "stages": [],
+    }
+    if not quiet:
+        print(f"{label}: {record['baseline_rev']} -> "
+              f"{record['candidate_rev']}")
     shared = sorted(set(base["stages"]) & set(cand["stages"]))
     if not shared:
         regressions.append(f"{label}: no shared stages with baseline")
@@ -67,25 +85,39 @@ def compare_one(label, base, cand, threshold, min_seconds):
         if b["p50"] < min_seconds:
             continue
         ratio = c["p50"] / b["p50"] if b["p50"] > 0 else float("inf")
-        marker = " "
-        if ratio > 1.0 + threshold:
-            marker = "R"
+        regressed = ratio > 1.0 + threshold
+        record["stages"].append({
+            "stage": stage,
+            "baseline_p50": b["p50"],
+            "candidate_p50": c["p50"],
+            "ratio": finite_or_none(ratio),
+            "regressed": regressed,
+        })
+        if regressed:
             regressions.append(
                 f"{label}: stage {stage} p50 {b['p50']:.6f}s -> "
                 f"{c['p50']:.6f}s ({ratio:.2f}x, limit "
                 f"{1.0 + threshold:.2f}x)")
-        print(f"  [{marker}] {stage}: p50 {b['p50']:.6f}s -> "
-              f"{c['p50']:.6f}s ({ratio:.2f}x)")
+        if not quiet:
+            print(f"  [{'R' if regressed else ' '}] {stage}: "
+                  f"p50 {b['p50']:.6f}s -> {c['p50']:.6f}s ({ratio:.2f}x)")
     b_fps = base["throughput_fps"]
     c_fps = cand["throughput_fps"]
-    if b_fps > 0 and c_fps < b_fps * (1.0 - threshold):
+    fps_regressed = b_fps > 0 and c_fps < b_fps * (1.0 - threshold)
+    record["throughput"] = {
+        "baseline_fps": b_fps,
+        "candidate_fps": c_fps,
+        "ratio": finite_or_none(c_fps / b_fps) if b_fps > 0 else None,
+        "regressed": fps_regressed,
+    }
+    if fps_regressed:
         regressions.append(
             f"{label}: throughput {b_fps:.2f} -> {c_fps:.2f} fps "
             f"({c_fps / b_fps:.2f}x, limit {1.0 - threshold:.2f}x)")
-        print(f"  [R] throughput: {b_fps:.2f} -> {c_fps:.2f} fps")
-    else:
-        print(f"  [ ] throughput: {b_fps:.2f} -> {c_fps:.2f} fps")
-    return regressions
+    if not quiet:
+        print(f"  [{'R' if fps_regressed else ' '}] throughput: "
+              f"{b_fps:.2f} -> {c_fps:.2f} fps")
+    return regressions, record
 
 
 def main():
@@ -102,18 +134,39 @@ def main():
     parser.add_argument("--min-seconds", type=float, default=1e-5,
                         help="ignore stages whose baseline p50 is below "
                              "this (default 1e-5 s)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one machine-readable verdict object on "
+                             "stdout instead of the table")
     args = parser.parse_args()
 
     regressions = []
+    records = []
     try:
         for label, base_path, cand_path in pair_reports(args.baseline,
-                                                        args.candidate):
-            regressions += compare_one(label, load_report(base_path),
+                                                        args.candidate,
+                                                        quiet=args.json):
+            regs, record = compare_one(label, load_report(base_path),
                                        load_report(cand_path),
-                                       args.threshold, args.min_seconds)
+                                       args.threshold, args.min_seconds,
+                                       quiet=args.json)
+            regressions += regs
+            records.append(record)
     except (OSError, ValueError, json.JSONDecodeError) as err:
-        print(f"FAIL: {err}", file=sys.stderr)
+        if args.json:
+            print(json.dumps({"ok": False, "error": str(err)}))
+        else:
+            print(f"FAIL: {err}", file=sys.stderr)
         return 2
+
+    if args.json:
+        print(json.dumps({
+            "ok": not regressions,
+            "threshold": args.threshold,
+            "min_seconds": args.min_seconds,
+            "reports": records,
+            "regressions": regressions,
+        }, indent=2, sort_keys=True))
+        return 1 if regressions else 0
 
     if regressions:
         print(f"\nFAIL: {len(regressions)} regression(s) beyond "

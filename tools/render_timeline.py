@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Renders a per-run drift timeline from the sampler's JSONL time series.
+
+Input is the file VDRIFT_METRICS_JSONL produces (one MetricsWindow JSON
+object per line). The timeline shows, per window: the stream-time frame
+range, the DI p-value and martingale gauges, drifts and dropped frames in
+the window, the per-window run-latency p99, and a bar for the martingale
+(log-scaled, since the detection statistic grows multiplicatively). With
+--report pointing at the metrics JSON report, SLO alerts are merged in on
+the windows where they fired.
+
+Usage:
+  tools/render_timeline.py metrics.jsonl [--report metrics.json]
+  tools/render_timeline.py metrics.jsonl --csv   # machine-readable rows
+
+Exits non-zero on unreadable or structurally invalid input, so CI can use
+it as a JSONL validator as well as a viewer.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+BAR_WIDTH = 24
+
+
+def load_windows(path):
+    windows = []
+    with open(path) as f:
+        for line_number, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                window = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise SystemExit(
+                    f"FAIL: {path}:{line_number}: not valid JSON: {err}")
+            for key in ("window", "start", "end", "counters", "gauges",
+                        "histograms"):
+                if key not in window:
+                    raise SystemExit(
+                        f"FAIL: {path}:{line_number}: missing key {key!r}")
+            windows.append(window)
+    if not windows:
+        raise SystemExit(f"FAIL: {path}: no windows")
+    return windows
+
+
+def load_alerts(path):
+    """window index -> list of rule names, from the report's alerts array."""
+    if path is None:
+        return {}
+    with open(path) as f:
+        report = json.load(f)
+    alerts = {}
+    for alert in report.get("alerts", []):
+        alerts.setdefault(alert.get("window", -1), []).append(
+            alert.get("rule", "?"))
+    return alerts
+
+
+def counter(window, name, field="delta"):
+    entry = window["counters"].get(name)
+    return entry[field] if entry else 0
+
+
+def find_counter(window, suffix, field="delta"):
+    """Counter whose name matches exactly or up to a label block (the
+    pipeline may emit `name{stream="..."}`)."""
+    for name in window["counters"]:
+        base = name.split("{", 1)[0]
+        if base == suffix:
+            return counter(window, name, field)
+    return 0
+
+
+def find_gauge(window, base_name):
+    for name, value in window["gauges"].items():
+        if name.split("{", 1)[0] == base_name:
+            return value
+    return None
+
+
+def find_histogram_p99(window, base_name):
+    for name, hist in window["histograms"].items():
+        if name.split("{", 1)[0] == base_name:
+            return hist.get("p99")
+    return None
+
+
+def martingale_bar(value, max_value):
+    if value is None or value <= 0 or max_value <= 0:
+        return ""
+    # Log scale: the martingale is a product of bets and spans decades.
+    top = math.log10(max(max_value, 10.0))
+    filled = int(round(BAR_WIDTH * max(0.0, math.log10(max(value, 1e-3)) + 3)
+                       / (top + 3)))
+    return "#" * max(0, min(BAR_WIDTH, filled))
+
+
+def fmt(value, spec="{:.4g}"):
+    return "-" if value is None else spec.format(value)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("jsonl", help="sampler JSONL time series")
+    parser.add_argument("--report", default=None,
+                        help="metrics JSON report (merges SLO alerts)")
+    parser.add_argument("--csv", action="store_true",
+                        help="emit CSV rows instead of the table")
+    args = parser.parse_args()
+
+    windows = load_windows(args.jsonl)
+    alerts = load_alerts(args.report)
+
+    rows = []
+    for w in windows:
+        drift_ob = find_gauge(w, "vdrift.pipeline.drift_oblivious")
+        rows.append({
+            "window": w["window"],
+            "frames": f"{int(w['start'])}..{int(w['end'])}",
+            "p_value": find_gauge(w, "vdrift.di.p_value"),
+            "martingale": find_gauge(w, "vdrift.di.martingale"),
+            "drifts": find_counter(w, "vdrift.pipeline.drifts"),
+            "dropped": find_counter(w, "vdrift.pipeline.frames_dropped"),
+            "lat_p99": find_histogram_p99(w, "vdrift.pipeline.detect_seconds"),
+            "degraded": "yes" if drift_ob else "",
+            "alerts": ",".join(alerts.get(w["window"], [])),
+        })
+
+    if args.csv:
+        cols = ["window", "frames", "p_value", "martingale", "drifts",
+                "dropped", "lat_p99", "degraded", "alerts"]
+        print(",".join(cols))
+        for r in rows:
+            print(",".join(str("" if r[c] is None else r[c]) for c in cols))
+        return
+
+    peak = max((r["martingale"] or 0) for r in rows)
+    header = (f"{'win':>4} {'frames':>13} {'p':>8} {'martingale':>11} "
+              f"{'drifts':>6} {'drop':>5} {'det p99':>9} {'deg':>3} "
+              f"{'M (log)':<{BAR_WIDTH}} alerts")
+    print(header)
+    print("-" * len(header))
+    for r in rows:
+        print(f"{r['window']:>4} {r['frames']:>13} "
+              f"{fmt(r['p_value']):>8} {fmt(r['martingale']):>11} "
+              f"{r['drifts']:>6} {r['dropped']:>5} "
+              f"{fmt(r['lat_p99'], '{:.3g}'):>9} {r['degraded']:>3} "
+              f"{martingale_bar(r['martingale'], peak):<{BAR_WIDTH}} "
+              f"{r['alerts']}")
+    total_drifts = sum(r["drifts"] for r in rows)
+    total_dropped = sum(r["dropped"] for r in rows)
+    n_alerts = sum(len(v) for v in alerts.values())
+    print(f"{len(rows)} window(s), {total_drifts} drift(s), "
+          f"{total_dropped} dropped frame(s), {n_alerts} alert(s)")
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)  # output piped into head/less and closed early
