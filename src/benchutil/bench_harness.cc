@@ -13,12 +13,14 @@ namespace vdrift::benchutil {
 namespace {
 
 bool EnvFlagSet(const char* name) {
+  // vdrift-lint: allow(no-ambient-nondeterminism): bench env-knob chokepoint
   const char* value = std::getenv(name);
   return value != nullptr && value[0] != '\0' &&
          std::string(value) != "0";
 }
 
 long EnvLongOr(const char* name, long fallback) {
+  // vdrift-lint: allow(no-ambient-nondeterminism): bench env-knob chokepoint
   const char* value = std::getenv(name);
   if (value == nullptr || value[0] == '\0') return fallback;
   char* end = nullptr;
@@ -31,6 +33,7 @@ long EnvLongOr(const char* name, long fallback) {
 }
 
 std::string EnvStringOr(const char* name, const std::string& fallback) {
+  // vdrift-lint: allow(no-ambient-nondeterminism): bench env-knob chokepoint
   const char* value = std::getenv(name);
   return value != nullptr && value[0] != '\0' ? value : fallback;
 }

@@ -1,16 +1,8 @@
 #include "benchutil/experiments.h"
 
-#include <chrono>
+#include "obs/timer.h"
 
 namespace vdrift::benchutil {
-
-namespace {
-using Clock = std::chrono::steady_clock;
-
-double SecondsSince(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-}  // namespace
 
 LatencyResult MeasureDiLatency(const conformal::DistributionProfile& source,
                                const std::vector<video::Frame>& post_drift,
@@ -18,14 +10,14 @@ LatencyResult MeasureDiLatency(const conformal::DistributionProfile& source,
                                uint64_t seed) {
   conformal::DriftInspector inspector(&source, config, seed);
   LatencyResult result;
-  Clock::time_point start = Clock::now();
+  double start = obs::MonotonicSeconds();
   for (size_t i = 0; i < post_drift.size(); ++i) {
     if (inspector.Observe(post_drift[i].pixels).drift) {
       result.frames_to_detect = static_cast<int>(i) + 1;
       break;
     }
   }
-  result.seconds = SecondsSince(start);
+  result.seconds = obs::MonotonicSeconds() - start;
   return result;
 }
 
@@ -42,7 +34,7 @@ LatencyResult MeasureOdinLatency(
   baseline::OdinDetect odin(config, static_cast<int>(latents.front().size()));
   odin.AddPermanentCluster(latents, 0);
   LatencyResult result;
-  Clock::time_point start = Clock::now();
+  double start = obs::MonotonicSeconds();
   for (size_t i = 0; i < post_drift.size(); ++i) {
     std::vector<float> z = source.Encode(post_drift[i].pixels);
     if (odin.Observe(z).drift) {
@@ -50,7 +42,7 @@ LatencyResult MeasureOdinLatency(
       break;
     }
   }
-  result.seconds = SecondsSince(start);
+  result.seconds = obs::MonotonicSeconds() - start;
   return result;
 }
 

@@ -63,6 +63,7 @@ std::string EmitMetricsJson(const obs::MetricsRegistry& registry,
                             const obs::EpisodeRecorder* episodes,
                             const obs::HealthWatchdog* watchdog,
                             const std::string& default_path) {
+  // vdrift-lint: allow(no-ambient-nondeterminism): documented export knob
   const char* override_path = std::getenv("VDRIFT_METRICS_JSON");
   std::string path =
       override_path != nullptr ? override_path : default_path;
@@ -77,6 +78,7 @@ std::string EmitMetricsJson(const obs::MetricsRegistry& registry,
 }
 
 std::string EmitOpenMetrics(const obs::MetricsRegistry& registry) {
+  // vdrift-lint: allow(no-ambient-nondeterminism): documented export knob
   const char* path = std::getenv("VDRIFT_METRICS_OPENMETRICS");
   if (path == nullptr || path[0] == '\0') return "";
   Status status = obs::WriteOpenMetrics(registry, path);

@@ -53,21 +53,21 @@ class BinaryReader {
  public:
   explicit BinaryReader(const std::string& bytes) : bytes_(bytes) {}
 
-  Status ReadU8(uint8_t* v) { return Extract(v, sizeof(*v)); }
-  Status ReadU32(uint32_t* v) { return Extract(v, sizeof(*v)); }
-  Status ReadU64(uint64_t* v) { return Extract(v, sizeof(*v)); }
-  Status ReadI32(int32_t* v) { return Extract(v, sizeof(*v)); }
-  Status ReadI64(int64_t* v) { return Extract(v, sizeof(*v)); }
-  Status ReadDouble(double* v) { return Extract(v, sizeof(*v)); }
-  Status ReadString(std::string* s);
-  Status ReadDoubleVec(std::vector<double>* v);
-  Status ReadI64Vec(std::vector<int64_t>* v);
+  [[nodiscard]] Status ReadU8(uint8_t* v) { return Extract(v, sizeof(*v)); }
+  [[nodiscard]] Status ReadU32(uint32_t* v) { return Extract(v, sizeof(*v)); }
+  [[nodiscard]] Status ReadU64(uint64_t* v) { return Extract(v, sizeof(*v)); }
+  [[nodiscard]] Status ReadI32(int32_t* v) { return Extract(v, sizeof(*v)); }
+  [[nodiscard]] Status ReadI64(int64_t* v) { return Extract(v, sizeof(*v)); }
+  [[nodiscard]] Status ReadDouble(double* v) { return Extract(v, sizeof(*v)); }
+  [[nodiscard]] Status ReadString(std::string* s);
+  [[nodiscard]] Status ReadDoubleVec(std::vector<double>* v);
+  [[nodiscard]] Status ReadI64Vec(std::vector<int64_t>* v);
 
   /// Bytes not yet consumed.
   size_t remaining() const { return bytes_.size() - offset_; }
 
  private:
-  Status Extract(void* out, size_t size) {
+  [[nodiscard]] Status Extract(void* out, size_t size) {
     if (offset_ + size > bytes_.size()) {
       return Status::DataLoss("truncated buffer: need " +
                               std::to_string(size) + " bytes at offset " +
@@ -87,10 +87,10 @@ class BinaryReader {
 /// first and is renamed over `path` only after a successful close, so a
 /// crash mid-write can never leave a half-written file under the final
 /// name (rename(2) within one filesystem is atomic).
-Status AtomicWriteFile(const std::string& path, const std::string& bytes);
+[[nodiscard]] Status AtomicWriteFile(const std::string& path, const std::string& bytes);
 
 /// Reads a whole file into a string. kIoError when it cannot be opened.
-Result<std::string> ReadFileToString(const std::string& path);
+[[nodiscard]] Result<std::string> ReadFileToString(const std::string& path);
 
 }  // namespace vdrift
 

@@ -23,6 +23,7 @@ const char* LevelName(LogLevel level) {
 
 LogLevel LevelFromEnv() {
   LogLevel level = LogLevel::kInfo;
+  // vdrift-lint: allow(no-ambient-nondeterminism): documented log-level knob
   const char* env = std::getenv("VDRIFT_LOG_LEVEL");
   if (env != nullptr) ParseLogLevel(env, &level);
   return level;

@@ -15,8 +15,11 @@ namespace vdrift {
 /// The library's counterpart to arrow::Result. Use VDRIFT_ASSIGN_OR_RETURN
 /// to unwrap in Status-returning code, or ValueOrDie() in tests and
 /// examples where an error is a programming bug.
+///
+/// [[nodiscard]] at class scope: an ignored Result is an ignored error
+/// (see Status; enforced by the compiler and vdrift-lint).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit so functions can `return value;`).
   Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -37,7 +37,11 @@ std::string_view StatusCodeToString(StatusCode code);
 ///
 /// A default-constructed Status is OK. Statuses are cheap to copy for the OK
 /// case (no allocation) and carry a message only on error.
-class Status {
+///
+/// The class itself is [[nodiscard]]: every function returning a Status by
+/// value makes an ignored return a compiler warning (and a vdrift-lint
+/// `nodiscard-status` finding), so errors cannot be dropped silently.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

@@ -9,8 +9,10 @@ namespace vdrift::conformal {
 
 PowerLogBetting::PowerLogBetting(double epsilon, double p_floor)
     : epsilon_(epsilon), p_floor_(p_floor) {
+  // vdrift-lint: allow(no-data-dependent-check): ctor config contract
   VDRIFT_CHECK(epsilon > 0.0 && epsilon < 1.0)
       << "power betting needs epsilon in (0,1)";
+  // vdrift-lint: allow(no-data-dependent-check): ctor config contract
   VDRIFT_CHECK(p_floor > 0.0 && p_floor < 1.0);
 }
 
@@ -22,6 +24,7 @@ double PowerLogBetting::Increment(double p) const {
 double PowerLogBetting::MaxIncrement() const { return Increment(0.0); }
 
 MixtureLogBetting::MixtureLogBetting(double p_floor) : p_floor_(p_floor) {
+  // vdrift-lint: allow(no-data-dependent-check): ctor config contract
   VDRIFT_CHECK(p_floor > 0.0 && p_floor < 1.0);
 }
 
@@ -42,8 +45,10 @@ double MixtureLogBetting::MaxIncrement() const { return Increment(0.0); }
 SymmetricPowerLogBetting::SymmetricPowerLogBetting(double epsilon,
                                                    double p_floor)
     : epsilon_(epsilon), p_floor_(p_floor) {
+  // vdrift-lint: allow(no-data-dependent-check): ctor config contract
   VDRIFT_CHECK(epsilon > 0.0 && epsilon < 1.0)
       << "symmetric power betting needs epsilon in (0,1)";
+  // vdrift-lint: allow(no-data-dependent-check): ctor config contract
   VDRIFT_CHECK(p_floor > 0.0 && p_floor < 0.5);
 }
 

@@ -26,6 +26,7 @@ DriftInspector::DriftInspector(const DistributionProfile* profile,
       betting_(ResolveBetting(config.betting)),
       martingale_(betting_.get(), config.window, config.r, config.threshold),
       rng_(seed) {
+  // vdrift-lint: allow(no-data-dependent-check): null-wiring bug, not data
   VDRIFT_CHECK(profile_ != nullptr);
 }
 

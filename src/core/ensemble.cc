@@ -58,6 +58,7 @@ double DeepEnsemble::BrierScore(const tensor::Tensor& frame,
 
 double DeepEnsemble::AverageBrier(
     const std::vector<LabeledFrame>& window) const {
+  // vdrift-lint: allow(no-data-dependent-check): caller-size contract
   VDRIFT_CHECK(!window.empty());
   double total = 0.0;
   for (const LabeledFrame& lf : window) {

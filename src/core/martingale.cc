@@ -13,12 +13,15 @@ ConformalMartingale::ConformalMartingale(const BettingFunction* betting,
     : betting_(betting),
       window_(window),
       threshold_(Threshold(policy, window, r)) {
+  // vdrift-lint: allow(no-data-dependent-check): null-wiring bug, not data
   VDRIFT_CHECK(betting_ != nullptr);
+  // vdrift-lint: allow(no-data-dependent-check): ctor config contract
   VDRIFT_CHECK(window_ >= 1);
   history_.push_back(0.0);  // S[0] = 0 (Alg. 1 input convention)
 }
 
 bool ConformalMartingale::Update(double p) {
+  // vdrift-lint: allow(no-data-dependent-check): data path uses TryUpdate
   VDRIFT_CHECK(std::isfinite(p))
       << "martingale fed p=" << p << "; route untrusted data via TryUpdate";
   last_bet_ = betting_->Increment(p);

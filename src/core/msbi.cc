@@ -11,8 +11,11 @@ namespace vdrift::select {
 
 Msbi::Msbi(const ModelRegistry* registry, const MsbiConfig& config)
     : registry_(registry), config_(config) {
+  // vdrift-lint: allow(no-data-dependent-check): null-wiring bug, not data
   VDRIFT_CHECK(registry_ != nullptr);
+  // vdrift-lint: allow(no-data-dependent-check): ctor config contract
   VDRIFT_CHECK(config_.window_n >= 1);
+  // vdrift-lint: allow(no-data-dependent-check): ctor config contract
   VDRIFT_CHECK(config_.r > 0.0 && config_.r <= 1.0);
 }
 

@@ -85,7 +85,9 @@ Msbo::Msbo(const ModelRegistry* registry, MsboCalibration calibration,
     : registry_(registry),
       calibration_(std::move(calibration)),
       config_(config) {
+  // vdrift-lint: allow(no-data-dependent-check): null-wiring bug, not data
   VDRIFT_CHECK(registry_ != nullptr);
+  // vdrift-lint: allow(no-data-dependent-check): ctor config contract
   VDRIFT_CHECK(config_.window_t >= 1);
   // Calibration/registry agreement is data-dependent (the calibration may
   // come from a checkpoint or a stale Recalibrate) — validated per Select

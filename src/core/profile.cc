@@ -20,8 +20,10 @@ DistributionProfile::DistributionProfile(std::string name,
       stats_weight_(stats_weight),
       stats_mean_(std::move(stats_mean)),
       stats_scale_(std::move(stats_scale)) {
+  // vdrift-lint: allow(no-data-dependent-check): null-wiring bug, not data
   VDRIFT_CHECK(vae_ != nullptr);
   if (stats_weight_ != 0.0) {
+    // vdrift-lint: allow(no-data-dependent-check): ctor config contract
     VDRIFT_CHECK(stats_mean_.size() ==
                      static_cast<size_t>(video::kNumFrameStats) &&
                  stats_scale_.size() == stats_mean_.size())

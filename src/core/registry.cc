@@ -5,6 +5,7 @@
 namespace vdrift::select {
 
 int ModelRegistry::Add(ModelEntry entry) {
+  // vdrift-lint: allow(no-data-dependent-check): null-wiring bug, not data
   VDRIFT_CHECK(entry.profile != nullptr)
       << "model entry '" << entry.name << "' needs a distribution profile";
   entries_.push_back(std::move(entry));
@@ -12,11 +13,13 @@ int ModelRegistry::Add(ModelEntry entry) {
 }
 
 const ModelEntry& ModelRegistry::at(int index) const {
+  // vdrift-lint: allow(no-data-dependent-check): accessor bounds contract
   VDRIFT_CHECK(index >= 0 && index < size());
   return entries_[static_cast<size_t>(index)];
 }
 
 ModelEntry& ModelRegistry::at(int index) {
+  // vdrift-lint: allow(no-data-dependent-check): accessor bounds contract
   VDRIFT_CHECK(index >= 0 && index < size());
   return entries_[static_cast<size_t>(index)];
 }

@@ -7,7 +7,9 @@
 namespace vdrift::conformal {
 
 double Threshold(ThresholdPolicy policy, int window, double r) {
+  // vdrift-lint: allow(no-data-dependent-check): config precondition
   VDRIFT_CHECK(window >= 1);
+  // vdrift-lint: allow(no-data-dependent-check): config precondition
   VDRIFT_CHECK(r > 0.0 && r <= 1.0);
   switch (policy) {
     case ThresholdPolicy::kPaper:

@@ -21,7 +21,9 @@ ImageClassifier::ImageClassifier(const ClassifierConfig& config,
                                  stats::Rng* rng)
     : config_(config),
       dropout_rng_(std::make_unique<stats::Rng>(rng->Split())) {
+  // vdrift-lint: allow(no-data-dependent-check): ctor config contract
   VDRIFT_CHECK(config.image_size % 4 == 0);
+  // vdrift-lint: allow(no-data-dependent-check): ctor config contract
   VDRIFT_CHECK(config.num_classes >= 2);
   int f = config.base_filters;
   int s4 = config.image_size / 4;
@@ -117,6 +119,7 @@ std::vector<float> ImageClassifier::PredictProba(const Tensor& frame) {
 
 std::vector<float> ImageClassifier::PredictProbaMcDropout(const Tensor& frame,
                                                           int passes) {
+  // vdrift-lint: allow(no-data-dependent-check): API precondition
   VDRIFT_CHECK(passes >= 1);
   if (dropout_ == nullptr) return PredictProba(frame);
   SetDropoutTraining(true);
@@ -140,6 +143,7 @@ int ImageClassifier::Predict(const Tensor& frame) {
 
 double ImageClassifier::Accuracy(const std::vector<Tensor>& frames,
                                  const std::vector<int>& labels) {
+  // vdrift-lint: allow(no-data-dependent-check): caller-size contract
   VDRIFT_CHECK(frames.size() == labels.size());
   if (frames.empty()) return 0.0;
   int correct = 0;

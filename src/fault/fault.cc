@@ -112,6 +112,7 @@ Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
 }
 
 FaultPlan FaultPlan::FromEnv() {
+  // vdrift-lint: allow(no-ambient-nondeterminism): documented fault knob
   const char* spec = std::getenv("VDRIFT_FAULT_SPEC");
   if (spec == nullptr || spec[0] == '\0') return FaultPlan{};
   Result<FaultPlan> plan = Parse(spec);

@@ -1,5 +1,7 @@
 #include "fault/faulty_stream.h"
 
+// vdrift-lint: allow(no-raw-chrono): duration literal for an injected
+// wall-clock stall, not a measurement — obs timers measure, they can't sleep.
 #include <chrono>
 #include <thread>
 
@@ -34,6 +36,8 @@ bool FaultyStream::Next(video::Frame* frame) {
       ++stalls_;
       int ms = injector_->duration_ms(FaultKind::kStall);
       if (ms > 0) {
+        // vdrift-lint: allow(no-raw-chrono): the stall fault IS a real
+        // wall-clock sleep by design.
         std::this_thread::sleep_for(std::chrono::milliseconds(ms));
       }
     }

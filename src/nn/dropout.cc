@@ -6,7 +6,9 @@
 namespace vdrift::nn {
 
 Dropout::Dropout(double rate, stats::Rng* rng) : rate_(rate), rng_(rng) {
+  // vdrift-lint: allow(no-data-dependent-check): ctor config contract
   VDRIFT_CHECK(rate >= 0.0 && rate < 1.0) << "dropout rate must be in [0,1)";
+  // vdrift-lint: allow(no-data-dependent-check): null-wiring bug, not data
   VDRIFT_CHECK(rng_ != nullptr);
 }
 

@@ -39,6 +39,7 @@ Linear::Linear(int in_features, int out_features, stats::Rng* rng)
 }
 
 Tensor Linear::Forward(const Tensor& input) {
+  // vdrift-lint: allow(no-data-dependent-check): layer shape contract
   VDRIFT_CHECK(input.shape().ndim() == 2 &&
                input.shape().dim(1) == in_features_)
       << "Linear expects [N, " << in_features_ << "], got "
@@ -71,6 +72,7 @@ Tensor Linear::Forward(const Tensor& input) {
 }
 
 Tensor Linear::Backward(const Tensor& grad_output) {
+  // vdrift-lint: allow(no-data-dependent-check): layer shape contract
   VDRIFT_CHECK(grad_output.shape().ndim() == 2 &&
                grad_output.shape().dim(1) == out_features_);
   int64_t batch = grad_output.shape().dim(0);
@@ -114,6 +116,7 @@ Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
 }
 
 Tensor Conv2d::Forward(const Tensor& input) {
+  // vdrift-lint: allow(no-data-dependent-check): layer shape contract
   VDRIFT_CHECK(input.shape().ndim() == 4 &&
                input.shape().dim(1) == in_channels_)
       << "Conv2d expects [N, " << in_channels_ << ", H, W], got "
@@ -123,6 +126,7 @@ Tensor Conv2d::Forward(const Tensor& input) {
   in_w_ = static_cast<int>(input.shape().dim(3));
   out_h_ = ConvOutDim(in_h_, kernel_, stride_, pad_);
   out_w_ = ConvOutDim(in_w_, kernel_, stride_, pad_);
+  // vdrift-lint: allow(no-data-dependent-check): layer shape contract
   VDRIFT_CHECK(out_h_ > 0 && out_w_ > 0);
   int64_t out_plane = static_cast<int64_t>(out_h_) * out_w_;
   int64_t patch = static_cast<int64_t>(in_channels_) * kernel_ * kernel_;
@@ -166,10 +170,12 @@ Tensor Conv2d::Forward(const Tensor& input) {
 
 Tensor Conv2d::Backward(const Tensor& grad_output) {
   int64_t n = grad_output.shape().dim(0);
+  // vdrift-lint: allow(no-data-dependent-check): layer shape contract
   VDRIFT_CHECK(grad_output.shape().ndim() == 4 &&
                grad_output.shape().dim(1) == out_channels_ &&
                grad_output.shape().dim(2) == out_h_ &&
                grad_output.shape().dim(3) == out_w_);
+  // vdrift-lint: allow(no-data-dependent-check): fwd/bwd pairing contract
   VDRIFT_CHECK(static_cast<size_t>(n) == cached_cols_.size())
       << "Backward batch size mismatch";
   int64_t bw_out_plane = static_cast<int64_t>(out_h_) * out_w_;
@@ -307,6 +313,7 @@ Tensor Tanh::Backward(const Tensor& grad_output) {
 }
 
 Tensor Flatten::Forward(const Tensor& input) {
+  // vdrift-lint: allow(no-data-dependent-check): layer shape contract
   VDRIFT_CHECK(input.shape().ndim() >= 2);
   cached_shape_ = input.shape();
   int64_t n = input.shape().dim(0);
@@ -319,6 +326,7 @@ Tensor Flatten::Backward(const Tensor& grad_output) {
 }
 
 Tensor Upsample2x::Forward(const Tensor& input) {
+  // vdrift-lint: allow(no-data-dependent-check): layer shape contract
   VDRIFT_CHECK(input.shape().ndim() == 4);
   // Replication only: 0 FLOPs, input read once + 4x output written.
   VDRIFT_OP_PROBE("nn", "upsample2x_forward", 0,

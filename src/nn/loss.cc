@@ -11,6 +11,7 @@ using tensor::Shape;
 using tensor::Tensor;
 
 Tensor Softmax(const Tensor& logits) {
+  // vdrift-lint: allow(no-data-dependent-check): layer shape contract
   VDRIFT_CHECK(logits.shape().ndim() == 2);
   int64_t n = logits.shape().dim(0);
   int64_t k = logits.shape().dim(1);
@@ -35,9 +36,11 @@ Tensor Softmax(const Tensor& logits) {
 
 LossResult SoftmaxCrossEntropy(const Tensor& logits,
                                const std::vector<int>& labels) {
+  // vdrift-lint: allow(no-data-dependent-check): layer shape contract
   VDRIFT_CHECK(logits.shape().ndim() == 2);
   int64_t n = logits.shape().dim(0);
   int64_t k = logits.shape().dim(1);
+  // vdrift-lint: allow(no-data-dependent-check): caller-size contract
   VDRIFT_CHECK(static_cast<int64_t>(labels.size()) == n);
   Tensor probs = Softmax(logits);
   LossResult result;
@@ -57,7 +60,9 @@ LossResult SoftmaxCrossEntropy(const Tensor& logits,
 }
 
 LossResult BinaryCrossEntropy(const Tensor& probs, const Tensor& targets) {
+  // vdrift-lint: allow(no-data-dependent-check): layer shape contract
   VDRIFT_CHECK(probs.shape() == targets.shape());
+  // vdrift-lint: allow(no-data-dependent-check): layer shape contract
   VDRIFT_CHECK(probs.shape().ndim() >= 1);
   int64_t n = probs.shape().ndim() >= 2 ? probs.shape().dim(0) : 1;
   LossResult result;
@@ -77,6 +82,7 @@ LossResult BinaryCrossEntropy(const Tensor& probs, const Tensor& targets) {
 }
 
 LossResult MeanSquaredError(const Tensor& pred, const Tensor& target) {
+  // vdrift-lint: allow(no-data-dependent-check): layer shape contract
   VDRIFT_CHECK(pred.shape() == target.shape());
   LossResult result;
   result.grad = Tensor(pred.shape());

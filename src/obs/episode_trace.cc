@@ -27,7 +27,7 @@ std::vector<EpisodeFrame> EpisodeRecorder::RingContentsLocked() const {
 }
 
 void EpisodeRecorder::RecordFrame(const EpisodeFrame& frame) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (ring_.size() < static_cast<size_t>(options_.ring_capacity)) {
     ring_.push_back(frame);
     next_ = ring_.size() % static_cast<size_t>(options_.ring_capacity);
@@ -48,12 +48,12 @@ void EpisodeRecorder::RecordFrame(const EpisodeFrame& frame) {
 }
 
 void EpisodeRecorder::AnnotateDecision(const std::string& decision) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (!episodes_.empty()) episodes_.back().decision = decision;
 }
 
 void EpisodeRecorder::RecordAlert(const AlertMark& alert) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   alerts_.push_back(alert);
   while (static_cast<int>(alerts_.size()) > options_.max_alerts) {
     alerts_.pop_front();
@@ -61,22 +61,22 @@ void EpisodeRecorder::RecordAlert(const AlertMark& alert) {
 }
 
 std::vector<Episode> EpisodeRecorder::episodes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return {episodes_.begin(), episodes_.end()};
 }
 
 int64_t EpisodeRecorder::frames_recorded() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return total_;
 }
 
 std::vector<EpisodeFrame> EpisodeRecorder::RingContents() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return RingContentsLocked();
 }
 
 std::vector<AlertMark> EpisodeRecorder::alerts() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return {alerts_.begin(), alerts_.end()};
 }
 

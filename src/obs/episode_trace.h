@@ -3,9 +3,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace vdrift::obs {
 
@@ -87,15 +88,18 @@ class EpisodeRecorder {
   std::string ToJson() const;
 
  private:
-  std::vector<EpisodeFrame> RingContentsLocked() const;
+  std::vector<EpisodeFrame> RingContentsLocked() const
+      VDRIFT_REQUIRES(mutex_);
 
   const EpisodeRecorderOptions options_;
-  mutable std::mutex mutex_;
-  std::vector<EpisodeFrame> ring_;  ///< Filled circularly once at capacity.
-  size_t next_ = 0;                 ///< Ring slot the next frame lands in.
-  int64_t total_ = 0;
-  std::deque<Episode> episodes_;
-  std::deque<AlertMark> alerts_;
+  mutable Mutex mutex_;
+  /// Filled circularly once at capacity.
+  std::vector<EpisodeFrame> ring_ VDRIFT_GUARDED_BY(mutex_);
+  /// Ring slot the next frame lands in.
+  size_t next_ VDRIFT_GUARDED_BY(mutex_) = 0;
+  int64_t total_ VDRIFT_GUARDED_BY(mutex_) = 0;
+  std::deque<Episode> episodes_ VDRIFT_GUARDED_BY(mutex_);
+  std::deque<AlertMark> alerts_ VDRIFT_GUARDED_BY(mutex_);
 };
 
 }  // namespace vdrift::obs

@@ -38,7 +38,7 @@ int Histogram::BucketIndex(double value) const {
 void Histogram::Record(double value) {
   if (!std::isfinite(value)) return;
   int index = BucketIndex(value);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   buckets_[static_cast<size_t>(index)] += 1;
   sum_ += value;
   if (count_ == 0 || value < min_) min_ = value;
@@ -47,7 +47,7 @@ void Histogram::Record(double value) {
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
   sum_ = 0.0;
@@ -56,7 +56,7 @@ void Histogram::Reset() {
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   Snapshot snap;
   snap.options = options_;
   snap.count = count_;
@@ -68,12 +68,12 @@ Histogram::Snapshot Histogram::snapshot() const {
 }
 
 int64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return count_;
 }
 
 double Histogram::sum() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return sum_;
 }
 
@@ -132,14 +132,14 @@ double Histogram::Snapshot::Quantile(double q) const {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::unique_ptr<Counter>& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::unique_ptr<Gauge>& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
@@ -147,7 +147,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          const HistogramOptions& options) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(options);
   return *slot;
@@ -176,7 +176,7 @@ void MetricsRegistry::Reset() {
   std::vector<Gauge*> gauges;
   std::vector<Histogram*> histograms;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     counters.reserve(counters_.size());
     for (const auto& [name, counter] : counters_) {
       counters.push_back(counter.get());
@@ -194,14 +194,14 @@ void MetricsRegistry::Reset() {
 }
 
 std::map<std::string, int64_t> MetricsRegistry::Counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::map<std::string, int64_t> out;
   for (const auto& [name, counter] : counters_) out[name] = counter->value();
   return out;
 }
 
 std::map<std::string, double> MetricsRegistry::Gauges() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::map<std::string, double> out;
   for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
   return out;
@@ -213,7 +213,7 @@ std::map<std::string, Histogram::Snapshot> MetricsRegistry::Histograms()
   // histogram has its own lock; never hold both at once).
   std::vector<std::pair<std::string, const Histogram*>> items;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     items.reserve(histograms_.size());
     for (const auto& [name, histogram] : histograms_) {
       items.emplace_back(name, histogram.get());

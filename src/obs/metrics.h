@@ -5,10 +5,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "obs/labels.h"
 
 namespace vdrift::obs {
@@ -104,12 +104,12 @@ class Histogram {
   int BucketIndex(double value) const;
 
   const HistogramOptions options_;
-  mutable std::mutex mutex_;
-  std::vector<int64_t> buckets_;
-  int64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  mutable Mutex mutex_;
+  std::vector<int64_t> buckets_ VDRIFT_GUARDED_BY(mutex_);
+  int64_t count_ VDRIFT_GUARDED_BY(mutex_) = 0;
+  double sum_ VDRIFT_GUARDED_BY(mutex_) = 0.0;
+  double min_ VDRIFT_GUARDED_BY(mutex_) = 0.0;
+  double max_ VDRIFT_GUARDED_BY(mutex_) = 0.0;
 };
 
 /// \brief Thread-safe, name-addressable home of all instruments.
@@ -162,10 +162,13 @@ class MetricsRegistry {
   std::string ToJson() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      VDRIFT_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      VDRIFT_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      VDRIFT_GUARDED_BY(mutex_);
 };
 
 /// The process-wide registry library internals (DI, selectors, trainers,

@@ -88,7 +88,7 @@ MetricsWindow MetricsSampler::Sample(double now) {
   std::map<std::string, Histogram::Snapshot> histograms =
       registry_->Histograms();
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   MetricsWindow window;
   window.index = taken_;
   window.start_time = last_time_;
@@ -140,17 +140,17 @@ MetricsWindow MetricsSampler::Sample(double now) {
 }
 
 std::vector<MetricsWindow> MetricsSampler::windows() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return {windows_.begin(), windows_.end()};
 }
 
 int64_t MetricsSampler::windows_sampled() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return taken_;
 }
 
 double MetricsSampler::last_sample_time() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return last_time_;
 }
 

@@ -6,11 +6,11 @@
 #include <fstream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "obs/metrics.h"
 
 namespace vdrift::obs {
@@ -83,14 +83,16 @@ class MetricsSampler {
  private:
   const MetricsRegistry* registry_;
   const Options options_;
-  mutable std::mutex mutex_;
-  std::map<std::string, int64_t> prev_counters_;
-  std::map<std::string, Histogram::Snapshot> prev_histograms_;
-  std::deque<MetricsWindow> windows_;
-  int64_t taken_ = 0;
-  double last_time_ = 0.0;
-  std::unique_ptr<std::ofstream> jsonl_;  ///< Lazily opened sink.
-  bool jsonl_failed_ = false;
+  mutable Mutex mutex_;
+  std::map<std::string, int64_t> prev_counters_ VDRIFT_GUARDED_BY(mutex_);
+  std::map<std::string, Histogram::Snapshot> prev_histograms_
+      VDRIFT_GUARDED_BY(mutex_);
+  std::deque<MetricsWindow> windows_ VDRIFT_GUARDED_BY(mutex_);
+  int64_t taken_ VDRIFT_GUARDED_BY(mutex_) = 0;
+  double last_time_ VDRIFT_GUARDED_BY(mutex_) = 0.0;
+  /// Lazily opened sink.
+  std::unique_ptr<std::ofstream> jsonl_ VDRIFT_GUARDED_BY(mutex_);
+  bool jsonl_failed_ VDRIFT_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace vdrift::obs

@@ -1,3 +1,6 @@
+// vdrift-lint: allow-file(no-raw-chrono): this file IS the sanctioned
+// clock — MonotonicSeconds() is the single std::chrono call site the rest
+// of the tree is required to route through.
 #include "obs/timer.h"
 
 #include <chrono>

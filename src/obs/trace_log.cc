@@ -19,6 +19,7 @@ namespace {
 std::atomic<int> g_kernel_profiling{-1};
 
 bool EnvFlagSet(const char* name) {
+  // vdrift-lint: allow(no-ambient-nondeterminism): trace env-knob chokepoint
   const char* value = std::getenv(name);
   return value != nullptr && *value != '\0' &&
          std::strcmp(value, "0") != 0;
@@ -44,32 +45,43 @@ struct TraceLog::ThreadRing {
     slots.resize(static_cast<size_t>(capacity));
   }
 
-  std::mutex mutex;
-  std::vector<TraceEvent> slots;
-  size_t next = 0;       ///< Slot the next event lands in.
-  uint64_t total = 0;    ///< Events ever appended.
-  int tid;
+  Mutex mutex;
+  std::vector<TraceEvent> slots VDRIFT_GUARDED_BY(mutex);
+  /// Slot the next event lands in.
+  size_t next VDRIFT_GUARDED_BY(mutex) = 0;
+  /// Events ever appended.
+  uint64_t total VDRIFT_GUARDED_BY(mutex) = 0;
+  const int tid;
 };
 
 TraceLog& TraceLog::Instance() {
   static TraceLog* log = [] {
     auto* instance = new TraceLog();
+    // vdrift-lint: allow(no-ambient-nondeterminism): documented trace knob
     const char* path = std::getenv("VDRIFT_TRACE_JSON");
     if (path != nullptr && *path != '\0') {
       Options options;
+      // vdrift-lint: allow(no-ambient-nondeterminism): documented trace knob
       if (const char* cap = std::getenv("VDRIFT_TRACE_CAPACITY");
           cap != nullptr && std::atoi(cap) > 0) {
         options.per_thread_capacity = std::atoi(cap);
       }
       instance->Enable(options);
-      instance->export_path_ = path;
+      {
+        MutexLock lock(&instance->rings_mutex_);
+        instance->export_path_ = path;
+      }
       std::atexit([] {
         TraceLog& log = TraceLog::Instance();
-        if (log.export_path_.empty()) return;
-        Status status = log.WriteChromeJson(log.export_path_);
+        std::string export_path;
+        {
+          MutexLock lock(&log.rings_mutex_);
+          export_path = log.export_path_;
+        }
+        if (export_path.empty()) return;
+        Status status = log.WriteChromeJson(export_path);
         if (status.ok()) {
-          std::fprintf(stderr, "trace written to %s\n",
-                       log.export_path_.c_str());
+          std::fprintf(stderr, "trace written to %s\n", export_path.c_str());
         } else {
           std::fprintf(stderr, "trace not written: %s\n",
                        status.ToString().c_str());
@@ -85,16 +97,16 @@ void TraceLog::Enable() { Enable(Options{}); }
 
 void TraceLog::Enable(const Options& options) {
   {
-    std::lock_guard<std::mutex> rings_lock(rings_mutex_);
+    MutexLock rings_lock(&rings_mutex_);
     VDRIFT_CHECK(options.per_thread_capacity >= 1);
     options_ = options;
-    epoch_seconds_ = MonotonicSeconds();
+    epoch_seconds_.store(MonotonicSeconds(), std::memory_order_relaxed);
     dropped_.store(0, std::memory_order_relaxed);
     // Rings are never freed (threads cache raw pointers to them), so a
     // re-Enable resets them in place: drop buffered events and adopt the
     // new capacity.
     for (const std::unique_ptr<ThreadRing>& ring : rings_) {
-      std::lock_guard<std::mutex> lock(ring->mutex);
+      MutexLock lock(&ring->mutex);
       ring->slots.clear();
       ring->slots.resize(
           static_cast<size_t>(options_.per_thread_capacity));
@@ -116,7 +128,7 @@ TraceLog::ThreadRing* TraceLog::RingForThisThread() {
   // registry-locked lookup.
   thread_local ThreadRing* cached_ring = nullptr;
   if (cached_ring != nullptr) return cached_ring;
-  std::lock_guard<std::mutex> lock(rings_mutex_);
+  MutexLock lock(&rings_mutex_);
   rings_.push_back(std::make_unique<ThreadRing>(
       static_cast<int>(rings_.size()) + 1, options_.per_thread_capacity));
   cached_ring = rings_.back().get();
@@ -128,7 +140,7 @@ void TraceLog::Append(TraceEvent event) {
   // that matters is that a disabled recorder records nothing new.
   if (!enabled()) return;
   ThreadRing* ring = RingForThisThread();
-  std::lock_guard<std::mutex> lock(ring->mutex);
+  MutexLock lock(&ring->mutex);
   event.tid = ring->tid;
   if (ring->total >= ring->slots.size()) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -143,7 +155,8 @@ void TraceLog::RecordBegin(const std::string& name, double start_seconds) {
   event.name = name;
   event.category = "span";
   event.phase = TraceEvent::Phase::kBegin;
-  event.ts_us = (start_seconds - epoch_seconds_) * 1e6;
+  event.ts_us =
+      (start_seconds - epoch_seconds_.load(std::memory_order_relaxed)) * 1e6;
   Append(std::move(event));
 }
 
@@ -152,7 +165,8 @@ void TraceLog::RecordEnd(const std::string& name, double end_seconds) {
   event.name = name;
   event.category = "span";
   event.phase = TraceEvent::Phase::kEnd;
-  event.ts_us = (end_seconds - epoch_seconds_) * 1e6;
+  event.ts_us =
+      (end_seconds - epoch_seconds_.load(std::memory_order_relaxed)) * 1e6;
   Append(std::move(event));
 }
 
@@ -163,7 +177,8 @@ void TraceLog::RecordComplete(const char* category, const std::string& name,
   event.name = name;
   event.category = category;
   event.phase = TraceEvent::Phase::kComplete;
-  event.ts_us = (start_seconds - epoch_seconds_) * 1e6;
+  event.ts_us =
+      (start_seconds - epoch_seconds_.load(std::memory_order_relaxed)) * 1e6;
   event.dur_us = (end_seconds - start_seconds) * 1e6;
   event.flops = flops;
   event.bytes = bytes;
@@ -172,9 +187,9 @@ void TraceLog::RecordComplete(const char* category, const std::string& name,
 
 std::vector<TraceEvent> TraceLog::Drain() {
   std::vector<TraceEvent> out;
-  std::lock_guard<std::mutex> rings_lock(rings_mutex_);
+  MutexLock rings_lock(&rings_mutex_);
   for (const std::unique_ptr<ThreadRing>& ring : rings_) {
-    std::lock_guard<std::mutex> lock(ring->mutex);
+    MutexLock lock(&ring->mutex);
     size_t count = std::min<uint64_t>(ring->total, ring->slots.size());
     // Oldest-first: once wrapped, the oldest slot is `next`.
     size_t start = ring->total > ring->slots.size() ? ring->next : 0;

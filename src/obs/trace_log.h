@@ -4,11 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "obs/metrics.h"
 
 namespace vdrift::obs {
@@ -103,11 +103,15 @@ class TraceLog {
 
   std::atomic<bool> enabled_{false};
   std::atomic<int64_t> dropped_{0};
-  Options options_;
-  double epoch_seconds_ = 0.0;  ///< ts origin, captured at Enable().
-  mutable std::mutex rings_mutex_;
-  std::vector<std::unique_ptr<ThreadRing>> rings_;
-  std::string export_path_;  ///< Exit-time export target ("" = none).
+  /// ts origin (seconds), captured at Enable(). Atomic: the record paths
+  /// read it without taking the rings lock.
+  std::atomic<double> epoch_seconds_{0.0};
+  mutable Mutex rings_mutex_;
+  Options options_ VDRIFT_GUARDED_BY(rings_mutex_);
+  std::vector<std::unique_ptr<ThreadRing>> rings_
+      VDRIFT_GUARDED_BY(rings_mutex_);
+  /// Exit-time export target ("" = none).
+  std::string export_path_ VDRIFT_GUARDED_BY(rings_mutex_);
 };
 
 /// Kernel (tensor/nn op) profiling switch. Off by default: the hooks then

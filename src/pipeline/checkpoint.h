@@ -54,18 +54,18 @@ std::string EncodeCheckpoint(const PipelineCheckpoint& checkpoint);
 /// Parses bytes produced by EncodeCheckpoint. Bad magic, unknown version,
 /// length mismatch, CRC failure, or truncation anywhere inside the payload
 /// all return kDataLoss — corruption is diagnosed, never executed.
-Result<PipelineCheckpoint> DecodeCheckpoint(const std::string& bytes);
+[[nodiscard]] Result<PipelineCheckpoint> DecodeCheckpoint(const std::string& bytes);
 
 /// Encodes + writes atomically (tmp + rename). `injector` (nullable) is
 /// rolled at the I/O boundary: kIoFail aborts the write with kIoError,
 /// kCheckpointCorrupt flips a bit or tears the buffer before it lands —
 /// producing exactly the on-disk damage Resume must survive.
-Status WriteCheckpointFile(const PipelineCheckpoint& checkpoint,
+[[nodiscard]] Status WriteCheckpointFile(const PipelineCheckpoint& checkpoint,
                            const std::string& path,
                            fault::FaultInjector* injector);
 
 /// Reads + decodes. `injector` (nullable): kIoFail fails the read.
-Result<PipelineCheckpoint> ReadCheckpointFile(const std::string& path,
+[[nodiscard]] Result<PipelineCheckpoint> ReadCheckpointFile(const std::string& path,
                                               fault::FaultInjector* injector);
 
 }  // namespace vdrift::pipeline

@@ -70,13 +70,17 @@ bool AllFinite(const tensor::Tensor& tensor) {
 
 PipelineObsOptions PipelineObsOptions::FromEnv() {
   PipelineObsOptions options;
+  // vdrift-lint: allow(no-ambient-nondeterminism): documented env knob
   if (const char* v = std::getenv("VDRIFT_SAMPLE_INTERVAL")) {
     options.sample_interval_frames = std::max(0, std::atoi(v));
   }
+  // vdrift-lint: allow(no-ambient-nondeterminism): documented env knob
   if (const char* v = std::getenv("VDRIFT_SLO_SPEC")) options.slo_spec = v;
+  // vdrift-lint: allow(no-ambient-nondeterminism): documented env knob
   if (const char* v = std::getenv("VDRIFT_METRICS_JSONL")) {
     options.jsonl_path = v;
   }
+  // vdrift-lint: allow(no-ambient-nondeterminism): documented env knob
   if (const char* v = std::getenv("VDRIFT_STREAM_LABEL")) {
     options.stream_label = v;
   }
@@ -105,9 +109,12 @@ DriftAwarePipeline::DriftAwarePipeline(
       oracle_(0),
       rng_(config.seed),
       deployed_(config.initial_model) {
+  // vdrift-lint: allow(no-data-dependent-check): null-wiring bug, not data
   VDRIFT_CHECK(registry_ != nullptr && !registry_->empty());
+  // vdrift-lint: allow(no-data-dependent-check): ctor config contract
   VDRIFT_CHECK(deployed_ >= 0 && deployed_ < registry_->size());
   if (config_.selector == PipelineConfig::Selector::kMsbo) {
+    // vdrift-lint: allow(no-data-dependent-check): ctor config contract
     VDRIFT_CHECK(static_cast<int>(calibration_samples_.size()) ==
                  registry_->size())
         << "MSBO needs one calibration sample per model";
@@ -508,6 +515,7 @@ Status DriftAwarePipeline::Checkpoint(const std::string& path,
 
 Status DriftAwarePipeline::Resume(const std::string& path,
                                   video::FrameSource* stream) {
+  // vdrift-lint: allow(no-data-dependent-check): null-wiring bug, not data
   VDRIFT_CHECK(stream != nullptr);
   Result<PipelineCheckpoint> read = ReadCheckpointFile(path, config_.injector);
   VDRIFT_RETURN_NOT_OK(read.status());
@@ -580,7 +588,9 @@ OdinPipeline::OdinPipeline(
                 .profile->vae()
                 ->config()
                 .latent_dim) {
+  // vdrift-lint: allow(no-data-dependent-check): null-wiring bug, not data
   VDRIFT_CHECK(registry_ != nullptr && !registry_->empty());
+  // vdrift-lint: allow(no-data-dependent-check): harness wiring contract
   VDRIFT_CHECK(static_cast<int>(training_frames.size()) ==
                registry_->size());
   const conformal::DistributionProfile& encoder =

@@ -20,6 +20,9 @@ thread_local int t_task_depth = 0;
 }  // namespace
 
 int DefaultThreads() {
+  // vdrift-lint: allow(no-ambient-nondeterminism): VDRIFT_THREADS is the
+  // documented thread-count knob; determinism across its values is the
+  // runtime's contract (bitwise-identical reduce order).
   const char* env = std::getenv("VDRIFT_THREADS");
   if (env != nullptr && *env != '\0') {
     char* end = nullptr;
@@ -56,7 +59,7 @@ bool ThreadPool::InTask() { return t_task_depth > 0; }
 
 void ThreadPool::Start() {
   if (threads_ == 1 || started()) return;
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  MutexLock lifecycle(&lifecycle_mutex_);
   if (started()) return;
   stop_.store(false, std::memory_order_release);
   workers_.reserve(static_cast<size_t>(threads_ - 1));
@@ -67,13 +70,13 @@ void ThreadPool::Start() {
 }
 
 void ThreadPool::Shutdown() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  MutexLock lifecycle(&lifecycle_mutex_);
   if (!started()) return;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(&queue_mutex_);
     stop_.store(true, std::memory_order_release);
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
   started_.store(false, std::memory_order_release);
@@ -100,7 +103,7 @@ int64_t ThreadPool::DrainTask(Task* task, bool is_worker) {
         (*task->fn)(chunk);
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(task->mutex);
+          MutexLock lock(&task->mutex);
           if (task->error == nullptr) {
             task->error = std::current_exception();
           }
@@ -111,8 +114,8 @@ int64_t ThreadPool::DrainTask(Task* task, bool is_worker) {
     ++done_here;
     if (task->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         task->num_chunks) {
-      std::lock_guard<std::mutex> lock(task->mutex);
-      task->done_cv.notify_all();
+      MutexLock lock(&task->mutex);
+      task->done_cv.NotifyAll();
     }
   }
   --t_task_depth;
@@ -123,10 +126,10 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::shared_ptr<Task> task;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] {
-        return stop_.load(std::memory_order_acquire) || !queue_.empty();
-      });
+      MutexLock lock(&queue_mutex_);
+      while (!stop_.load(std::memory_order_acquire) && queue_.empty()) {
+        queue_cv_.Wait(&queue_mutex_);
+      }
       if (stop_.load(std::memory_order_acquire)) return;
       task = queue_.front();
     }
@@ -134,7 +137,7 @@ void ThreadPool::WorkerLoop() {
     {
       // The task is exhausted (every chunk claimed); retire it from the
       // queue if nobody else already has.
-      std::lock_guard<std::mutex> lock(queue_mutex_);
+      MutexLock lock(&queue_mutex_);
       if (!queue_.empty() && queue_.front() == task) queue_.pop_front();
     }
   }
@@ -160,25 +163,33 @@ void ThreadPool::Run(int64_t num_chunks,
   task->fn = &fn;
   task->num_chunks = num_chunks;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(&queue_mutex_);
     queue_.push_back(task);
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   DrainTask(task.get(), /*is_worker=*/false);
   {
-    std::unique_lock<std::mutex> lock(task->mutex);
-    task->done_cv.wait(lock, [&task] {
-      return task->completed.load(std::memory_order_acquire) ==
-             task->num_chunks;
-    });
+    MutexLock lock(&task->mutex);
+    while (task->completed.load(std::memory_order_acquire) !=
+           task->num_chunks) {
+      task->done_cv.Wait(&task->mutex);
+    }
   }
   {
     // Drop the queue's reference if the workers have not already.
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(&queue_mutex_);
     auto it = std::find(queue_.begin(), queue_.end(), task);
     if (it != queue_.end()) queue_.erase(it);
   }
-  if (task->error != nullptr) std::rethrow_exception(task->error);
+  // Reading `error` needs the task mutex even though every chunk is done —
+  // the annotation has no "quiescent" exception, and the lock also pairs
+  // with the writer's release for a clean happens-before.
+  std::exception_ptr error;
+  {
+    MutexLock lock(&task->mutex);
+    error = task->error;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 }  // namespace vdrift::runtime

@@ -2,14 +2,14 @@
 #define VDRIFT_RUNTIME_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace vdrift::runtime {
 
@@ -36,6 +36,11 @@ int DefaultThreads();
 /// calling thread (no new parallelism, no deadlock). Exceptions thrown by
 /// `fn` cancel the task's remaining chunks and the first one is rethrown
 /// on the caller once every in-flight chunk has finished.
+///
+/// Locking: `queue_mutex_` guards the task queue, `lifecycle_mutex_`
+/// serializes Start()/Shutdown() (and guards `workers_`), and each Task
+/// carries its own mutex for the completion handshake. The annotations are
+/// enforced by -Werror=thread-safety under clang (see common/sync.h).
 class ThreadPool {
  public:
   /// Pool with the given total executor count (min 1, caller included).
@@ -75,9 +80,10 @@ class ThreadPool {
     std::atomic<int64_t> next_chunk{0};
     std::atomic<int64_t> completed{0};
     std::atomic<bool> cancelled{false};
-    std::mutex mutex;
-    std::condition_variable done_cv;
-    std::exception_ptr error;  ///< First failure; guarded by `mutex`.
+    Mutex mutex;
+    CondVar done_cv;
+    /// First failure across all chunks.
+    std::exception_ptr error VDRIFT_GUARDED_BY(mutex);
   };
 
   void WorkerLoop();
@@ -88,11 +94,11 @@ class ThreadPool {
   const int threads_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stop_{false};
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<std::shared_ptr<Task>> queue_;
-  std::vector<std::thread> workers_;
-  std::mutex lifecycle_mutex_;  ///< Serializes Start()/Shutdown().
+  Mutex queue_mutex_;
+  CondVar queue_cv_;
+  std::deque<std::shared_ptr<Task>> queue_ VDRIFT_GUARDED_BY(queue_mutex_);
+  Mutex lifecycle_mutex_;  ///< Serializes Start()/Shutdown().
+  std::vector<std::thread> workers_ VDRIFT_GUARDED_BY(lifecycle_mutex_);
 };
 
 }  // namespace vdrift::runtime

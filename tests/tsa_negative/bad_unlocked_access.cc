@@ -1,0 +1,26 @@
+// Negative-compilation fixture: writes a guarded field WITHOUT holding its
+// mutex. Under `clang++ -Werror=thread-safety` this file MUST fail to
+// compile; run_tsa_negative_test.sh asserts exactly that. Never built by
+// the normal CMake targets.
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // BAD: no lock held; TSA must reject this line.
+  }
+
+ private:
+  vdrift::Mutex mutex_;
+  int value_ VDRIFT_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Positive-compilation fixture: the same guarded write done correctly.
+// Must compile CLEAN under `clang++ -Werror=thread-safety` — this guards
+// the harness against a broken macro setup where every file fails and the
+// negative test "passes" vacuously.
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    vdrift::MutexLock lock(&mutex_);
+    ++value_;
+  }
+
+ private:
+  vdrift::Mutex mutex_;
+  int value_ VDRIFT_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

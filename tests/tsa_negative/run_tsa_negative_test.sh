@@ -1,0 +1,38 @@
+#!/bin/sh
+# Proves the thread-safety annotations in src/common/sync.h actually bite:
+#   1. good_locked_access.cc compiles clean under -Werror=thread-safety;
+#   2. bad_unlocked_access.cc (guarded write, no lock) FAILS to compile.
+# Requires clang (TSA is a clang extension; the macros are no-ops on GCC).
+# When no clang++ is available the test SKIPS (exit 77, wired to ctest's
+# SKIP_RETURN_CODE) — the static-analysis CI job always has clang.
+#
+# Usage: run_tsa_negative_test.sh <repo-root>
+set -u
+
+repo_root="${1:?usage: run_tsa_negative_test.sh <repo-root>}"
+here="${repo_root}/tests/tsa_negative"
+cxx="${CLANG_CXX:-clang++}"
+
+if ! command -v "${cxx}" >/dev/null 2>&1; then
+  echo "SKIP: ${cxx} not found (thread-safety analysis needs clang)"
+  exit 77
+fi
+
+flags="-std=c++20 -fsyntax-only -Wthread-safety -Werror=thread-safety"
+
+if ! "${cxx}" ${flags} -I"${repo_root}/src" \
+    "${here}/good_locked_access.cc"; then
+  echo "FAIL: good_locked_access.cc should compile clean under" \
+       "-Werror=thread-safety (annotation setup broken?)"
+  exit 1
+fi
+
+if "${cxx}" ${flags} -I"${repo_root}/src" \
+    "${here}/bad_unlocked_access.cc" 2>/dev/null; then
+  echo "FAIL: bad_unlocked_access.cc compiled, but its unlocked guarded" \
+       "write must be rejected by thread-safety analysis"
+  exit 1
+fi
+
+echo "OK: annotations accept locked access and reject unlocked access"
+exit 0

@@ -29,6 +29,11 @@ if [[ ! -x "$BENCH" ]]; then
   exit 1
 fi
 
+# Static checks first: cheap, and a lint-dirty tree fails fast before the
+# bench run (see DESIGN.md 5e).
+echo "running vdrift-lint over src/..."
+python3 tools/vdrift_lint.py
+
 export VDRIFT_BENCH_DATASET="${VDRIFT_BENCH_DATASET:-Tokyo}"
 REPORT="$(mktemp /tmp/vdrift_metrics.XXXXXX.json)"
 TRACE="$(mktemp /tmp/vdrift_trace.XXXXXX.json)"

@@ -1,0 +1,38 @@
+// Fixture: Status/Result types and functions missing [[nodiscard]].
+// The scanned set (this directory) has no `class [[nodiscard]] Status`,
+// so plain declarations returning Status/Result must fire.
+#ifndef VDRIFT_LINT_FIXTURE_BAD_NODISCARD_H_
+#define VDRIFT_LINT_FIXTURE_BAD_NODISCARD_H_
+
+namespace vdrift {
+
+class Status {  // lint-expect: nodiscard-status
+ public:
+  bool ok() const { return true; }
+};
+
+template <typename T>
+class Result {  // lint-expect: nodiscard-status
+ public:
+  bool ok() const { return true; }
+};
+
+Status BadWrite(int fd);  // lint-expect: nodiscard-status
+Result<int> BadParse(const char* text);  // lint-expect: nodiscard-status
+static Status BadFlush();  // lint-expect: nodiscard-status
+
+// Explicit attribute on the declaration is compliant:
+[[nodiscard]] Status GoodWrite(int fd);
+
+// Suppressed instance (e.g. a legacy signature kept for ABI):
+Status LegacySignature(int fd);  // vdrift-lint: allow(nodiscard-status): legacy
+
+// Not findings: StatusCode is a different type; `status()` here returns
+// by reference-like alias named differently.
+enum class StatusCode : int { kOk = 0 };
+StatusCode BadCode();
+int StatusCount();
+
+}  // namespace vdrift
+
+#endif  // VDRIFT_LINT_FIXTURE_BAD_NODISCARD_H_

@@ -1,0 +1,19 @@
+// Fixture: VDRIFT_CHECK on the drift path (core/) without a rationale.
+#include "common/logging.h"
+
+namespace vdrift::conformal {
+
+double BadUpdate(double p) {
+  VDRIFT_CHECK(p > 0.0) << "p from the stream";  // lint-expect: no-data-dependent-check
+  VDRIFT_CHECK_OK(SomeStatus());  // lint-expect: no-data-dependent-check
+  // A suppressed instance: the allow() below must silence the check.
+  // vdrift-lint: allow(no-data-dependent-check): ctor config contract
+  VDRIFT_CHECK(p < 1.0);
+  // Trailing-comment suppression form must also silence it.
+  VDRIFT_CHECK(p != 0.5);  // vdrift-lint: allow(no-data-dependent-check): contract
+  // VDRIFT_DCHECK is debug-only and exempt.
+  VDRIFT_DCHECK(p >= 0.0);
+  return p;
+}
+
+}  // namespace vdrift::conformal

@@ -1,0 +1,28 @@
+// Fixture: raw mutex primitives invisible to thread-safety analysis.
+#include <condition_variable>  // lint-expect: no-raw-mutex
+#include <mutex>  // lint-expect: no-raw-mutex
+
+namespace vdrift::obs {
+
+class BadQueue {
+ public:
+  void Touch() {
+    std::lock_guard<std::mutex> lock(mutex_);  // lint-expect: no-raw-mutex
+    ++touches_;
+  }
+  void WaitIdle() {
+    std::unique_lock<std::mutex> lock(mutex_);  // lint-expect: no-raw-mutex
+    cv_.wait(lock);
+  }
+
+ private:
+  std::mutex mutex_;  // lint-expect: no-raw-mutex
+  std::condition_variable cv_;  // lint-expect: no-raw-mutex
+  int touches_ = 0;
+};
+
+// Suppressed instance (say, interop with a C library handing us one):
+// vdrift-lint: allow(no-raw-mutex): fixture-local justified raw mutex
+extern std::mutex g_legacy_interop_mutex;
+
+}  // namespace vdrift::obs

@@ -1,0 +1,17 @@
+// Fixture: raw std::chrono timing instead of obs::MonotonicSeconds.
+#include <chrono>  // lint-expect: no-raw-chrono
+
+namespace vdrift::pipeline {
+
+double BadNow() {
+  return std::chrono::duration<double>(  // lint-expect: no-raw-chrono
+             std::chrono::steady_clock::now().time_since_epoch())  // lint-expect: no-raw-chrono
+      .count();
+}
+
+double AllowedNow() {
+  // vdrift-lint: allow(no-raw-chrono): fixture-local sanctioned use
+  return std::chrono::duration<double>(0).count();
+}
+
+}  // namespace vdrift::pipeline
