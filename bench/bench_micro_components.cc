@@ -44,11 +44,14 @@ void MicroBench(benchutil::BenchHarness* harness, const std::string& stage,
                 Fn&& fn) {
   const benchutil::BenchConfig& config = harness->config();
   for (int i = 0; i < config.warmup; ++i) fn();
-  obs::Histogram& hist = harness->StageHistogram(stage);
   int samples = config.repeats * SamplesPerRepeat(config);
   for (int i = 0; i < samples; ++i) {
-    obs::ScopedTimer timer(&hist);
+    // Through RecordStageSeconds (not a ScopedTimer straight into the
+    // histogram) so the raw per-call latencies reach the report's
+    // "samples" arrays for the statistical gate.
+    double start = obs::MonotonicSeconds();
     fn();
+    harness->RecordStageSeconds(stage, obs::MonotonicSeconds() - start);
   }
 }
 

@@ -90,8 +90,12 @@ int main() {
       current = frame.truth.sequence_id;
       conformal::DriftInspector::Observation observation;
       {
-        obs::ScopedTimer timer(&di_hist);
+        // Through the harness (not a bare ScopedTimer) so the run ledger
+        // gets raw per-frame samples, not just histogram quantiles.
+        const double t0 = obs::MonotonicSeconds();
         observation = inspector->Observe(frame.pixels);
+        harness.RecordStageSeconds(prefix + ".di_frame",
+                                   obs::MonotonicSeconds() - t0);
       }
       if (observation.drift) {
         ++detections;
@@ -131,9 +135,11 @@ int main() {
     }
     stream.Reset();
     while (stream.Next(&frame)) {
-      obs::ScopedTimer timer(&odin_hist);
+      const double t0 = obs::MonotonicSeconds();
       std::vector<float> z = encoder.Encode(frame.pixels);
       odin.Observe(z);
+      harness.RecordStageSeconds(prefix + ".odin_frame",
+                                 obs::MonotonicSeconds() - t0);
     }
     double odin_seconds = odin_hist.sum();
 

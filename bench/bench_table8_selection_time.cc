@@ -78,12 +78,18 @@ int main() {
         pixels.push_back(f.pixels);
       }
       {
-        obs::ScopedTimer timer(&msbo_hist);
+        // Through the harness (not a bare ScopedTimer) so the run ledger
+        // gets raw per-selection samples, not just histogram quantiles.
+        const double t0 = obs::MonotonicSeconds();
         (void)msbo.Select(labeled).ValueOrDie();
+        harness.RecordStageSeconds(prefix + ".msbo_select",
+                                   obs::MonotonicSeconds() - t0);
       }
       {
-        obs::ScopedTimer timer(&msbi_hist);
+        const double t0 = obs::MonotonicSeconds();
         (void)msbi.Select(pixels).ValueOrDie();
+        harness.RecordStageSeconds(prefix + ".msbi_select",
+                                   obs::MonotonicSeconds() - t0);
       }
     }
     double msbo_seconds = msbo_hist.sum();
@@ -107,9 +113,11 @@ int main() {
     video::StreamGenerator stream = bench->dataset.MakeStream();
     video::Frame frame;
     while (stream.Next(&frame)) {
-      obs::ScopedTimer timer(&odin_hist);
+      const double t0 = obs::MonotonicSeconds();
       std::vector<float> z = encoder.Encode(frame.pixels);
       odin.Observe(z);
+      harness.RecordStageSeconds(prefix + ".odin_frame",
+                                 obs::MonotonicSeconds() - t0);
     }
     double odin_seconds = odin_hist.sum();
 

@@ -2,15 +2,23 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 
 #include "common/logging.h"
 #include "obs/json.h"
 #include "obs/timer.h"
+#include "obs/trace_log.h"
 
 namespace vdrift::benchutil {
 
 namespace {
+
+/// Raw repeat-level samples kept per stage. Repeat()-driven stages record
+/// a handful; this bound only matters when a caller routes per-frame
+/// timings through RecordStageSeconds — the summary histogram stays
+/// exact, the raw tail is dropped.
+constexpr size_t kMaxRawSamplesPerStage = 4096;
 
 bool EnvFlagSet(const char* name) {
   // vdrift-lint: allow(no-ambient-nondeterminism): bench env-knob chokepoint
@@ -67,6 +75,26 @@ double StageFps(const obs::Histogram::Snapshot& snap) {
   return static_cast<double>(snap.count) / snap.sum;
 }
 
+/// The headline throughput: an explicit override wins, else the primary
+/// stage's fps, else the fps of the busiest stage.
+double HeadlineThroughput(
+    const std::map<std::string, obs::Histogram::Snapshot>& stages,
+    const std::string& primary_stage, double override_fps) {
+  if (override_fps >= 0.0) return override_fps;
+  const obs::Histogram::Snapshot* headline = nullptr;
+  auto primary = stages.find(primary_stage);
+  if (!primary_stage.empty() && primary != stages.end()) {
+    headline = &primary->second;
+  } else {
+    for (const auto& [name, snap] : stages) {
+      if (headline == nullptr || snap.count > headline->count) {
+        headline = &snap;
+      }
+    }
+  }
+  return headline != nullptr ? StageFps(*headline) : 0.0;
+}
+
 }  // namespace
 
 std::string GitRevision() {
@@ -108,6 +136,16 @@ BenchHarness::BenchHarness(const std::string& name) {
       EnvStringOr("VDRIFT_BENCH_DATASET", config_.dataset_filter);
   config_.json_path =
       EnvStringOr("VDRIFT_BENCH_JSON", "BENCH_" + name + ".json");
+  std::string ledger = EnvStringOr("VDRIFT_BENCH_LEDGER", "");
+  if (!ledger.empty()) {
+    // A .jsonl path is the ledger file itself; anything else is a
+    // directory holding one ledger per bench.
+    const std::string suffix = ".jsonl";
+    bool is_file = ledger.size() > suffix.size() &&
+                   ledger.compare(ledger.size() - suffix.size(),
+                                  suffix.size(), suffix) == 0;
+    config_.ledger_path = is_file ? ledger : ledger + "/" + name + ".jsonl";
+  }
 }
 
 bool BenchHarness::ShouldRunDataset(const std::string& dataset) const {
@@ -141,16 +179,17 @@ obs::Histogram& BenchHarness::StageHistogram(const std::string& stage) {
 void BenchHarness::RecordStageSeconds(const std::string& stage,
                                       double seconds) {
   StageHistogram(stage).Record(seconds);
+  std::vector<double>& raw = samples_[stage];
+  if (raw.size() < kMaxRawSamplesPerStage) raw.push_back(seconds);
 }
 
 void BenchHarness::Repeat(const std::string& stage,
                           const std::function<void()>& fn) {
   for (int i = 0; i < config_.warmup; ++i) fn();
-  obs::Histogram& hist = StageHistogram(stage);
   for (int i = 0; i < config_.repeats; ++i) {
     double start = obs::MonotonicSeconds();
     fn();
-    hist.Record(obs::MonotonicSeconds() - start);
+    RecordStageSeconds(stage, obs::MonotonicSeconds() - start);
   }
 }
 
@@ -172,7 +211,8 @@ void BenchHarness::SetThroughputFps(double fps) {
   throughput_override_ = fps;
 }
 
-std::string BenchHarness::ReportJson() const {
+std::map<std::string, obs::Histogram::Snapshot> BenchHarness::MergedStages()
+    const {
   // Assemble the full stage map: harness histograms plus imported
   // snapshots (std::map keeps every level in sorted key order, the
   // stability contract tools/compare_bench.py and tests rely on).
@@ -183,6 +223,18 @@ std::string BenchHarness::ReportJson() const {
   for (const auto& [name, snap] : imported_) {
     MergeSnapshot(&stages[name], snap);
   }
+  return stages;
+}
+
+const std::vector<double>& BenchHarness::StageSamples(
+    const std::string& stage) const {
+  static const std::vector<double> kEmpty;
+  auto it = samples_.find(stage);
+  return it == samples_.end() ? kEmpty : it->second;
+}
+
+std::string BenchHarness::ReportJson() const {
+  std::map<std::string, obs::Histogram::Snapshot> stages = MergedStages();
 
   auto global_counters = obs::Global().Counters();
   int64_t flops_total = 0;
@@ -197,21 +249,8 @@ std::string BenchHarness::ReportJson() const {
     }
   }
 
-  double throughput = throughput_override_;
-  if (throughput < 0.0) {
-    const obs::Histogram::Snapshot* headline = nullptr;
-    auto primary = stages.find(primary_stage_);
-    if (!primary_stage_.empty() && primary != stages.end()) {
-      headline = &primary->second;
-    } else {
-      for (const auto& [name, snap] : stages) {
-        if (headline == nullptr || snap.count > headline->count) {
-          headline = &snap;
-        }
-      }
-    }
-    throughput = headline != nullptr ? StageFps(*headline) : 0.0;
-  }
+  double throughput =
+      HeadlineThroughput(stages, primary_stage_, throughput_override_);
 
   std::string out = "{";
   out += "\"bytes_total\":" + std::to_string(bytes_total);
@@ -233,6 +272,19 @@ std::string BenchHarness::ReportJson() const {
   out += "}";
   out += ",\"flops_total\":" + std::to_string(flops_total);
   out += ",\"git_rev\":\"" + obs::json::Escape(GitRevision()) + "\"";
+  out += ",\"kernels\":{";
+  first = true;
+  for (const auto& [name, kernel] : CollectKernelStats(obs::Global())) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + obs::json::Escape(name) + "\":{";
+    out += "\"bytes\":" + std::to_string(kernel.bytes);
+    out += ",\"calls\":" + std::to_string(kernel.calls);
+    out += ",\"flops\":" + std::to_string(kernel.flops);
+    out += ",\"seconds\":" + obs::json::FormatDouble(kernel.seconds);
+    out += "}";
+  }
+  out += "}";
   out += ",\"labels\":{";
   first = true;
   for (const auto& [key, value] : labels_) {
@@ -242,6 +294,7 @@ std::string BenchHarness::ReportJson() const {
            "\"";
   }
   out += "}";
+  out += ",\"machine\":" + MachineFingerprint::Detect().ToJson();
   out += ",\"name\":\"" + obs::json::Escape(config_.name) + "\"";
   out += ",\"stages\":{";
   first = true;
@@ -261,6 +314,16 @@ std::string BenchHarness::ReportJson() const {
       out += ",\"p90\":" + obs::json::FormatDouble(snap.Quantile(0.90));
       out += ",\"p99\":" + obs::json::FormatDouble(snap.Quantile(0.99));
     }
+    // Raw repeat-level wall times, in execution order: the unit the
+    // statistical gate bootstraps over. Absent for histogram-only stages.
+    if (const std::vector<double>& raw = StageSamples(name); !raw.empty()) {
+      out += ",\"samples\":[";
+      for (size_t i = 0; i < raw.size(); ++i) {
+        if (i > 0) out += ",";
+        out += obs::json::FormatDouble(raw[i]);
+      }
+      out += "]";
+    }
     out += ",\"sum_seconds\":" + obs::json::FormatDouble(snap.sum);
     out += "}";
   }
@@ -268,6 +331,44 @@ std::string BenchHarness::ReportJson() const {
   out += ",\"throughput_fps\":" + obs::json::FormatDouble(throughput);
   out += "}";
   return out;
+}
+
+LedgerRecord BenchHarness::MakeLedgerRecord() const {
+  LedgerRecord record;
+  record.bench = config_.name;
+  record.git_rev = GitRevision();
+  // vdrift-lint: allow(no-ambient-nondeterminism): run provenance stamp,
+  // never fed back into any computation.
+  record.unix_time = static_cast<int64_t>(::time(nullptr));
+  record.machine = MachineFingerprint::Detect();
+  record.env["dataset_filter"] = config_.dataset_filter;
+  record.env["kernel_profile"] =
+      obs::KernelProfilingEnabled() ? "1" : "0";
+  record.env["repeats"] = std::to_string(config_.repeats);
+  record.env["seed"] = std::to_string(config_.seed);
+  record.env["smoke"] = config_.smoke ? "1" : "0";
+  record.env["threads"] =
+      std::to_string(EnvLongOr("VDRIFT_THREADS", 1));
+  record.env["warmup"] = std::to_string(config_.warmup);
+
+  std::map<std::string, obs::Histogram::Snapshot> stages = MergedStages();
+  for (const auto& [name, snap] : stages) {
+    LedgerStage& stage = record.stages[name];
+    stage.count = snap.count;
+    stage.sum = snap.sum;
+    if (snap.count > 0) {
+      stage.min = snap.min;
+      stage.max = snap.max;
+      stage.p50 = snap.Quantile(0.50);
+      stage.p90 = snap.Quantile(0.90);
+      stage.p99 = snap.Quantile(0.99);
+    }
+    stage.samples = StageSamples(name);
+  }
+  record.kernels = CollectKernelStats(obs::Global());
+  record.throughput_fps =
+      HeadlineThroughput(stages, primary_stage_, throughput_override_);
+  return record;
 }
 
 std::string BenchHarness::WriteReport() const {
@@ -285,6 +386,17 @@ std::string BenchHarness::WriteReport() const {
     return "";
   }
   std::printf("bench report written to %s\n", config_.json_path.c_str());
+  if (!config_.ledger_path.empty()) {
+    Status status = AppendLedgerRecord(config_.ledger_path,
+                                       MakeLedgerRecord());
+    if (status.ok()) {
+      std::printf("bench ledger appended to %s\n",
+                  config_.ledger_path.c_str());
+    } else {
+      std::fprintf(stderr, "bench ledger not appended: %s\n",
+                   status.ToString().c_str());
+    }
+  }
   return config_.json_path;
 }
 

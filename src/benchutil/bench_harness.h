@@ -4,7 +4,9 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "benchutil/ledger.h"
 #include "benchutil/workbench.h"
 #include "obs/metrics.h"
 
@@ -21,6 +23,9 @@ namespace vdrift::benchutil {
 ///   VDRIFT_BENCH_SEED     base RNG seed (also seeds the workbench)
 ///   VDRIFT_BENCH_DATASET  only run datasets whose name matches exactly
 ///   VDRIFT_BENCH_JSON     report path (default BENCH_<name>.json in cwd)
+///   VDRIFT_BENCH_LEDGER   run-ledger sink: a .jsonl file, or a directory
+///                         (record appends to <dir>/<name>.jsonl). Unset =
+///                         no ledger append.
 struct BenchConfig {
   std::string name;
   int repeats = 5;
@@ -29,6 +34,7 @@ struct BenchConfig {
   bool smoke = false;
   std::string dataset_filter;  ///< Empty = run every dataset.
   std::string json_path;
+  std::string ledger_path;  ///< Resolved ledger file ("" = disabled).
 };
 
 /// Keeps `value` observable so benchmarked expressions are not dead-code
@@ -81,15 +87,32 @@ class BenchHarness {
   void SetThroughputFps(double fps);
 
   /// The canonical report (stable, sorted key order at every level).
+  /// Includes the machine fingerprint, per-stage repeat-level "samples"
+  /// arrays and the per-kernel op-probe table — the evidence the
+  /// statistical gate (tools/compare_bench.py) needs.
   std::string ReportJson() const;
   /// Writes ReportJson() to config().json_path and prints where it went.
-  /// Returns the path (empty on failure, with the error printed).
+  /// When config().ledger_path is set (VDRIFT_BENCH_LEDGER), also appends
+  /// this run's LedgerRecord there. Returns the report path (empty on
+  /// failure, with the error printed).
   std::string WriteReport() const;
 
+  /// This run's ledger record (also what WriteReport appends).
+  LedgerRecord MakeLedgerRecord() const;
+
+  /// Raw repeat-level samples recorded for `stage` ([] when the stage was
+  /// only imported from a histogram).
+  const std::vector<double>& StageSamples(const std::string& stage) const;
+
  private:
+  std::map<std::string, obs::Histogram::Snapshot> MergedStages() const;
+
   BenchConfig config_;
   obs::MetricsRegistry registry_;
   std::map<std::string, obs::Histogram::Snapshot> imported_;
+  /// Raw per-repeat wall times per stage, in execution order (bounded per
+  /// stage; see kMaxRawSamplesPerStage in the .cc).
+  std::map<std::string, std::vector<double>> samples_;
   std::map<std::string, std::string> labels_;
   std::string primary_stage_;
   double throughput_override_ = -1.0;

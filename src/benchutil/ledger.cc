@@ -1,0 +1,327 @@
+#include "benchutil/ledger.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace vdrift::benchutil {
+
+namespace {
+
+/// FNV-1a 64-bit — stable across processes (no std::hash salt), short
+/// enough to read in a report.
+uint64_t Fnv1a(const std::string& text, uint64_t hash = 14695981039346656037ull) {
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string ReadFirstMatchingLine(const std::string& path,
+                                  const std::string& prefix) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(prefix, 0) == 0) return line;
+  }
+  return "";
+}
+
+std::string ReadTrimmedFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::string content;
+  std::getline(in, content);
+  while (!content.empty() &&
+         (content.back() == '\n' || content.back() == '\r' ||
+          content.back() == ' ')) {
+    content.pop_back();
+  }
+  return content;
+}
+
+double NumberOr(const obs::json::Value* value, double fallback) {
+  return value != nullptr && value->is_number() ? value->number_value
+                                                : fallback;
+}
+
+std::string StringOr(const obs::json::Value* value,
+                     const std::string& fallback) {
+  return value != nullptr && value->is_string() ? value->string_value
+                                                : fallback;
+}
+
+/// mkdir -p for the parent directories of `path`.
+Status MakeParentDirs(const std::string& path) {
+  size_t pos = 0;
+  while ((pos = path.find('/', pos + 1)) != std::string::npos) {
+    std::string dir = path.substr(0, pos);
+    if (dir.empty()) continue;
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IoError("cannot create ledger directory: " + dir);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+MachineFingerprint MachineFingerprint::Detect() {
+  MachineFingerprint fp;
+  std::string model_line =
+      ReadFirstMatchingLine("/proc/cpuinfo", "model name");
+  size_t colon = model_line.find(':');
+  if (colon != std::string::npos) {
+    size_t start = model_line.find_first_not_of(" \t", colon + 1);
+    fp.cpu_model =
+        start == std::string::npos ? "" : model_line.substr(start);
+  }
+  if (fp.cpu_model.empty()) fp.cpu_model = "unknown";
+  fp.cores = static_cast<int>(std::thread::hardware_concurrency());
+  fp.governor = ReadTrimmedFile(
+      "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor");
+  if (fp.governor.empty()) fp.governor = "unknown";
+  fp.page_size = ::sysconf(_SC_PAGESIZE);
+  return fp;
+}
+
+std::string MachineFingerprint::Id() const {
+  std::string key = cpu_model + "|" + std::to_string(cores) + "|" +
+                    governor + "|" + std::to_string(page_size);
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(Fnv1a(key)));
+  return buf;
+}
+
+std::string MachineFingerprint::ToJson() const {
+  std::string out = "{";
+  out += "\"cores\":" + std::to_string(cores);
+  out += ",\"cpu_model\":\"" + obs::json::Escape(cpu_model) + "\"";
+  out += ",\"governor\":\"" + obs::json::Escape(governor) + "\"";
+  out += ",\"id\":\"" + Id() + "\"";
+  out += ",\"page_size\":" + std::to_string(page_size);
+  out += "}";
+  return out;
+}
+
+MachineFingerprint MachineFingerprint::FromJson(
+    const obs::json::Value& value) {
+  MachineFingerprint fp;
+  fp.cpu_model = StringOr(value.Find("cpu_model"), "unknown");
+  fp.cores = static_cast<int>(NumberOr(value.Find("cores"), 0));
+  fp.governor = StringOr(value.Find("governor"), "unknown");
+  fp.page_size = static_cast<long>(NumberOr(value.Find("page_size"), 0));
+  return fp;
+}
+
+std::string LedgerRecord::ToJsonLine() const {
+  std::string out = "{";
+  out += "\"bench\":\"" + obs::json::Escape(bench) + "\"";
+  out += ",\"env\":{";
+  bool first = true;
+  for (const auto& [key, value] : env) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + obs::json::Escape(key) + "\":\"" +
+           obs::json::Escape(value) + "\"";
+  }
+  out += "}";
+  out += ",\"git_rev\":\"" + obs::json::Escape(git_rev) + "\"";
+  out += ",\"kernels\":{";
+  first = true;
+  for (const auto& [name, kernel] : kernels) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + obs::json::Escape(name) + "\":{";
+    out += "\"bytes\":" + std::to_string(kernel.bytes);
+    out += ",\"calls\":" + std::to_string(kernel.calls);
+    out += ",\"flops\":" + std::to_string(kernel.flops);
+    out += ",\"seconds\":" + obs::json::FormatDouble(kernel.seconds);
+    out += "}";
+  }
+  out += "}";
+  out += ",\"machine\":" + machine.ToJson();
+  out += ",\"schema\":" + std::to_string(schema);
+  out += ",\"stages\":{";
+  first = true;
+  for (const auto& [name, stage] : stages) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + obs::json::Escape(name) + "\":{";
+    out += "\"count\":" + std::to_string(stage.count);
+    if (stage.count > 0) {
+      out += ",\"max\":" + obs::json::FormatDouble(stage.max);
+      out += ",\"min\":" + obs::json::FormatDouble(stage.min);
+      out += ",\"p50\":" + obs::json::FormatDouble(stage.p50);
+      out += ",\"p90\":" + obs::json::FormatDouble(stage.p90);
+      out += ",\"p99\":" + obs::json::FormatDouble(stage.p99);
+    }
+    if (!stage.samples.empty()) {
+      out += ",\"samples\":[";
+      for (size_t i = 0; i < stage.samples.size(); ++i) {
+        if (i > 0) out += ",";
+        out += obs::json::FormatDouble(stage.samples[i]);
+      }
+      out += "]";
+    }
+    out += ",\"sum\":" + obs::json::FormatDouble(stage.sum);
+    out += "}";
+  }
+  out += "}";
+  out += ",\"throughput_fps\":" + obs::json::FormatDouble(throughput_fps);
+  out += ",\"unix_time\":" + std::to_string(unix_time);
+  out += "}";
+  return out;
+}
+
+Result<LedgerRecord> LedgerRecord::FromJson(const obs::json::Value& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("ledger record is not a JSON object");
+  }
+  LedgerRecord record;
+  const obs::json::Value* bench = value.Find("bench");
+  if (bench == nullptr || !bench->is_string() ||
+      bench->string_value.empty()) {
+    return Status::InvalidArgument("ledger record missing \"bench\"");
+  }
+  record.bench = bench->string_value;
+  record.schema = static_cast<int>(NumberOr(value.Find("schema"), 1));
+  record.git_rev = StringOr(value.Find("git_rev"), "unknown");
+  record.unix_time =
+      static_cast<int64_t>(NumberOr(value.Find("unix_time"), 0));
+  record.throughput_fps = NumberOr(value.Find("throughput_fps"), 0.0);
+  if (const obs::json::Value* machine = value.Find("machine");
+      machine != nullptr && machine->is_object()) {
+    record.machine = MachineFingerprint::FromJson(*machine);
+  }
+  if (const obs::json::Value* env = value.Find("env");
+      env != nullptr && env->is_object()) {
+    for (const auto& [key, entry] : env->object_value) {
+      if (entry.is_string()) record.env[key] = entry.string_value;
+    }
+  }
+  const obs::json::Value* stages = value.Find("stages");
+  if (stages == nullptr || !stages->is_object()) {
+    return Status::InvalidArgument("ledger record missing \"stages\"");
+  }
+  for (const auto& [name, entry] : stages->object_value) {
+    if (!entry.is_object()) {
+      return Status::InvalidArgument("ledger stage is not an object: " +
+                                     name);
+    }
+    LedgerStage stage;
+    stage.count = static_cast<int64_t>(NumberOr(entry.Find("count"), 0));
+    stage.sum = NumberOr(entry.Find("sum"), 0.0);
+    stage.min = NumberOr(entry.Find("min"), 0.0);
+    stage.max = NumberOr(entry.Find("max"), 0.0);
+    stage.p50 = NumberOr(entry.Find("p50"), 0.0);
+    stage.p90 = NumberOr(entry.Find("p90"), 0.0);
+    stage.p99 = NumberOr(entry.Find("p99"), 0.0);
+    if (const obs::json::Value* samples = entry.Find("samples");
+        samples != nullptr && samples->is_array()) {
+      for (const obs::json::Value& sample : samples->array_value) {
+        if (sample.is_number()) stage.samples.push_back(sample.number_value);
+      }
+    }
+    record.stages[name] = std::move(stage);
+  }
+  if (const obs::json::Value* kernels = value.Find("kernels");
+      kernels != nullptr && kernels->is_object()) {
+    for (const auto& [name, entry] : kernels->object_value) {
+      if (!entry.is_object()) continue;
+      LedgerKernel kernel;
+      kernel.calls = static_cast<int64_t>(NumberOr(entry.Find("calls"), 0));
+      kernel.flops = static_cast<int64_t>(NumberOr(entry.Find("flops"), 0));
+      kernel.bytes = static_cast<int64_t>(NumberOr(entry.Find("bytes"), 0));
+      kernel.seconds = NumberOr(entry.Find("seconds"), 0.0);
+      record.kernels[name] = kernel;
+    }
+  }
+  return record;
+}
+
+Result<LedgerRecord> LedgerRecord::FromJsonLine(const std::string& line) {
+  Result<obs::json::Value> parsed = obs::json::Parse(line);
+  if (!parsed.ok()) return parsed.status();
+  return FromJson(parsed.value());
+}
+
+Status AppendLedgerRecord(const std::string& path,
+                          const LedgerRecord& record) {
+  Status dirs = MakeParentDirs(path);
+  if (!dirs.ok()) return dirs;
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    return Status::IoError("cannot open ledger for append: " + path);
+  }
+  out << record.ToJsonLine() << "\n";
+  out.flush();
+  if (!out) return Status::IoError("failed appending to ledger: " + path);
+  return Status::OK();
+}
+
+Result<LedgerHistory> ReadLedger(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open ledger: " + path);
+  LedgerHistory history;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    Result<LedgerRecord> record = LedgerRecord::FromJsonLine(line);
+    if (!record.ok()) {
+      // Torn append / truncation: skip the line, keep the history. The
+      // count is surfaced so tooling can warn without failing.
+      VDRIFT_LOG_WARNING << "ledger " << path << " line " << line_number
+                         << " unparsable, skipped: "
+                         << record.status().ToString();
+      ++history.corrupt_lines;
+      continue;
+    }
+    history.records.push_back(std::move(record).value());
+  }
+  return history;
+}
+
+std::map<std::string, LedgerKernel> CollectKernelStats(
+    const obs::MetricsRegistry& registry) {
+  static const std::string kPrefix = "vdrift.ops.";
+  std::map<std::string, LedgerKernel> kernels;
+  for (const auto& [name, value] : registry.Counters()) {
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    size_t dot = name.rfind('.');
+    if (dot == std::string::npos || dot < kPrefix.size()) continue;
+    std::string kernel = name.substr(kPrefix.size(), dot - kPrefix.size());
+    std::string field = name.substr(dot + 1);
+    LedgerKernel& entry = kernels[kernel];
+    if (field == "calls") {
+      entry.calls = value;
+    } else if (field == "flops") {
+      entry.flops = value;
+    } else if (field == "bytes") {
+      entry.bytes = value;
+    }
+  }
+  for (const auto& [name, snapshot] : registry.Histograms()) {
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    size_t dot = name.rfind('.');
+    if (dot == std::string::npos || dot < kPrefix.size()) continue;
+    if (name.substr(dot + 1) != "seconds") continue;
+    std::string kernel = name.substr(kPrefix.size(), dot - kPrefix.size());
+    auto it = kernels.find(kernel);
+    if (it == kernels.end()) continue;  // seconds without calls: stale
+    it->second.seconds = snapshot.sum;
+  }
+  return kernels;
+}
+
+}  // namespace vdrift::benchutil

@@ -1,0 +1,159 @@
+// Tests for the sampling profiler (obs/profiler.h): samples are collected
+// under CPU load and attributed to the live span/kernel context, folded
+// output parses as flamegraph input, aggregation merges identical stacks,
+// and — the dispatch-cost contract — a never-started profiler takes
+// exactly zero samples.
+
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/timer.h"
+#include "obs/trace_log.h"
+
+namespace vdrift::obs {
+namespace {
+
+// Spins real CPU work (ITIMER_PROF counts CPU time, not wall time) inside
+// a span/kernel context until the profiler has at least `want` samples or
+// the time budget runs out.
+double BurnCpuUntilSampled(SamplingProfiler& profiler, int want,
+                           double budget_seconds) {
+  volatile double sink = 0.0;
+  double start = MonotonicSeconds();
+  while (MonotonicSeconds() - start < budget_seconds &&
+         profiler.total_samples() < want) {
+    TraceSpan span(&obs::Global(), "profiler_test_span");
+    VDRIFT_OP_PROBE("test", "spin", 1000, 0);
+    for (int i = 0; i < 200000; ++i) {
+      sink = sink + static_cast<double>(i) * 1e-9;
+    }
+  }
+  return sink;
+}
+
+// Folded lines are "frame(;frame)* count": non-empty stack, positive
+// integer count, exactly one separating space from the right.
+void ExpectFoldedParses(const std::string& folded) {
+  std::istringstream lines(folded);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string stack = line.substr(0, space);
+    std::string count = line.substr(space + 1);
+    EXPECT_FALSE(stack.empty()) << line;
+    EXPECT_FALSE(stack.front() == ';' || stack.back() == ';') << line;
+    ASSERT_FALSE(count.empty()) << line;
+    for (char c : count) EXPECT_TRUE(c >= '0' && c <= '9') << line;
+    EXPECT_GT(std::stoll(count), 0) << line;
+  }
+}
+
+TEST(SamplingProfilerTest, NeverStartedTakesZeroSamples) {
+  SamplingProfiler& profiler = SamplingProfiler::Instance();
+  ASSERT_FALSE(profiler.running());
+  // Heavy CPU with live spans/ops: still nothing may be sampled, because
+  // no timer is armed (the "exactly zero when disabled" contract).
+  volatile double sink = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    TraceSpan span(&obs::Global(), "unprofiled_span");
+    for (int i = 0; i < 100000; ++i) sink = sink + 1e-9;
+  }
+  EXPECT_EQ(profiler.total_samples(), 0);
+  EXPECT_TRUE(profiler.Drain().empty());
+  // Unarmed push is refused, so callers never pop unbalanced.
+  EXPECT_FALSE(ProfilerArmed());
+  EXPECT_FALSE(ProfilePushFrame("nope"));
+}
+
+TEST(SamplingProfilerTest, CollectsAndAttributesSamplesUnderLoad) {
+  SamplingProfiler& profiler = SamplingProfiler::Instance();
+  SamplingProfiler::Options options;
+  options.sample_hz = 997;  // fast sampling keeps the test short
+  ASSERT_TRUE(profiler.Start(options).ok());
+  EXPECT_TRUE(profiler.running());
+  EXPECT_TRUE(ProfilerArmed());
+  BurnCpuUntilSampled(profiler, /*want=*/5, /*budget_seconds=*/10.0);
+  std::vector<SamplingProfiler::Sample> samples = profiler.Drain();
+  EXPECT_FALSE(profiler.running()) << "Drain must stop a live profiler";
+  ASSERT_FALSE(samples.empty());
+  // Every sample carries a context; at least one landed inside the span
+  // (and, nested deeper, the kernel op).
+  bool saw_span = false;
+  bool saw_kernel = false;
+  for (const SamplingProfiler::Sample& sample : samples) {
+    EXPECT_FALSE(sample.stack.empty());
+    EXPECT_GE(sample.tid, 1);
+    if (sample.stack.find("profiler_test_span") != std::string::npos) {
+      saw_span = true;
+    }
+    if (sample.stack == "profiler_test_span;test.spin") saw_kernel = true;
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_kernel);
+}
+
+TEST(SamplingProfilerTest, DrainedFoldedOutputParses) {
+  SamplingProfiler& profiler = SamplingProfiler::Instance();
+  ASSERT_TRUE(profiler.Start().ok());
+  BurnCpuUntilSampled(profiler, /*want=*/3, /*budget_seconds=*/10.0);
+  std::string folded = profiler.DrainFolded();
+  ASSERT_FALSE(folded.empty());
+  ExpectFoldedParses(folded);
+}
+
+TEST(SamplingProfilerTest, FoldedAggregatesAndSortsStacks) {
+  std::vector<SamplingProfiler::Sample> samples;
+  samples.push_back({"main;detect", 1, 30});
+  samples.push_back({"main;track", 1, 10});
+  samples.push_back({"main;detect", 2, 20});
+  samples.push_back({"main;detect", 1, 40});
+  EXPECT_EQ(SamplingProfiler::Folded(samples),
+            "main;detect 3\nmain;track 1\n");
+  EXPECT_EQ(SamplingProfiler::Folded({}), "");
+}
+
+TEST(SamplingProfilerTest, WriteFoldedWritesEvenWhenEmpty) {
+  SamplingProfiler& profiler = SamplingProfiler::Instance();
+  profiler.Stop();
+  profiler.Drain();  // discard anything a previous test buffered
+  std::string path = ::testing::TempDir() + "/vdrift_profile_empty.folded";
+  ASSERT_TRUE(profiler.WriteFolded(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_TRUE(contents.empty());
+}
+
+TEST(SamplingProfilerTest, RejectsNonsenseOptions) {
+  SamplingProfiler& profiler = SamplingProfiler::Instance();
+  SamplingProfiler::Options options;
+  options.sample_hz = 0;
+  EXPECT_FALSE(profiler.Start(options).ok());
+  options.sample_hz = 199;
+  options.per_thread_capacity = 0;
+  EXPECT_FALSE(profiler.Start(options).ok());
+  EXPECT_FALSE(profiler.running());
+}
+
+TEST(SamplingProfilerTest, RestartResetsBuffers) {
+  SamplingProfiler& profiler = SamplingProfiler::Instance();
+  ASSERT_TRUE(profiler.Start().ok());
+  BurnCpuUntilSampled(profiler, /*want=*/2, /*budget_seconds=*/10.0);
+  profiler.Stop();
+  ASSERT_TRUE(profiler.Start().ok());  // restart: buffers reset
+  profiler.Stop();
+  EXPECT_EQ(profiler.total_samples(), 0);
+  EXPECT_TRUE(profiler.Drain().empty());
+}
+
+}  // namespace
+}  // namespace vdrift::obs

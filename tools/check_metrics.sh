@@ -12,7 +12,12 @@
 #     suffix, cumulative histogram buckets ending in +Inf == _count,
 #     terminating # EOF),
 #   - the sampler's JSONL time series (per-window counter deltas sum
-#     exactly to the final cumulative totals; render_timeline.py parses it).
+#     exactly to the final cumulative totals; render_timeline.py parses it),
+#   - the sampling profiler's folded-stack output (flamegraph.pl grammar:
+#     "frame(;frame)* count" per line, samples attributed to spans/kernels),
+#   - the run-ledger JSONL record (schema, machine fingerprint, per-stage
+#     quantiles + samples, per-kernel op-probe table; parses back through
+#     compare_bench.py's loader).
 # A second, smoke-sized run with VDRIFT_FAULT_SPEC set then asserts the
 # SLO watchdog actually fires: injected faults must surface as alerts
 # attributable to the fault kind, and the clean run above must have none.
@@ -40,22 +45,27 @@ TRACE="$(mktemp /tmp/vdrift_trace.XXXXXX.json)"
 BENCH_JSON="$(mktemp /tmp/vdrift_bench.XXXXXX.json)"
 OPENMETRICS="$(mktemp /tmp/vdrift_om.XXXXXX.txt)"
 JSONL="$(mktemp /tmp/vdrift_windows.XXXXXX.jsonl)"
+FOLDED="$(mktemp /tmp/vdrift_profile.XXXXXX.folded)"
+LEDGER="$(mktemp /tmp/vdrift_ledger.XXXXXX.jsonl)"
 FAULT_REPORT="$(mktemp /tmp/vdrift_metrics_fault.XXXXXX.json)"
 FAULT_BENCH_JSON="$(mktemp /tmp/vdrift_bench_fault.XXXXXX.json)"
 trap 'rm -f "$REPORT" "$TRACE" "$BENCH_JSON" "$OPENMETRICS" "$JSONL" \
-  "$FAULT_REPORT" "$FAULT_BENCH_JSON"' EXIT
+  "$FOLDED" "$LEDGER" "$FAULT_REPORT" "$FAULT_BENCH_JSON"' EXIT
 export VDRIFT_METRICS_JSON="$REPORT"
 export VDRIFT_TRACE_JSON="$TRACE"
 export VDRIFT_BENCH_JSON="$BENCH_JSON"
 export VDRIFT_METRICS_OPENMETRICS="$OPENMETRICS"
 export VDRIFT_METRICS_JSONL="$JSONL"
+export VDRIFT_PROFILE_FOLDED="$FOLDED"
+export VDRIFT_BENCH_LEDGER="$LEDGER"
 export VDRIFT_SAMPLE_INTERVAL="${VDRIFT_SAMPLE_INTERVAL:-32}"
 export VDRIFT_SLO_SPEC="${VDRIFT_SLO_SPEC:-default}"
 
-echo "running $BENCH (dataset=$VDRIFT_BENCH_DATASET, trace+bench+sampler+slo armed)..."
+echo "running $BENCH (dataset=$VDRIFT_BENCH_DATASET, trace+bench+sampler+slo+profiler+ledger armed)..."
 "$BENCH"
 
-for f in "$REPORT" "$TRACE" "$BENCH_JSON" "$OPENMETRICS" "$JSONL"; do
+for f in "$REPORT" "$TRACE" "$BENCH_JSON" "$OPENMETRICS" "$JSONL" \
+         "$FOLDED" "$LEDGER"; do
   if [[ ! -s "$f" ]]; then
     echo "FAIL: bench did not write $f" >&2
     exit 1
@@ -177,9 +187,19 @@ def fail(msg):
     sys.exit(1)
 
 for key in ("name", "git_rev", "config", "counters", "stages",
-            "throughput_fps", "flops_total", "bytes_total"):
+            "throughput_fps", "flops_total", "bytes_total", "machine",
+            "kernels"):
     if key not in report:
         fail(f"missing top-level key {key}")
+for key in ("cpu_model", "cores", "governor", "id", "page_size"):
+    if key not in report["machine"]:
+        fail(f"machine fingerprint missing {key}")
+if not report["kernels"]:
+    fail("no kernels in report (op probes inactive?)")
+for name, kernel in report["kernels"].items():
+    for key in ("calls", "flops", "bytes", "seconds"):
+        if key not in kernel:
+            fail(f"kernel {name} missing {key}")
 for key in ("repeats", "warmup", "seed", "smoke", "dataset_filter"):
     if key not in report["config"]:
         fail(f"config missing {key}")
@@ -356,6 +376,98 @@ EOF
 echo "rendering timeline from the JSONL series..."
 python3 tools/render_timeline.py "$JSONL" --report "$REPORT" | tail -n 3
 
+python3 - "$FOLDED" <<'EOF'
+import re
+import sys
+
+def fail(msg):
+    print(f"FAIL: folded: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+# flamegraph.pl input: "frame(;frame)* count", frames non-empty, count a
+# positive integer.
+# flamegraph.pl grammar: the count is whatever follows the LAST space —
+# frames themselves may contain spaces (e.g. the "(no span)" sentinel).
+LINE = re.compile(r"^([^;]+(?:;[^;]+)*) (\d+)$")
+with open(sys.argv[1]) as f:
+    lines = f.read().splitlines()
+if not lines:
+    fail("profiler armed but wrote no samples (CPU-bound run expected)")
+total = 0
+stacks = set()
+attributed = 0
+for n, line in enumerate(lines, 1):
+    m = LINE.match(line)
+    if m is None:
+        fail(f"line {n}: not folded-stack grammar: {line!r}")
+    stack, count = m.group(1), int(m.group(2))
+    if count <= 0:
+        fail(f"line {n}: non-positive count")
+    if stack in stacks:
+        fail(f"line {n}: duplicate stack {stack!r} (aggregation broken)")
+    stacks.add(stack)
+    total += count
+    if stack != "(no span)":
+        attributed += 1
+if attributed == 0:
+    fail("no sample attributed to any span/kernel context")
+
+print(f"OK: folded: {len(lines)} unique stack(s), {total} sample(s), "
+      f"{attributed} attributed to span/kernel contexts")
+EOF
+
+python3 - "$LEDGER" <<'EOF'
+import json
+import sys
+
+def fail(msg):
+    print(f"FAIL: ledger: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+with open(sys.argv[1]) as f:
+    lines = [l for l in f.read().splitlines() if l.strip()]
+if len(lines) != 1:
+    fail(f"expected exactly 1 record from 1 run, found {len(lines)}")
+rec = json.loads(lines[0])
+for key in ("schema", "bench", "git_rev", "unix_time", "machine", "env",
+            "stages", "kernels", "throughput_fps"):
+    if key not in rec:
+        fail(f"record missing {key}")
+if not rec["machine"].get("id"):
+    fail("machine fingerprint has no id")
+for key in ("repeats", "warmup", "seed", "smoke", "threads",
+            "kernel_profile"):
+    if key not in rec["env"]:
+        fail(f"env knobs missing {key}")
+if not rec["stages"]:
+    fail("no stages in ledger record")
+sampled = 0
+for name, stage in rec["stages"].items():
+    for key in ("count", "sum", "min", "max", "p50", "p90", "p99"):
+        if key not in stage:
+            fail(f"stage {name} missing {key}")
+    # Raw repeat-level samples are per-stage optional (stages imported
+    # from a pipeline's own metrics registry only have histograms), but
+    # at least one harness-recorded stage must carry them.
+    if stage.get("samples"):
+        sampled += 1
+if sampled == 0:
+    fail("no stage carries repeat-level samples")
+if not rec["kernels"]:
+    fail("no kernels in ledger record")
+timed = sum(1 for k in rec["kernels"].values() if k.get("seconds", 0) > 0)
+if timed == 0:
+    fail("no kernel carries timing (kernel profiling was armed)")
+
+print(f"OK: ledger: 1 record, {len(rec['stages'])} stage(s) "
+      f"({sampled} with raw samples), {len(rec['kernels'])} kernel(s) "
+      f"({timed} timed), machine id {rec['machine']['id']}")
+EOF
+
+echo "round-tripping the ledger through the statistical gate (--smoke)..."
+python3 tools/compare_bench.py --baseline "$LEDGER" --candidate "$LEDGER" \
+  --smoke
+
 # --- Fault pass: injected faults must surface as SLO alerts. ---
 echo "running fault pass (smoke, nan_frame + selector_fail injected)..."
 VDRIFT_BENCH_SMOKE=1 \
@@ -363,6 +475,7 @@ VDRIFT_BENCH_SMOKE=1 \
   VDRIFT_METRICS_JSON="$FAULT_REPORT" \
   VDRIFT_TRACE_JSON="" VDRIFT_METRICS_OPENMETRICS="" \
   VDRIFT_METRICS_JSONL="" VDRIFT_BENCH_JSON="$FAULT_BENCH_JSON" \
+  VDRIFT_PROFILE_FOLDED="" VDRIFT_BENCH_LEDGER="" \
   "$BENCH" > /dev/null
 
 python3 - "$FAULT_REPORT" <<'EOF'

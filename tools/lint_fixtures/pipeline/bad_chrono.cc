@@ -14,4 +14,21 @@ double AllowedNow() {
   return std::chrono::duration<double>(0).count();
 }
 
+struct timespec;
+// vdrift-lint: allow(no-raw-chrono): fixture-local declaration, not a call
+int clock_gettime(int, struct timespec*);
+
+double BadPosixNow() {
+  struct timespec* ts = nullptr;
+  clock_gettime(0, ts);  // lint-expect: no-raw-chrono
+  return 0.0;
+}
+
+double AllowedPosixNow() {
+  struct timespec* ts = nullptr;
+  // vdrift-lint: allow(no-raw-chrono): async-signal-safe clock fixture
+  clock_gettime(0, ts);
+  return 0.0;
+}
+
 }  // namespace vdrift::pipeline

@@ -10,6 +10,12 @@
 #   --threads N       run with VDRIFT_THREADS=N (default: 1, so reports
 #                     are comparable to the committed serial baseline)
 #   --smoke           1 repeat / no warmup / tiny Tokyo-only workbench
+#   --ledger DIR      append each run's record to DIR/<name>.jsonl
+#                     (VDRIFT_BENCH_LEDGER) — the run history the
+#                     statistical gate estimates noise from
+#   --no-kernel-profile  skip per-kernel op timing (on by default so the
+#                     reports carry the kernel table compare_bench.py
+#                     attributes regressions with)
 #   --asan            configure+build build-asan with
 #                     -DVDRIFT_ENABLE_SANITIZERS=ON and run from there
 #   bench ...         subset to run (default: all migrated benches)
@@ -23,6 +29,8 @@ OUT_DIR="$REPO_ROOT"
 THREADS=1
 SMOKE=0
 ASAN=0
+LEDGER_DIR=""
+KERNEL_PROFILE=1
 BENCHES=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -30,6 +38,8 @@ while [[ $# -gt 0 ]]; do
     --out-dir) OUT_DIR="$2"; shift 2 ;;
     --threads) THREADS="$2"; shift 2 ;;
     --smoke) SMOKE=1; shift ;;
+    --ledger) LEDGER_DIR="$2"; shift 2 ;;
+    --no-kernel-profile) KERNEL_PROFILE=0; shift ;;
     --asan) ASAN=1; shift ;;
     -h|--help) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
     -*) echo "unknown option: $1" >&2; exit 2 ;;
@@ -55,6 +65,13 @@ export VDRIFT_GIT_REV="${VDRIFT_GIT_REV:-$(git rev-parse --short=12 HEAD \
 export VDRIFT_THREADS="$THREADS"
 if [[ "$SMOKE" -eq 1 ]]; then
   export VDRIFT_BENCH_SMOKE=1
+fi
+if [[ -n "$LEDGER_DIR" ]]; then
+  mkdir -p "$LEDGER_DIR"
+  export VDRIFT_BENCH_LEDGER="$LEDGER_DIR"
+fi
+if [[ "$KERNEL_PROFILE" -eq 1 ]]; then
+  export VDRIFT_KERNEL_PROFILE=1
 fi
 
 FAILED=0

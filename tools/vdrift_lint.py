@@ -13,8 +13,11 @@ enforce by memory; this tool makes them machine-checked:
   no-raw-chrono             All timing flows through obs::MonotonicSeconds /
                             ScopedTimer / TraceSpan so traces, histograms
                             and bench numbers share one clock. Direct
-                            std::chrono use needs a rationale (e.g. a fault
-                            injector's intrinsic wall-clock stall).
+                            std::chrono or POSIX clock use (clock_gettime,
+                            gettimeofday) needs a rationale (e.g. a fault
+                            injector's intrinsic wall-clock stall, or the
+                            sampling profiler's signal handler, where only
+                            async-signal-safe clocks are legal).
   no-ambient-nondeterminism std::rand / std::random_device / time() / getenv
                             make runs irreproducible. RNG must be seeded
                             PCG32 (stats::Rng); env reads are allowed only
@@ -66,7 +69,8 @@ CHECKS = {
         "carry a programmer-error rationale or become a Status",
     "no-raw-chrono":
         "timing must flow through obs::MonotonicSeconds / ScopedTimer / "
-        "TraceSpan, not raw std::chrono",
+        "TraceSpan, not raw std::chrono or POSIX clocks "
+        "(clock_gettime/gettimeofday)",
     "no-ambient-nondeterminism":
         "no std::rand / std::random_device / time() / getenv outside "
         "justified config chokepoints",
@@ -82,7 +86,9 @@ CHECK_PATTERNS = {
     "no-data-dependent-check":
         re.compile(r"\bVDRIFT_CHECK(?:_OK)?\s*\("),
     "no-raw-chrono":
-        re.compile(r"std::chrono\b|#\s*include\s*<chrono>"),
+        re.compile(r"std::chrono\b|#\s*include\s*<chrono>"
+                   r"|(?<![\w:.])clock_gettime\s*\("
+                   r"|(?<![\w:.])gettimeofday\s*\("),
     "no-ambient-nondeterminism":
         re.compile(
             r"std::rand\b|std::srand\b|(?<![\w:])srand\s*\("
