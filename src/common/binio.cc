@@ -43,6 +43,11 @@ void BinaryWriter::WriteDoubleVec(const std::vector<double>& v) {
   for (double d : v) WriteDouble(d);
 }
 
+void BinaryWriter::WriteFloatVec(const std::vector<float>& v) {
+  WriteU64(static_cast<uint64_t>(v.size()));
+  for (float f : v) WriteF32(f);
+}
+
 void BinaryWriter::WriteI64Vec(const std::vector<int64_t>& v) {
   WriteU64(static_cast<uint64_t>(v.size()));
   for (int64_t d : v) WriteI64(d);
@@ -70,6 +75,20 @@ Status BinaryReader::ReadDoubleVec(std::vector<double>* v) {
   v->resize(size);
   for (uint64_t i = 0; i < size; ++i) {
     VDRIFT_RETURN_NOT_OK(ReadDouble(&(*v)[i]));
+  }
+  return Status::OK();
+}
+
+Status BinaryReader::ReadFloatVec(std::vector<float>* v) {
+  uint64_t size = 0;
+  VDRIFT_RETURN_NOT_OK(ReadU64(&size));
+  if (size > remaining() / sizeof(float)) {
+    return Status::DataLoss("truncated float vector of declared length " +
+                            std::to_string(size));
+  }
+  v->resize(size);
+  for (uint64_t i = 0; i < size; ++i) {
+    VDRIFT_RETURN_NOT_OK(ReadF32(&(*v)[i]));
   }
   return Status::OK();
 }

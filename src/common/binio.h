@@ -30,8 +30,10 @@ class BinaryWriter {
   void WriteI32(int32_t v) { Append(&v, sizeof(v)); }
   void WriteI64(int64_t v) { Append(&v, sizeof(v)); }
   void WriteDouble(double v) { Append(&v, sizeof(v)); }
+  void WriteF32(float v) { Append(&v, sizeof(v)); }
   void WriteString(const std::string& s);
   void WriteDoubleVec(const std::vector<double>& v);
+  void WriteFloatVec(const std::vector<float>& v);
   void WriteI64Vec(const std::vector<int64_t>& v);
 
   const std::string& bytes() const { return bytes_; }
@@ -59,8 +61,10 @@ class BinaryReader {
   [[nodiscard]] Status ReadI32(int32_t* v) { return Extract(v, sizeof(*v)); }
   [[nodiscard]] Status ReadI64(int64_t* v) { return Extract(v, sizeof(*v)); }
   [[nodiscard]] Status ReadDouble(double* v) { return Extract(v, sizeof(*v)); }
+  [[nodiscard]] Status ReadF32(float* v) { return Extract(v, sizeof(*v)); }
   [[nodiscard]] Status ReadString(std::string* s);
   [[nodiscard]] Status ReadDoubleVec(std::vector<double>* v);
+  [[nodiscard]] Status ReadFloatVec(std::vector<float>* v);
   [[nodiscard]] Status ReadI64Vec(std::vector<int64_t>* v);
 
   /// Bytes not yet consumed.

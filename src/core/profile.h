@@ -76,6 +76,11 @@ class DistributionProfile {
   std::vector<float> EncodeSampled(const tensor::Tensor& pixels,
                                    stats::Rng* rng) const;
 
+  /// Deep copy: clones the VAE (same weights, fresh caches) and copies the
+  /// point set and statistics, so the clone can score frames on another
+  /// thread while this instance keeps serving its own stream.
+  std::unique_ptr<DistributionProfile> Clone() const;
+
  private:
   // Appends weighted global statistics to a latent vector.
   std::vector<float> Augment(std::vector<float> latent,

@@ -8,6 +8,7 @@
 #include "nn/layers.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "nn/serialize.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
 #include "vae/vae.h"
@@ -139,6 +140,20 @@ int ImageClassifier::Predict(const Tensor& frame) {
   std::vector<float> probs = PredictProba(frame);
   return static_cast<int>(std::max_element(probs.begin(), probs.end()) -
                           probs.begin());
+}
+
+std::shared_ptr<nn::ProbabilisticClassifier> ImageClassifier::Clone() const {
+  // Rebuild the architecture with a throwaway RNG (every weight is
+  // overwritten by the copy below), then transplant the parameters.
+  stats::Rng init_rng(0);
+  auto clone = std::make_shared<ImageClassifier>(config_, &init_rng);
+  // CopyParameters reads through Layer::Params(), which is non-const on
+  // the Layer interface; the source network is not mutated.
+  ImageClassifier* self = const_cast<ImageClassifier*>(this);
+  Status copied = nn::CopyParameters(&self->net_, clone->net());
+  // vdrift-lint: allow(no-data-dependent-check): same-architecture nets
+  VDRIFT_CHECK(copied.ok()) << copied.ToString();
+  return clone;
 }
 
 double ImageClassifier::Accuracy(const std::vector<Tensor>& frames,

@@ -58,6 +58,10 @@ class ImageClassifier : public nn::ProbabilisticClassifier {
   int Predict(const tensor::Tensor& frame) override;
   int num_classes() const override { return config_.num_classes; }
 
+  /// Deep copy: same architecture and parameters, fresh forward-pass
+  /// caches and dropout RNG — safe to run on another thread.
+  std::shared_ptr<nn::ProbabilisticClassifier> Clone() const override;
+
   /// Monte-Carlo-dropout predictive distribution: averages `passes`
   /// stochastic forward passes with dropout active. Requires
   /// config.dropout_rate > 0; with rate 0 it equals PredictProba.

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <limits>
 #include <sstream>
+#include <utility>
 
 #include "common/logging.h"
 #include "obs/metrics.h"
@@ -109,6 +110,38 @@ Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
     }
   }
   return plan;
+}
+
+Result<std::vector<StreamFaultPlan>> ParsePerStreamFaultSpec(
+    const std::string& spec) {
+  std::vector<StreamFaultPlan> plans;
+  std::istringstream entries(spec);
+  std::string entry;
+  while (std::getline(entries, entry, '|')) {
+    if (entry.empty()) continue;
+    size_t at = entry.find('@');
+    if (at == std::string::npos) {
+      return Status::InvalidArgument("per-stream fault entry missing '@': " +
+                                     entry);
+    }
+    std::string label = entry.substr(0, at);
+    if (label.empty()) {
+      return Status::InvalidArgument("per-stream fault entry has empty "
+                                     "stream label: " +
+                                     entry);
+    }
+    for (const StreamFaultPlan& existing : plans) {
+      if (existing.stream == label) {
+        return Status::InvalidArgument("duplicate stream label in fault "
+                                       "spec: " +
+                                       label);
+      }
+    }
+    VDRIFT_ASSIGN_OR_RETURN(FaultPlan plan,
+                            FaultPlan::Parse(entry.substr(at + 1)));
+    plans.push_back(StreamFaultPlan{std::move(label), plan});
+  }
+  return plans;
 }
 
 FaultPlan FaultPlan::FromEnv() {

@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "stats/rng.h"
@@ -74,6 +75,26 @@ struct FaultPlan {
   /// typo'd spec silently testing nothing is worse than a crash).
   static FaultPlan FromEnv();
 };
+
+/// \brief One stream's fault plan in a multi-stream campaign.
+struct StreamFaultPlan {
+  std::string stream;  ///< The stream label the plan applies to.
+  FaultPlan plan;
+};
+
+/// Parses a per-stream fault spec for fleet runs:
+///
+///   "<label>@<plan-spec>|<label>@<plan-spec>|..."
+///
+/// e.g. "s3@nan_frame:p=0.02;selector_fail:p=1|s5@stall:p=0.1,ms=2" —
+/// '|' separates streams, '@' separates a stream label from its
+/// FaultPlan::Parse clause list. Each stream gets its own FaultInjector
+/// (the injector is not thread-safe and fleet shards run concurrently),
+/// so faults on one stream never perturb another stream's draw sequence.
+/// Duplicate labels, empty labels, or malformed plans are
+/// kInvalidArgument. The empty spec parses to an empty list.
+Result<std::vector<StreamFaultPlan>> ParsePerStreamFaultSpec(
+    const std::string& spec);
 
 /// \brief Seed-driven fault source shared by every injection point.
 ///

@@ -1,6 +1,7 @@
 #ifndef VDRIFT_NN_CLASSIFIER_H_
 #define VDRIFT_NN_CLASSIFIER_H_
 
+#include <memory>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -24,6 +25,17 @@ class ProbabilisticClassifier {
 
   /// Number of classes K.
   virtual int num_classes() const = 0;
+
+  /// \brief A deep copy with identical parameters, sharing no mutable
+  /// state with this instance.
+  ///
+  /// Layers cache forward activations, so two threads must never run the
+  /// same classifier object concurrently — the fleet clones every model
+  /// per stream instead. Returns nullptr when the concrete type does not
+  /// support cloning (callers surface that as a Status, never a crash).
+  virtual std::shared_ptr<ProbabilisticClassifier> Clone() const {
+    return nullptr;
+  }
 };
 
 }  // namespace vdrift::nn

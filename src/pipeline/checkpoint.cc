@@ -10,7 +10,11 @@ namespace vdrift::pipeline {
 namespace {
 
 constexpr char kMagic[8] = {'V', 'D', 'C', 'K', 'P', 'T', '0', '1'};
-constexpr uint32_t kVersion = 1;
+// v2 added the detection-lag clock, per-detection lags, and the parked
+// drift-recovery state (including buffered frames). v1 files decode as
+// kDataLoss — the documented cold-start fallback, same as any other
+// unreadable checkpoint.
+constexpr uint32_t kVersion = 2;
 // Magic + version + payload length + CRC trailer.
 constexpr size_t kEnvelopeBytes = sizeof(kMagic) + 4 + 8 + 4;
 
@@ -28,6 +32,77 @@ Status DecodeRngState(BinaryReader* reader, stats::Rng::State* state) {
   VDRIFT_RETURN_NOT_OK(reader->ReadU8(&has_spare));
   VDRIFT_RETURN_NOT_OK(reader->ReadDouble(&state->spare));
   state->has_spare = has_spare != 0;
+  return Status::OK();
+}
+
+void EncodeFrame(const video::Frame& frame, BinaryWriter* writer) {
+  writer->WriteI64Vec(frame.pixels.shape().dims());
+  std::vector<float> data(frame.pixels.data(),
+                          frame.pixels.data() + frame.pixels.size());
+  writer->WriteFloatVec(data);
+  writer->WriteI32(frame.truth.sequence_id);
+  writer->WriteI64(frame.truth.frame_index);
+  writer->WriteU32(static_cast<uint32_t>(frame.truth.objects.size()));
+  for (const video::ObjectTruth& object : frame.truth.objects) {
+    writer->WriteI32(static_cast<int32_t>(object.cls));
+    writer->WriteF32(object.cx);
+    writer->WriteF32(object.cy);
+    writer->WriteF32(object.w);
+    writer->WriteF32(object.h);
+  }
+}
+
+Status DecodeFrame(BinaryReader* reader, video::Frame* frame) {
+  std::vector<int64_t> dims;
+  std::vector<float> data;
+  VDRIFT_RETURN_NOT_OK(reader->ReadI64Vec(&dims));
+  VDRIFT_RETURN_NOT_OK(reader->ReadFloatVec(&data));
+  tensor::Shape shape(dims);
+  if (shape.NumElements() != static_cast<int64_t>(data.size())) {
+    return Status::DataLoss("checkpoint frame pixel payload has " +
+                            std::to_string(data.size()) +
+                            " floats for shape " + shape.ToString());
+  }
+  frame->pixels = tensor::Tensor(std::move(shape), std::move(data));
+  VDRIFT_RETURN_NOT_OK(reader->ReadI32(&frame->truth.sequence_id));
+  VDRIFT_RETURN_NOT_OK(reader->ReadI64(&frame->truth.frame_index));
+  uint32_t objects = 0;
+  VDRIFT_RETURN_NOT_OK(reader->ReadU32(&objects));
+  if (objects > reader->remaining()) {
+    return Status::DataLoss("truncated object list of declared length " +
+                            std::to_string(objects));
+  }
+  frame->truth.objects.resize(objects);
+  for (uint32_t i = 0; i < objects; ++i) {
+    video::ObjectTruth& object = frame->truth.objects[i];
+    int32_t cls = 0;
+    VDRIFT_RETURN_NOT_OK(reader->ReadI32(&cls));
+    object.cls = static_cast<video::ObjectClass>(cls);
+    VDRIFT_RETURN_NOT_OK(reader->ReadF32(&object.cx));
+    VDRIFT_RETURN_NOT_OK(reader->ReadF32(&object.cy));
+    VDRIFT_RETURN_NOT_OK(reader->ReadF32(&object.w));
+    VDRIFT_RETURN_NOT_OK(reader->ReadF32(&object.h));
+  }
+  return Status::OK();
+}
+
+void EncodeFrameVec(const std::vector<video::Frame>& frames,
+                    BinaryWriter* writer) {
+  writer->WriteU32(static_cast<uint32_t>(frames.size()));
+  for (const video::Frame& frame : frames) EncodeFrame(frame, writer);
+}
+
+Status DecodeFrameVec(BinaryReader* reader, std::vector<video::Frame>* frames) {
+  uint32_t n = 0;
+  VDRIFT_RETURN_NOT_OK(reader->ReadU32(&n));
+  if (n > reader->remaining()) {
+    return Status::DataLoss("truncated frame list of declared length " +
+                            std::to_string(n));
+  }
+  frames->resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    VDRIFT_RETURN_NOT_OK(DecodeFrame(reader, &(*frames)[i]));
+  }
   return Status::OK();
 }
 
@@ -80,6 +155,18 @@ std::string EncodePayload(const PipelineCheckpoint& cp) {
   writer.WriteI64(cp.degradation.recalibrate_failures);
   writer.WriteI64(cp.degradation.checkpoint_failures);
   writer.WriteU8(cp.degradation.drift_oblivious ? 1 : 0);
+  // --- v2 fields ---
+  writer.WriteI32(cp.last_sequence_id);
+  writer.WriteI64(cp.frames_since_sequence_change);
+  writer.WriteDouble(cp.last_p_value);
+  writer.WriteI64Vec(cp.detect_lags);
+  writer.WriteU8(cp.recovery_phase);
+  writer.WriteI32(cp.recovery_target);
+  writer.WriteI32(cp.recovery_backoff);
+  writer.WriteI32(cp.recovery_attempt);
+  writer.WriteU8(cp.recovery_initial_collect ? 1 : 0);
+  EncodeFrameVec(cp.recovery_window, &writer);
+  EncodeFrameVec(cp.recovery_training, &writer);
   return std::move(writer).TakeBytes();
 }
 
@@ -144,6 +231,23 @@ Status DecodePayload(const std::string& payload, PipelineCheckpoint* cp) {
   VDRIFT_RETURN_NOT_OK(reader.ReadI64(&cp->degradation.checkpoint_failures));
   VDRIFT_RETURN_NOT_OK(reader.ReadU8(&flag));
   cp->degradation.drift_oblivious = flag != 0;
+  // --- v2 fields ---
+  VDRIFT_RETURN_NOT_OK(reader.ReadI32(&cp->last_sequence_id));
+  VDRIFT_RETURN_NOT_OK(reader.ReadI64(&cp->frames_since_sequence_change));
+  VDRIFT_RETURN_NOT_OK(reader.ReadDouble(&cp->last_p_value));
+  VDRIFT_RETURN_NOT_OK(reader.ReadI64Vec(&cp->detect_lags));
+  VDRIFT_RETURN_NOT_OK(reader.ReadU8(&cp->recovery_phase));
+  if (cp->recovery_phase > 2) {
+    return Status::DataLoss("checkpoint recovery phase out of range: " +
+                            std::to_string(cp->recovery_phase));
+  }
+  VDRIFT_RETURN_NOT_OK(reader.ReadI32(&cp->recovery_target));
+  VDRIFT_RETURN_NOT_OK(reader.ReadI32(&cp->recovery_backoff));
+  VDRIFT_RETURN_NOT_OK(reader.ReadI32(&cp->recovery_attempt));
+  VDRIFT_RETURN_NOT_OK(reader.ReadU8(&flag));
+  cp->recovery_initial_collect = flag != 0;
+  VDRIFT_RETURN_NOT_OK(DecodeFrameVec(&reader, &cp->recovery_window));
+  VDRIFT_RETURN_NOT_OK(DecodeFrameVec(&reader, &cp->recovery_training));
   if (reader.remaining() != 0) {
     return Status::DataLoss("checkpoint payload has " +
                             std::to_string(reader.remaining()) +

@@ -12,6 +12,7 @@
 #include "fault/fault.h"
 #include "pipeline/pipeline.h"
 #include "stats/rng.h"
+#include "video/frame.h"
 
 namespace vdrift::pipeline {
 
@@ -45,6 +46,27 @@ struct PipelineCheckpoint {
   int64_t selection_invocations = 0;
   std::map<int, SequenceAccuracy> per_sequence;
   DegradationStats degradation;
+
+  // --- v2 fields ---
+  // Detection-lag clock, so a resumed run's detect_lag_frames histogram is
+  // bit-identical to an uninterrupted one (the clock must keep counting
+  // across the resume, not restart at -1/0).
+  int32_t last_sequence_id = -1;
+  int64_t frames_since_sequence_change = 0;
+  double last_p_value = 1.0;
+  // Per-detection lags, replayed into the fresh per-run histogram.
+  std::vector<int64_t> detect_lags;
+  // Drift handling parked at a slice boundary: phase (0=idle, 1=recovery
+  // window, 2=training window), the retry state, and the buffered frames
+  // themselves — a resume continues collecting exactly where the
+  // interrupted run stopped.
+  uint8_t recovery_phase = 0;
+  int32_t recovery_target = 0;
+  int32_t recovery_backoff = 0;
+  int32_t recovery_attempt = 0;
+  bool recovery_initial_collect = true;
+  std::vector<video::Frame> recovery_window;
+  std::vector<video::Frame> recovery_training;
 };
 
 /// Serializes a checkpoint: 8-byte magic "VDCKPT01", u32 version, u64

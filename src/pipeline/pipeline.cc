@@ -130,6 +130,12 @@ DriftAwarePipeline::DriftAwarePipeline(
 void DriftAwarePipeline::AttachRunObservability() {
   AttachObservability(&metrics_);
   const PipelineObsOptions& obs = config_.obs;
+  if (obs.shared_registry != nullptr) {
+    // Fleet mode: record into the caller's registry so labeled per-stream
+    // series and unlabeled aggregates coexist. The registry outlives this
+    // pipeline object, so its series survive a shard restart.
+    metrics_.registry = obs.shared_registry;
+  }
   auto named = [&](const char* base) {
     return obs.stream_label.empty()
                ? std::string(base)
@@ -289,102 +295,145 @@ Result<select::Selection> DriftAwarePipeline::AttemptSelection(
   return msbi.Select(video::PixelsOf(window));
 }
 
-Status DriftAwarePipeline::HandleDrift(video::FrameSource* stream,
-                                       PipelineMetrics* metrics) {
-  // Collect the recovery window (frames keep being processed by the
-  // still-deployed model while the selector decides). Non-finite frames
-  // are useless to both the selector and the queries: dropped + counted.
-  std::vector<video::Frame> window;
+void DriftAwarePipeline::AdvanceLagClock(const video::Frame& frame) {
+  // A ground-truth sequence change is the true drift onset the next
+  // detection is measured against.
+  if (frame.truth.sequence_id != last_sequence_id_) {
+    last_sequence_id_ = frame.truth.sequence_id;
+    frames_since_sequence_change_ = 0;
+  } else {
+    frames_since_sequence_change_ += 1;
+  }
+}
+
+void DriftAwarePipeline::BeginDriftHandling() {
+  recovery_ = DriftRecovery{};
+  recovery_.phase = DriftRecovery::Phase::kWindow;
+  recovery_.target = config_.recovery_window;
+  recovery_.backoff = std::max(1, config_.degrade.backoff_initial_frames);
+}
+
+void DriftAwarePipeline::FinishRedeployment(PipelineMetrics* metrics) {
+  metrics->episodes->AnnotateDecision(metrics->selections.back());
+  metrics->registry->GetCounter(names_.redeployments).Increment();
+  // Re-arm DI against the newly deployed distribution.
+  inspector_ = std::make_unique<conformal::DriftInspector>(
+      registry_->at(deployed_).profile.get(), config_.di,
+      config_.seed + static_cast<uint64_t>(metrics->drifts_detected));
+  inspector_->set_recorder(metrics->episodes.get());
+  recovery_ = DriftRecovery{};
+}
+
+Status DriftAwarePipeline::ContinueDriftHandling(video::FrameSource* stream,
+                                                 PipelineMetrics* metrics,
+                                                 int64_t* admitted,
+                                                 int64_t max_frames) {
+  // Collect frames for the recovery/training windows (frames keep being
+  // processed by the still-deployed model while the selector decides).
+  // Every pulled frame spends the same admitted-frame budget as the main
+  // loop, so a slice never overshoots RunOptions::max_frames; when the
+  // budget runs out mid-collection the state parks in recovery_ and the
+  // next Run call (or a resumed checkpoint) continues it. Non-finite
+  // frames are useless to both the selector and the queries: dropped +
+  // counted.
+  enum class Collect { kFilled, kBudget, kStreamEnd };
   video::Frame frame;
-  auto collect = [&](int target) {
-    while (static_cast<int>(window.size()) < target && stream->Next(&frame)) {
+  auto collect = [&](std::vector<video::Frame>* dest, int target) {
+    while (static_cast<int>(dest->size()) < target) {
+      if (max_frames >= 0 && *admitted >= max_frames) return Collect::kBudget;
+      if (!stream->Next(&frame)) return Collect::kStreamEnd;
+      *admitted += 1;
       metrics->frames += 1;
       metrics->registry->GetCounter(names_.frames).Increment();
+      AdvanceLagClock(frame);
       if (!AllFinite(frame.pixels)) {
         metrics->degradation.frames_dropped += 1;
         metrics->registry->GetCounter(names_.frames_dropped).Increment();
-        continue;
+        continue;  // never select or train on poisoned pixels
       }
       if (config_.run_queries) RecordQueries(frame, metrics);
-      window.push_back(frame);
+      dest->push_back(frame);
     }
+    return Collect::kFilled;
   };
-  collect(config_.recovery_window);
-  if (window.empty()) return Status::OK();  // stream ended at the drift
 
   // Bounded retry with exponential backoff in stream time: each failed
   // attempt widens the recovery window before trying again, and after
   // max_selection_retries the drift is resolved by keeping the incumbent
   // (better a possibly-stale model than a dead pipeline).
-  select::Selection selection;
-  int target = static_cast<int>(window.size());
-  int backoff = std::max(1, config_.degrade.backoff_initial_frames);
-  int attempt = 0;
-  while (true) {
+  while (recovery_.phase == DriftRecovery::Phase::kWindow) {
+    Collect got = collect(&recovery_.window, recovery_.target);
+    if (got == Collect::kBudget) return Status::OK();  // parked at the slice
+    if (recovery_.initial_collect) {
+      if (recovery_.window.empty()) {
+        recovery_ = DriftRecovery{};
+        return Status::OK();  // stream ended at the drift
+      }
+      recovery_.initial_collect = false;
+      recovery_.target = static_cast<int>(recovery_.window.size());
+    }
     Result<select::Selection> attempted = [&] {
       obs::TraceSpan select_span(metrics->registry.get(), names_.select_span);
-      return AttemptSelection(window, metrics);
+      return AttemptSelection(recovery_.window, metrics);
     }();
-    if (attempted.ok()) {
-      selection = std::move(attempted).value();
-      break;
-    }
-    metrics->degradation.selector_failures += 1;
-    metrics->registry->GetCounter(names_.selection_failures).Increment();
-    if (attempt >= config_.degrade.max_selection_retries) {
-      metrics->degradation.incumbent_fallbacks += 1;
-      metrics->selections.push_back("<incumbent>");
-      metrics->episodes->AnnotateDecision("<incumbent>");
-      ++consecutive_selection_failures_;
-      if (config_.degrade.max_consecutive_failures > 0 &&
-          consecutive_selection_failures_ >=
-              config_.degrade.max_consecutive_failures) {
-        drift_oblivious_ = true;
-        metrics->degradation.drift_oblivious = true;
+    if (!attempted.ok()) {
+      metrics->degradation.selector_failures += 1;
+      metrics->registry->GetCounter(names_.selection_failures).Increment();
+      if (recovery_.attempt >= config_.degrade.max_selection_retries) {
+        metrics->degradation.incumbent_fallbacks += 1;
+        metrics->selections.push_back("<incumbent>");
+        metrics->episodes->AnnotateDecision("<incumbent>");
+        ++consecutive_selection_failures_;
+        if (config_.degrade.max_consecutive_failures > 0 &&
+            consecutive_selection_failures_ >=
+                config_.degrade.max_consecutive_failures) {
+          drift_oblivious_ = true;
+          metrics->degradation.drift_oblivious = true;
+        }
+        inspector_->Reset();
+        recovery_ = DriftRecovery{};
+        return Status::OK();
       }
-      inspector_->Reset();
+      recovery_.attempt += 1;
+      metrics->degradation.selector_retries += 1;
+      recovery_.target += recovery_.backoff;
+      recovery_.backoff *= 2;
+      continue;
+    }
+    select::Selection selection = std::move(attempted).value();
+    consecutive_selection_failures_ = 0;
+    metrics->selection_invocations += selection.invocations;
+    if (!selection.train_new_model) {
+      deployed_ = selection.model_index;
+      metrics->selections.push_back(registry_->at(deployed_).name);
+      FinishRedeployment(metrics);
       return Status::OK();
     }
-    ++attempt;
-    metrics->degradation.selector_retries += 1;
-    target += backoff;
-    backoff *= 2;
-    collect(target);
-  }
-  consecutive_selection_failures_ = 0;
-  metrics->selection_invocations += selection.invocations;
-
-  if (selection.train_new_model) {
     if (!config_.allow_training_new) {
       // Keep the best-effort current deployment.
       metrics->selections.push_back("<none>");
       metrics->episodes->AnnotateDecision("<none>");
       inspector_->Reset();
+      recovery_ = DriftRecovery{};
       return Status::OK();
     }
     // trainNewModel() (§5.4): accumulate more frames, annotate with the
     // oracle, and provision a full model entry.
-    std::vector<video::Frame> training = window;
-    while (static_cast<int>(training.size()) < config_.new_model_window &&
-           stream->Next(&frame)) {
-      metrics->frames += 1;
-      metrics->registry->GetCounter(names_.frames).Increment();
-      if (!AllFinite(frame.pixels)) {
-        metrics->degradation.frames_dropped += 1;
-        metrics->registry->GetCounter(names_.frames_dropped).Increment();
-        continue;  // never train on poisoned pixels
-      }
-      if (config_.run_queries) RecordQueries(frame, metrics);
-      training.push_back(frame);
-    }
-    std::string name =
-        "learned-" + std::to_string(metrics->new_models_trained);
+    recovery_.training = recovery_.window;
+    recovery_.phase = DriftRecovery::Phase::kTraining;
+  }
+
+  if (recovery_.phase == DriftRecovery::Phase::kTraining) {
+    Collect got = collect(&recovery_.training, config_.new_model_window);
+    if (got == Collect::kBudget) return Status::OK();  // parked at the slice
+    std::string name = config_.trained_model_prefix +
+                       std::to_string(metrics->new_models_trained);
     VDRIFT_ASSIGN_OR_RETURN(
         select::ModelEntry entry,
-        ProvisionModel(name, training, config_.provision, &rng_));
+        ProvisionModel(name, recovery_.training, config_.provision, &rng_));
     int index = registry_->Add(std::move(entry));
     calibration_samples_.push_back(MakeLabeledSample(
-        training, config_.provision.count_classes, 32, &rng_));
+        recovery_.training, config_.provision.count_classes, 32, &rng_));
     if (config_.selector == PipelineConfig::Selector::kMsbo) {
       Status recalibrated = Recalibrate();
       if (!recalibrated.ok()) {
@@ -399,17 +448,27 @@ Status DriftAwarePipeline::HandleDrift(video::FrameSource* stream,
     deployed_ = index;
     metrics->new_models_trained += 1;
     metrics->selections.push_back(name);
-  } else {
-    deployed_ = selection.model_index;
-    metrics->selections.push_back(registry_->at(deployed_).name);
+    FinishRedeployment(metrics);
   }
-  metrics->episodes->AnnotateDecision(metrics->selections.back());
-  metrics->registry->GetCounter(names_.redeployments).Increment();
-  // Re-arm DI against the newly deployed distribution.
-  inspector_ = std::make_unique<conformal::DriftInspector>(
-      registry_->at(deployed_).profile.get(), config_.di,
-      config_.seed + static_cast<uint64_t>(metrics->drifts_detected));
-  inspector_->set_recorder(metrics->episodes.get());
+  return Status::OK();
+}
+
+Status DriftAwarePipeline::AdoptModel(
+    const select::ModelEntry& entry,
+    const std::vector<select::LabeledFrame>& sample) {
+  if (registry_->FindByName(entry.name) >= 0) return Status::OK();
+  registry_->Add(entry);
+  calibration_samples_.push_back(sample);
+  if (config_.selector == PipelineConfig::Selector::kMsbo && calibrated_) {
+    Status recalibrated = Recalibrate();
+    if (!recalibrated.ok()) {
+      // Same degradation contract as trainNewModel: the adopted entry gets
+      // a permissive calibration extension and stays selectable.
+      metrics_.degradation.recalibrate_failures += 1;
+      calibration_.pc_avg.push_back(1.0);
+      calibration_.sigma.push_back(0.0);
+    }
+  }
   return Status::OK();
 }
 
@@ -429,19 +488,22 @@ Result<PipelineMetrics> DriftAwarePipeline::Run(video::FrameSource* stream,
     obs::TraceSpan run_span(metrics_.registry.get(), names_.run_span);
     video::Frame frame;
     int64_t admitted = 0;
-    while ((options.max_frames < 0 || admitted < options.max_frames) &&
+    const int64_t max_frames = options.max_frames;
+    // Drift handling parked at the previous slice boundary continues
+    // first — its frames draw from this call's budget.
+    if (recovery_.phase != DriftRecovery::Phase::kIdle &&
+        (max_frames < 0 || admitted < max_frames)) {
+      VDRIFT_RETURN_NOT_OK(
+          ContinueDriftHandling(stream, &metrics_, &admitted, max_frames));
+      TickObs(false);
+    }
+    while ((max_frames < 0 || admitted < max_frames) &&
+           recovery_.phase == DriftRecovery::Phase::kIdle &&
            stream->Next(&frame)) {
       ++admitted;
       metrics_.frames += 1;
       frame_counter.Increment();
-      // Detection-lag clock: a ground-truth sequence change is the true
-      // drift onset the next detection is measured against.
-      if (frame.truth.sequence_id != last_sequence_id_) {
-        last_sequence_id_ = frame.truth.sequence_id;
-        frames_since_sequence_change_ = 0;
-      } else {
-        frames_since_sequence_change_ += 1;
-      }
+      AdvanceLagClock(frame);
       if (drift_oblivious_) {
         // Degraded endgame: DI is disarmed, the incumbent keeps serving.
         if (config_.run_queries) RecordQueries(frame, &metrics_);
@@ -467,9 +529,12 @@ Result<PipelineMetrics> DriftAwarePipeline::Run(video::FrameSource* stream,
         metrics_.drifts_detected += 1;
         drift_counter.Increment();
         metrics_.drift_frames.push_back(frame.truth.frame_index);
-        detect_lag.Record(static_cast<double>(
-            std::max<int64_t>(1, frames_since_sequence_change_)));
-        VDRIFT_RETURN_NOT_OK(HandleDrift(stream, &metrics_));
+        const int64_t lag = std::max<int64_t>(1, frames_since_sequence_change_);
+        metrics_.detect_lags.push_back(lag);
+        detect_lag.Record(static_cast<double>(lag));
+        BeginDriftHandling();
+        VDRIFT_RETURN_NOT_OK(
+            ContinueDriftHandling(stream, &metrics_, &admitted, max_frames));
       }
       TickObs(false);
     }
@@ -505,6 +570,17 @@ Status DriftAwarePipeline::Checkpoint(const std::string& path,
   cp.selection_invocations = metrics_.selection_invocations;
   cp.per_sequence = metrics_.per_sequence;
   cp.degradation = metrics_.degradation;
+  cp.last_sequence_id = last_sequence_id_;
+  cp.frames_since_sequence_change = frames_since_sequence_change_;
+  cp.last_p_value = last_p_value_;
+  cp.detect_lags = metrics_.detect_lags;
+  cp.recovery_phase = static_cast<uint8_t>(recovery_.phase);
+  cp.recovery_target = recovery_.target;
+  cp.recovery_backoff = recovery_.backoff;
+  cp.recovery_attempt = recovery_.attempt;
+  cp.recovery_initial_collect = recovery_.initial_collect;
+  cp.recovery_window = recovery_.window;
+  cp.recovery_training = recovery_.training;
   Status written = WriteCheckpointFile(cp, path, config_.injector);
   if (!written.ok()) {
     metrics_.degradation.checkpoint_failures += 1;
@@ -573,6 +649,37 @@ Status DriftAwarePipeline::Resume(const std::string& path,
   metrics_.selection_invocations = cp.selection_invocations;
   metrics_.per_sequence = cp.per_sequence;
   metrics_.degradation = cp.degradation;
+  // Detection-lag clock and the per-detection lags: AttachRunObservability
+  // reset the clock, so restore it after, and replay the recorded lags
+  // into the fresh per-run histogram so `detect_lag_frames` is
+  // bit-identical to an uninterrupted run's.
+  last_sequence_id_ = cp.last_sequence_id;
+  frames_since_sequence_change_ = cp.frames_since_sequence_change;
+  last_p_value_ = cp.last_p_value;
+  metrics_.detect_lags = cp.detect_lags;
+  if (config_.obs.shared_registry == nullptr) {
+    // A private per-run registry is fresh, so the recorded lags are
+    // replayed into it; a shared (fleet) registry outlives the pipeline
+    // and already holds the pre-crash series — replaying would double
+    // every observation.
+    obs::Histogram& detect_lag =
+        metrics_.registry->GetHistogram(names_.detect_lag, DetectLagOptions());
+    for (int64_t lag : metrics_.detect_lags) {
+      detect_lag.Record(static_cast<double>(lag));
+    }
+  }
+  // Sampler cadence continues in the cumulative admitted-frame clock.
+  last_sample_frame_ = metrics_.frames;
+  // Drift handling parked at the interrupted slice continues where it
+  // stopped, buffered frames included.
+  recovery_ = DriftRecovery{};
+  recovery_.phase = static_cast<DriftRecovery::Phase>(cp.recovery_phase);
+  recovery_.target = cp.recovery_target;
+  recovery_.backoff = cp.recovery_backoff;
+  recovery_.attempt = cp.recovery_attempt;
+  recovery_.initial_collect = cp.recovery_initial_collect;
+  recovery_.window = cp.recovery_window;
+  recovery_.training = cp.recovery_training;
   inspector_->set_recorder(metrics_.episodes.get());
   return Status::OK();
 }
@@ -735,9 +842,13 @@ Result<PipelineMetrics> StaticDetectorPipeline::RunDetector(
       acc.invocations += 1;
       if (predicted == truth) acc.count_correct += 1;
       if (run_predicate) {
-        bool p = detector->PredictPredicate(frame.pixels);
+        // Score against detect::PredicateLabel, the same ground-truth
+        // encoding every other pipeline uses, so accuracies compare.
+        int p = detector->PredictPredicate(frame.pixels) ? 1 : 0;
         acc.predicate_total += 1;
-        if (p == frame.truth.BusLeftOfCar()) acc.predicate_correct += 1;
+        if (p == detect::PredicateLabel(frame.truth)) {
+          acc.predicate_correct += 1;
+        }
       }
     }
   }

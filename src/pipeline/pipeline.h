@@ -110,6 +110,11 @@ struct PipelineObsOptions {
   /// so several pipelines can share one registry without colliding
   /// (multi-stream serving).
   std::string stream_label;
+  /// When set, the pipeline records into this registry instead of creating
+  /// a private one — the fleet hands every stream the same registry so
+  /// labeled per-stream series and unlabeled aggregates coexist. Pair with
+  /// a unique stream_label per pipeline.
+  std::shared_ptr<obs::MetricsRegistry> shared_registry;
 
   /// Reads VDRIFT_SAMPLE_INTERVAL, VDRIFT_SLO_SPEC, VDRIFT_METRICS_JSONL,
   /// and VDRIFT_STREAM_LABEL. Unset variables keep the defaults above, so
@@ -123,6 +128,11 @@ struct PipelineMetrics {
   int drifts_detected = 0;
   int new_models_trained = 0;
   std::vector<int64_t> drift_frames;      ///< Stream indices of detections.
+  std::vector<int64_t> detect_lags;       ///< Frames from truth change to
+                                          ///< detection, one per detection
+                                          ///< (mirrors the detect_lag_frames
+                                          ///< histogram so resumes can
+                                          ///< rebuild it bit-identically).
   std::vector<std::string> selections;    ///< Model picked per drift.
   int64_t selection_invocations = 0;      ///< Selector-internal invocations.
   std::map<int, SequenceAccuracy> per_sequence;  ///< Keyed by sequence id.
@@ -184,6 +194,10 @@ struct PipelineConfig {
   /// (the paper collects ~5k frames; scaled down here).
   int new_model_window = 96;
   bool allow_training_new = true;
+  /// Names of models learned mid-run: `<prefix><n>` for the n-th trained
+  /// model. Fleet shards override this with a per-stream prefix so models
+  /// published into the shared registry never collide by name.
+  std::string trained_model_prefix = "learned-";
   ProvisionOptions provision;   ///< Used by the trainNewModel path.
   bool run_queries = true;      ///< Execute count/predicate queries.
   bool run_predicate = false;   ///< Also score the spatial query.
@@ -213,8 +227,14 @@ struct PipelineConfig {
 /// pause a run mid-stream).
 struct RunOptions {
   /// Frames to admit from the stream in this call; -1 = until the
-  /// stream is exhausted. Frames consumed inside drift handling
-  /// (recovery window, training window) do not count against the limit.
+  /// stream is exhausted. EVERY frame pulled from the stream counts:
+  /// frames consumed inside drift handling (recovery window, training
+  /// window) draw from the same budget, so a slice never overshoots —
+  /// `stream->position()` advances by exactly min(max_frames, remaining)
+  /// per call. A slice boundary can therefore land mid-recovery; the
+  /// pipeline parks the partially collected window and the next Run call
+  /// (or a checkpoint/resume cycle — the parked state is serialized)
+  /// continues collecting where it stopped.
   int64_t max_frames = -1;
 };
 
@@ -243,6 +263,32 @@ class DriftAwarePipeline {
 
   /// Cumulative metrics so far (valid between Run calls).
   const PipelineMetrics& metrics() const { return metrics_; }
+
+  /// True while a drift is being handled across a slice boundary: the
+  /// last Run call exhausted its frame budget mid-recovery (window or
+  /// training collection) and the next call will continue it.
+  bool recovery_pending() const {
+    return recovery_.phase != DriftRecovery::Phase::kIdle;
+  }
+
+  /// The labeled calibration sample per registry entry, in registry
+  /// order. Entries appended by trainNewModel carry the sample drawn from
+  /// their training window — the fleet publishes it alongside the model
+  /// so adopting streams can recalibrate.
+  const std::vector<std::vector<select::LabeledFrame>>& calibration_samples()
+      const {
+    return calibration_samples_;
+  }
+
+  /// \brief Adds a model published by another stream to this pipeline's
+  /// registry and recalibrates so the selector can pick it.
+  ///
+  /// No-op (returns OK) when an entry with the same name already exists.
+  /// A failed recalibration degrades exactly like the trainNewModel path:
+  /// the new entry gets a permissive calibration extension and the
+  /// failure is counted, never fatal.
+  Status AdoptModel(const select::ModelEntry& entry,
+                    const std::vector<select::LabeledFrame>& sample);
 
   /// The active drift inspector (tests probe its martingale trajectory).
   const conformal::DriftInspector& inspector() const { return *inspector_; }
@@ -281,11 +327,46 @@ class DriftAwarePipeline {
         recalibrate_failures, martingale, p_value;
   };
 
+  /// \brief Drift handling parked across Run-call boundaries.
+  ///
+  /// Recovery/training frames draw from the same admitted-frame budget as
+  /// the main loop, so a slice boundary can interrupt drift handling at
+  /// any point; this struct is the continuation. It is serialized into
+  /// checkpoints (including the buffered frames) so a resumed run
+  /// continues collecting exactly where the interrupted one stopped.
+  struct DriftRecovery {
+    enum class Phase : uint8_t {
+      kIdle = 0,      ///< No drift being handled.
+      kWindow = 1,    ///< Collecting the recovery window / retry backoff.
+      kTraining = 2,  ///< Collecting the trainNewModel window.
+    };
+    Phase phase = Phase::kIdle;
+    std::vector<video::Frame> window;    ///< Recovery-window frames.
+    std::vector<video::Frame> training;  ///< Training-window frames.
+    int target = 0;   ///< Frames `window` must reach before selecting.
+    int backoff = 0;  ///< Next retry's extra window frames.
+    int attempt = 0;  ///< Selection attempts so far for this drift.
+    bool initial_collect = true;  ///< First fill of the recovery window.
+  };
+
   Status EnsureCalibrated();
-  Status HandleDrift(video::FrameSource* stream, PipelineMetrics* metrics);
+  /// Arms recovery for a drift detected on the current frame.
+  void BeginDriftHandling();
+  /// Advances drift handling until it completes or the frame budget is
+  /// exhausted (`*admitted` reaching `max_frames`); resumable.
+  Status ContinueDriftHandling(video::FrameSource* stream,
+                               PipelineMetrics* metrics, int64_t* admitted,
+                               int64_t max_frames);
+  /// Records the decision, re-arms DI on the newly deployed model, and
+  /// clears the parked recovery state.
+  void FinishRedeployment(PipelineMetrics* metrics);
   Result<select::Selection> AttemptSelection(
       const std::vector<video::Frame>& window, PipelineMetrics* metrics);
   void RecordQueries(const video::Frame& frame, PipelineMetrics* metrics);
+  /// Advances the detection-lag clock for one admitted frame — called for
+  /// every frame pulled from the stream, inside and outside recovery, so
+  /// `detect_lag_frames` measures true stream time.
+  void AdvanceLagClock(const video::Frame& frame);
   Status Recalibrate();
   /// (Re)creates the per-run registry/episodes plus, when armed, the
   /// sampler and watchdog (constructor and Resume).
@@ -307,6 +388,7 @@ class DriftAwarePipeline {
   int consecutive_selection_failures_ = 0;
   std::unique_ptr<conformal::DriftInspector> inspector_;
   PipelineMetrics metrics_;
+  DriftRecovery recovery_;
   ObsNames names_;
   int64_t last_sample_frame_ = 0;   ///< Admitted-frame clock at last window.
   double last_p_value_ = 1.0;       ///< Most recent DI observation's p.

@@ -1,0 +1,437 @@
+#include "serve/fleet.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/labels.h"
+#include "pipeline/checkpoint.h"
+#include "runtime/parallel.h"
+
+namespace vdrift::serve {
+
+namespace {
+
+// Counter families folded from labeled per-stream series into unlabeled
+// fleet aggregates at every round barrier. These are exactly the families
+// the pipeline increments as counters; its remaining degradation state is
+// exported as gauges, which do not sum.
+constexpr const char* kAggregatedCounters[] = {
+    "vdrift.pipeline.frames",
+    "vdrift.pipeline.drifts",
+    "vdrift.pipeline.frames_dropped",
+    "vdrift.pipeline.selection_failures",
+    "vdrift.pipeline.redeployments",
+    "vdrift.pipeline.checkpoint_failures",
+};
+
+}  // namespace
+
+DriftFleet::DriftFleet(const FleetOptions& options)
+    : options_(options),
+      registry_(std::make_shared<obs::MetricsRegistry>()) {
+  // vdrift-lint: allow(no-data-dependent-check): config wiring contract
+  VDRIFT_CHECK(options_.slice_frames > 0 && options_.max_concurrent > 0)
+      << "fleet needs a positive slice size and concurrency";
+  if (options_.sample_interval_rounds > 0) {
+    obs::MetricsSampler::Options sampler_options;
+    sampler_options.max_windows = options_.max_windows;
+    sampler_options.jsonl_path = options_.jsonl_path;
+    sampler_ = std::make_shared<obs::MetricsSampler>(registry_.get(),
+                                                     sampler_options);
+    if (!options_.slo_spec.empty()) {
+      std::string spec = options_.slo_spec == "default"
+                             ? obs::DefaultSloSpec()
+                             : options_.slo_spec;
+      Result<std::vector<obs::SloRule>> rules = obs::ParseSloSpec(spec);
+      if (rules.ok()) {
+        watchdog_ =
+            std::make_shared<obs::HealthWatchdog>(std::move(rules).value());
+      } else {
+        // A typo'd SLO spec must not kill the serving fleet.
+        VDRIFT_LOG_WARNING << "fleet SLO watchdog disabled: "
+                           << rules.status().ToString();
+      }
+    }
+  }
+}
+
+DriftFleet::~DriftFleet() = default;
+
+Status DriftFleet::AddBaseModel(
+    const select::ModelEntry& entry,
+    const std::vector<select::LabeledFrame>& sample) {
+  if (!shards_.empty()) {
+    return Status::FailedPrecondition(
+        "base models must be published before any stream is added");
+  }
+  VDRIFT_ASSIGN_OR_RETURN(bool accepted, published_.Publish(entry, sample));
+  if (!accepted) {
+    return Status::InvalidArgument("base model name already published: " +
+                                   entry.name);
+  }
+  base_models_ += 1;
+  return Status::OK();
+}
+
+Status DriftFleet::AddBaseModels(
+    const select::ModelRegistry& registry,
+    const std::vector<std::vector<select::LabeledFrame>>& samples) {
+  if (static_cast<int>(samples.size()) != registry.size()) {
+    return Status::InvalidArgument(
+        "one calibration sample per registry entry required");
+  }
+  for (int i = 0; i < registry.size(); ++i) {
+    VDRIFT_RETURN_NOT_OK(
+        AddBaseModel(registry.at(i), samples[static_cast<size_t>(i)]));
+  }
+  return Status::OK();
+}
+
+DriftFleet::Shard* DriftFleet::FindShard(const std::string& label) {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->label == label) return shard.get();
+  }
+  return nullptr;
+}
+
+Status DriftFleet::BuildShardPipeline(
+    Shard* shard, const std::vector<std::string>& fingerprint) {
+  select::CowModelRegistry::Snapshot snapshot = published_.TakeSnapshot();
+  auto registry = std::make_unique<select::ModelRegistry>();
+  std::vector<std::vector<select::LabeledFrame>> samples;
+  samples.reserve(fingerprint.size());
+  for (const std::string& name : fingerprint) {
+    const select::PublishedModel* found = nullptr;
+    for (const select::PublishedModel& published : *snapshot) {
+      if (published.entry.name == name) {
+        found = &published;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      return Status::DataLoss("model '" + name +
+                              "' is not in the shared registry; cannot "
+                              "rebuild shard " +
+                              shard->label);
+    }
+    VDRIFT_ASSIGN_OR_RETURN(select::ModelEntry clone,
+                            select::CloneModelEntry(found->entry));
+    registry->Add(std::move(clone));
+    samples.push_back(found->calibration_sample);
+  }
+  pipeline::PipelineConfig config = options_.pipeline;
+  config.trained_model_prefix = shard->label + ".learned-";
+  config.injector = shard->injector;
+  // Streams are independent processes of the same fleet: distinct DI seeds
+  // per shard, derived deterministically from the template seed.
+  config.seed = options_.pipeline.seed + static_cast<uint64_t>(shard->index);
+  // Per-shard obs: record into the shared registry under the stream label.
+  // Per-shard samplers/watchdogs stay off — the fleet runs one sampler
+  // over the shared registry at round granularity instead.
+  config.obs = pipeline::PipelineObsOptions{};
+  config.obs.stream_label = shard->label;
+  config.obs.shared_registry = registry_;
+  auto pipeline = std::make_unique<pipeline::DriftAwarePipeline>(
+      registry.get(), samples, config);
+  shard->registry = std::move(registry);
+  shard->pipeline = std::move(pipeline);
+  shard->synced_entries = shard->registry->size();
+  return Status::OK();
+}
+
+Status DriftFleet::AddStream(const StreamSpec& spec) {
+  if (spec.stream == nullptr) {
+    return Status::InvalidArgument("stream '" + spec.label + "' is null");
+  }
+  if (spec.label.empty()) {
+    return Status::InvalidArgument("stream label must be non-empty");
+  }
+  if (FindShard(spec.label) != nullptr) {
+    return Status::InvalidArgument("duplicate stream label: " + spec.label);
+  }
+  if (published_.size() == 0) {
+    return Status::FailedPrecondition(
+        "publish base models before adding streams");
+  }
+  auto shard = std::make_unique<Shard>();
+  shard->label = spec.label;
+  shard->stream = spec.stream;
+  shard->injector = spec.injector;
+  shard->index = static_cast<int>(shards_.size());
+  select::CowModelRegistry::Snapshot snapshot = published_.TakeSnapshot();
+  shard->initial_fingerprint.reserve(snapshot->size());
+  for (const select::PublishedModel& published : *snapshot) {
+    shard->initial_fingerprint.push_back(published.entry.name);
+  }
+  if (!options_.checkpoint_dir.empty()) {
+    shard->checkpoint_path =
+        options_.checkpoint_dir + "/" + shard->label + ".ckpt";
+  }
+  VDRIFT_RETURN_NOT_OK(BuildShardPipeline(shard.get(),
+                                          shard->initial_fingerprint));
+  shards_.push_back(std::move(shard));
+  return Status::OK();
+}
+
+Status DriftFleet::RestoreShard(Shard* shard) {
+  shard->restarts += 1;
+  shard_restarts_ += 1;
+  registry_->GetCounter("vdrift.fleet.shard_restarts").Increment();
+  shard->pipeline.reset();
+  shard->registry.reset();
+  shard->slice_status = Status::OK();
+  if (!shard->checkpoint_path.empty()) {
+    Result<pipeline::PipelineCheckpoint> checkpoint =
+        pipeline::ReadCheckpointFile(shard->checkpoint_path, shard->injector);
+    if (checkpoint.ok()) {
+      Status built =
+          BuildShardPipeline(shard, checkpoint.value().registry_fingerprint);
+      if (built.ok()) {
+        Status resumed =
+            shard->pipeline->Resume(shard->checkpoint_path, shard->stream);
+        if (resumed.ok()) return Status::OK();
+        VDRIFT_LOG_WARNING << "shard " << shard->label
+                           << " resume failed, cold-starting: "
+                           << resumed.ToString();
+      } else if (built.code() != StatusCode::kDataLoss) {
+        // Missing published models degrade to cold start; anything else
+        // (e.g. an uncloneable entry) is a wiring error worth surfacing.
+        return built;
+      }
+    } else {
+      VDRIFT_LOG_WARNING << "shard " << shard->label
+                         << " checkpoint unreadable, cold-starting: "
+                         << checkpoint.status().ToString();
+    }
+  }
+  // Cold start: the shard replays its stream from the beginning against a
+  // fresh replica of its initial models. Its labeled counters keep
+  // accumulating (the shared registry outlives the shard), so the books
+  // stay monotonic — the report's per-stream metrics restart from the
+  // pipeline's cold state.
+  shard->pipeline.reset();
+  shard->registry.reset();
+  VDRIFT_RETURN_NOT_OK(BuildShardPipeline(shard, shard->initial_fingerprint));
+  shard->stream->Reset();
+  return Status::OK();
+}
+
+Status DriftFleet::PublishShardModels(Shard* shard) {
+  const select::ModelRegistry& registry = *shard->registry;
+  const auto& samples = shard->pipeline->calibration_samples();
+  for (int i = shard->synced_entries; i < registry.size(); ++i) {
+    const std::vector<select::LabeledFrame> sample =
+        i < static_cast<int>(samples.size())
+            ? samples[static_cast<size_t>(i)]
+            : std::vector<select::LabeledFrame>{};
+    VDRIFT_ASSIGN_OR_RETURN(bool accepted,
+                            published_.Publish(registry.at(i), sample));
+    if (accepted) {
+      models_published_ += 1;
+      registry_->GetCounter("vdrift.fleet.models_published").Increment();
+    }
+  }
+  shard->synced_entries = registry.size();
+  return Status::OK();
+}
+
+Status DriftFleet::AdoptPublished(Shard* shard) {
+  select::CowModelRegistry::Snapshot snapshot = published_.TakeSnapshot();
+  // Snapshot order is publication order, so every shard adopts in the same
+  // deterministic order no matter which stream trained what.
+  for (const select::PublishedModel& published : *snapshot) {
+    if (shard->registry->FindByName(published.entry.name) >= 0) continue;
+    VDRIFT_ASSIGN_OR_RETURN(select::ModelEntry clone,
+                            select::CloneModelEntry(published.entry));
+    VDRIFT_RETURN_NOT_OK(
+        shard->pipeline->AdoptModel(clone, published.calibration_sample));
+    models_adopted_ += 1;
+    registry_->GetCounter("vdrift.fleet.models_adopted").Increment();
+  }
+  shard->synced_entries = shard->registry->size();
+  return Status::OK();
+}
+
+void DriftFleet::AggregateShard(Shard* shard) {
+  for (const char* family : kAggregatedCounters) {
+    int64_t current =
+        registry_->GetCounter(family, {{"stream", shard->label}}).value();
+    int64_t& previous = shard->prev_counters[family];
+    if (current != previous) {
+      registry_->GetCounter(family).Increment(current - previous);
+      previous = current;
+    }
+  }
+}
+
+Result<FleetReport> DriftFleet::Run() {
+  if (shards_.empty()) {
+    return Status::FailedPrecondition("fleet has no streams");
+  }
+  for (const CrashDrill& drill : options_.crash_drills) {
+    if (FindShard(drill.stream) == nullptr) {
+      return Status::InvalidArgument("crash drill targets unknown stream: " +
+                                     drill.stream);
+    }
+  }
+  obs::MetricsRegistry& reg = *registry_;
+  // Pre-register the unlabeled aggregates so every labeled per-stream
+  // family has its fleet-wide sum in the export even when the sum is 0
+  // (shards register their labeled counters at construction; the
+  // aggregate would otherwise only appear on the first nonzero fold).
+  for (const char* family : kAggregatedCounters) {
+    reg.GetCounter(family);
+  }
+  obs::Gauge& active_gauge = reg.GetGauge("vdrift.fleet.active_streams");
+  obs::Counter& rounds_counter = reg.GetCounter("vdrift.fleet.rounds");
+  obs::Counter& waits_counter =
+      reg.GetCounter("vdrift.fleet.backpressure_waits");
+  std::deque<int> ready;
+  for (int i = 0; i < static_cast<int>(shards_.size()); ++i) {
+    ready.push_back(i);
+  }
+  while (!ready.empty()) {
+    const int64_t round = rounds_;
+    // Scheduled crash drills fire between rounds: the shard is torn down
+    // and rebuilt from its checkpoint before it is admitted again.
+    for (const CrashDrill& drill : options_.crash_drills) {
+      if (drill.round != round) continue;
+      Shard* shard = FindShard(drill.stream);
+      if (shard->done || shard->failed) continue;
+      if (shard->restarts >= options_.max_shard_restarts) continue;
+      VDRIFT_RETURN_NOT_OK(RestoreShard(shard));
+    }
+    // Admission control: up to max_concurrent shards run this round; the
+    // rest stay queued and each queued shard counts one backpressure wait.
+    size_t admit = std::min<size_t>(
+        static_cast<size_t>(options_.max_concurrent), ready.size());
+    std::vector<int> admitted(ready.begin(),
+                              ready.begin() + static_cast<long>(admit));
+    ready.erase(ready.begin(), ready.begin() + static_cast<long>(admit));
+    backpressure_waits_ += static_cast<int64_t>(ready.size());
+    waits_counter.Increment(static_cast<int64_t>(ready.size()));
+    active_gauge.Set(static_cast<double>(admitted.size()));
+    // One cooperative slice per admitted shard, in parallel. Shards share
+    // no mutable state (private model replicas, thread-safe registry), and
+    // cross-stream effects (publication/adoption) happen only at the
+    // barrier below — so the outcome is independent of VDRIFT_THREADS.
+    runtime::ParallelFor(
+        0, static_cast<int64_t>(admitted.size()), 1,
+        [&](int64_t begin, int64_t end) {
+          for (int64_t i = begin; i < end; ++i) {
+            Shard& shard = *shards_[static_cast<size_t>(
+                admitted[static_cast<size_t>(i)])];
+            pipeline::RunOptions slice;
+            slice.max_frames = options_.slice_frames;
+            Result<pipeline::PipelineMetrics> result =
+                shard.pipeline->Run(shard.stream, slice);
+            shard.slice_status = result.status();
+            shard.slices += 1;
+          }
+        });
+    // --- Round barrier, fleet thread, admission order. ---
+    // 1. Publish models trained this round (even by a shard whose slice
+    //    later failed — a completed model is valid).
+    for (int index : admitted) {
+      VDRIFT_RETURN_NOT_OK(PublishShardModels(shards_[static_cast<size_t>(
+          index)].get()));
+    }
+    // 2. Restore shards whose slice failed (their last checkpoint predates
+    //    the failed slice), or mark them failed once restarts run out.
+    for (int index : admitted) {
+      Shard& shard = *shards_[static_cast<size_t>(index)];
+      if (shard.slice_status.ok()) continue;
+      if (shard.restarts >= options_.max_shard_restarts) {
+        shard.failed = true;
+        shard.fail_status = shard.slice_status;
+        VDRIFT_LOG_WARNING << "shard " << shard.label
+                           << " failed permanently: "
+                           << shard.fail_status.ToString();
+        continue;
+      }
+      VDRIFT_RETURN_NOT_OK(RestoreShard(&shard));
+    }
+    // 3. Every live shard adopts every published model it is missing —
+    //    registries stay aligned, so any stream can serve any drift.
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      if (shard->done || shard->failed) continue;
+      VDRIFT_RETURN_NOT_OK(AdoptPublished(shard.get()));
+    }
+    // 4. Checkpoint after adoption so the serialized registry fingerprint
+    //    matches the live replica.
+    if (!options_.checkpoint_dir.empty()) {
+      for (const std::unique_ptr<Shard>& shard : shards_) {
+        if (shard->done || shard->failed) continue;
+        Status written = shard->pipeline->Checkpoint(shard->checkpoint_path,
+                                                     *shard->stream);
+        if (!written.ok()) {
+          // Already counted in the shard's degradation stats; the shard
+          // keeps serving and the next barrier retries.
+          VDRIFT_LOG_WARNING << "shard " << shard->label
+                             << " checkpoint failed: " << written.ToString();
+        }
+      }
+    }
+    // 5. Fold labeled deltas into the fleet aggregates and tick the fleet
+    //    sampler on the admitted-frame clock.
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      AggregateShard(shard.get());
+    }
+    rounds_ += 1;
+    rounds_counter.Increment();
+    if (sampler_ != nullptr &&
+        rounds_ % options_.sample_interval_rounds == 0) {
+      obs::MetricsWindow window = sampler_->Sample(static_cast<double>(
+          reg.GetCounter("vdrift.pipeline.frames").value()));
+      if (watchdog_ != nullptr) {
+        for (const obs::AlertEvent& alert : watchdog_->Evaluate(window)) {
+          reg.GetCounter("vdrift.slo.alerts", {{"rule", alert.rule}})
+              .Increment();
+          VDRIFT_LOG_WARNING << "fleet SLO alert: " << alert.message;
+        }
+      }
+    }
+    // 6. Requeue: a shard is done when its stream is exhausted and no
+    //    drift handling is parked across the slice boundary.
+    for (int index : admitted) {
+      Shard& shard = *shards_[static_cast<size_t>(index)];
+      if (shard.failed) continue;
+      if (shard.stream->position() >= shard.stream->total_frames() &&
+          !shard.pipeline->recovery_pending()) {
+        shard.done = true;
+        continue;
+      }
+      ready.push_back(index);
+    }
+  }
+  // Close the final partial sampler window so the exported series covers
+  // every admitted frame.
+  if (sampler_ != nullptr) {
+    sampler_->Sample(static_cast<double>(
+        reg.GetCounter("vdrift.pipeline.frames").value()));
+  }
+  FleetReport report;
+  report.rounds = rounds_;
+  report.backpressure_waits = backpressure_waits_;
+  report.models_published = models_published_;
+  report.models_adopted = models_adopted_;
+  report.shard_restarts = shard_restarts_;
+  report.streams.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    StreamReport stream_report;
+    stream_report.label = shard->label;
+    stream_report.status =
+        shard->failed ? shard->fail_status : Status::OK();
+    if (shard->pipeline != nullptr) {
+      stream_report.metrics = shard->pipeline->metrics();
+    }
+    stream_report.frames = shard->stream->position();
+    stream_report.slices = shard->slices;
+    stream_report.restarts = shard->restarts;
+    report.streams.push_back(std::move(stream_report));
+  }
+  return report;
+}
+
+}  // namespace vdrift::serve

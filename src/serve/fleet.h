@@ -1,0 +1,233 @@
+#ifndef VDRIFT_SERVE_FLEET_H_
+#define VDRIFT_SERVE_FLEET_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/registry.h"
+#include "core/registry_cow.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/watchdog.h"
+#include "pipeline/pipeline.h"
+#include "video/stream.h"
+
+namespace vdrift::serve {
+
+/// \brief One stream joining the fleet.
+struct StreamSpec {
+  /// Unique label; becomes the {stream="..."} dimension of every metric
+  /// series and the per-stream trained-model name prefix.
+  std::string label;
+  /// The frame source (not owned; must outlive the fleet). Resume support
+  /// requires its Reset() to be a bit-identical replay.
+  video::FrameSource* stream = nullptr;
+  /// Optional per-stream fault source (not owned). The injector is not
+  /// thread-safe, so it must not be shared between streams — faults on one
+  /// stream must never perturb another stream's draw sequence.
+  fault::FaultInjector* injector = nullptr;
+};
+
+/// \brief A deterministic kill-and-restore drill: at the start of round
+/// `round`, the named shard's pipeline and model replica are destroyed and
+/// rebuilt from its last checkpoint, exactly as if that shard had crashed
+/// between rounds. The other shards never notice.
+struct CrashDrill {
+  std::string stream;
+  int64_t round = 0;
+};
+
+/// \brief Fleet configuration.
+struct FleetOptions {
+  /// Template pipeline config applied to every shard. The fleet overrides
+  /// per-shard fields: trained_model_prefix ("<label>.learned-"), injector,
+  /// seed (template seed + shard index), and the obs wiring (shared
+  /// registry + stream label; per-shard samplers are disabled — the fleet
+  /// runs one sampler over the shared registry instead).
+  pipeline::PipelineConfig pipeline;
+  /// Frames each admitted shard processes per scheduling round (one
+  /// cooperative slice). RunOptions::max_frames semantics: a slice never
+  /// overshoots, even when a drift lands mid-slice.
+  int64_t slice_frames = 64;
+  /// Admission control: shards running concurrently per round. Shards
+  /// beyond this wait in the bounded ready queue; each wait increments
+  /// vdrift.fleet.backpressure_waits.
+  int max_concurrent = 4;
+  /// Restarts (crash drills + failed slices) a shard may consume before it
+  /// is marked failed. Failed shards keep their metrics and status in the
+  /// report — nothing is silently dropped.
+  int max_shard_restarts = 2;
+  /// Directory for per-stream checkpoint files ("" disables
+  /// checkpointing; crash recovery then falls back to a cold start).
+  std::string checkpoint_dir;
+  /// Fleet sampler cadence in rounds over the shared registry (0 disables
+  /// the sampler, and with it the watchdog).
+  int sample_interval_rounds = 0;
+  /// Sampler ring capacity.
+  int max_windows = 1024;
+  /// Fleet-level SLO spec (obs::ParseSloSpec grammar; "default" arms
+  /// obs::DefaultSloSpec()). Evaluated on every sampled window.
+  std::string slo_spec;
+  /// Per-window JSONL sink for the fleet sampler ("" disables).
+  std::string jsonl_path;
+  /// Deterministic crash drills (tests and chaos benches).
+  std::vector<CrashDrill> crash_drills;
+};
+
+/// \brief One stream's outcome.
+struct StreamReport {
+  std::string label;
+  Status status = Status::OK();  ///< Non-OK when the shard exhausted restarts.
+  pipeline::PipelineMetrics metrics;  ///< Cumulative pipeline metrics.
+  int64_t frames = 0;    ///< Stream cursor at the end (frames consumed).
+  int64_t slices = 0;    ///< Scheduling slices the shard ran.
+  int restarts = 0;      ///< Crash drills + failed-slice restarts consumed.
+};
+
+/// \brief Fleet-level outcome.
+struct FleetReport {
+  std::vector<StreamReport> streams;  ///< In AddStream order.
+  int64_t rounds = 0;
+  int64_t backpressure_waits = 0;
+  int64_t models_published = 0;  ///< Entries accepted by the shared registry.
+  int64_t models_adopted = 0;    ///< Cross-stream adoptions performed.
+  int64_t shard_restarts = 0;
+};
+
+/// \brief Multi-stream drift-aware serving (ROADMAP item 1).
+///
+/// Multiplexes N concurrent streams over the deterministic thread pool.
+/// Each stream owns a full DriftAwarePipeline shard — its own deep-cloned
+/// model replica (NN layers cache forward state, so two shards must never
+/// execute the same model object), its own DriftInspector, its own fault
+/// injector — while all shards share one CowModelRegistry: a model trained
+/// for one stream's drift is published at the next round barrier and
+/// becomes selectable by every stream.
+///
+/// Scheduling is bulk-synchronous: each round admits up to max_concurrent
+/// ready shards, runs one fixed-size slice per shard in parallel
+/// (ParallelFor — bit-identical at any VDRIFT_THREADS), then executes the
+/// barrier on the fleet thread in admission order:
+///   1. publish models trained this round into the shared registry
+///      (append order = deterministic adoption order),
+///   2. restore shards whose slice failed (from their last checkpoint),
+///   3. adopt every published model each shard is missing (clone first),
+///   4. checkpoint every live shard (after adoption, so the registry
+///      fingerprint in the file matches the live replica),
+///   5. fold per-stream labeled counters into the unlabeled aggregates
+///      (sum of {stream=...} series == aggregate, exactly, every round)
+///      and tick the fleet sampler/watchdog.
+/// Models published in round r are visible to other shards at round r+1
+/// regardless of thread count, which is what makes the fleet bit-identical
+/// at VDRIFT_THREADS=1 and 8.
+///
+/// Not thread-safe itself: construct, add streams, and Run from one thread
+/// (parallelism lives inside Run).
+class DriftFleet {
+ public:
+  explicit DriftFleet(const FleetOptions& options);
+
+  DriftFleet(const DriftFleet&) = delete;
+  DriftFleet& operator=(const DriftFleet&) = delete;
+  ~DriftFleet();
+
+  /// Publishes a pre-provisioned base model every stream starts with
+  /// (deep-copied into the shared registry; `sample` is its MSBO
+  /// calibration sample). Call before AddStream.
+  Status AddBaseModel(const select::ModelEntry& entry,
+                      const std::vector<select::LabeledFrame>& sample);
+
+  /// Publishes every entry of a provisioned registry as base models.
+  Status AddBaseModels(
+      const select::ModelRegistry& registry,
+      const std::vector<std::vector<select::LabeledFrame>>& samples);
+
+  /// Adds a stream shard: clones every published model into the shard's
+  /// private replica and builds its pipeline. Labels must be unique.
+  Status AddStream(const StreamSpec& spec);
+
+  /// Runs every stream to exhaustion. Returns the per-stream and
+  /// fleet-level report; per-shard pipeline errors are contained (restart
+  /// up to max_shard_restarts, then reported in StreamReport::status), so
+  /// Run itself only fails on fleet-level wiring errors.
+  Result<FleetReport> Run();
+
+  /// The shared metrics registry: per-stream labeled series plus unlabeled
+  /// aggregates plus vdrift.fleet.* instruments.
+  const std::shared_ptr<obs::MetricsRegistry>& registry() const {
+    return registry_;
+  }
+  /// The shared copy-on-write model registry.
+  const select::CowModelRegistry& published() const { return published_; }
+  /// Fleet sampler / watchdog (null unless armed by FleetOptions).
+  const std::shared_ptr<obs::MetricsSampler>& sampler() const {
+    return sampler_;
+  }
+  const std::shared_ptr<obs::HealthWatchdog>& watchdog() const {
+    return watchdog_;
+  }
+
+ private:
+  /// One stream's private slice of the fleet.
+  struct Shard {
+    std::string label;
+    video::FrameSource* stream = nullptr;
+    fault::FaultInjector* injector = nullptr;
+    int index = 0;  ///< AddStream order (per-shard seed derivation).
+    /// Private model replica (every entry deep-cloned; never shared).
+    std::unique_ptr<select::ModelRegistry> registry;
+    std::unique_ptr<pipeline::DriftAwarePipeline> pipeline;
+    /// Model names the shard starts with (cold-start fallback registry).
+    std::vector<std::string> initial_fingerprint;
+    /// Local registry size after the last barrier; entries beyond it were
+    /// trained this round and are pending publication.
+    int synced_entries = 0;
+    std::string checkpoint_path;  ///< "" when checkpointing is disabled.
+    /// Last aggregated value per counter family (delta folding).
+    std::map<std::string, int64_t> prev_counters;
+    Status slice_status = Status::OK();
+    int64_t slices = 0;
+    int restarts = 0;
+    bool done = false;
+    bool failed = false;
+    Status fail_status = Status::OK();
+  };
+
+  Shard* FindShard(const std::string& label);
+  /// Builds a shard pipeline over a fresh replica cloned from the shared
+  /// registry, one entry per fingerprint name, in fingerprint order.
+  Status BuildShardPipeline(Shard* shard,
+                            const std::vector<std::string>& fingerprint);
+  /// Kill-and-rebuild: restore from the shard's checkpoint, or cold-start
+  /// from the initial fingerprint when the checkpoint is unusable.
+  Status RestoreShard(Shard* shard);
+  /// Barrier step 1: publish models the shard trained this round.
+  Status PublishShardModels(Shard* shard);
+  /// Barrier step 3: clone+adopt published models the shard is missing.
+  Status AdoptPublished(Shard* shard);
+  /// Barrier step 5: fold labeled counter deltas into the aggregates.
+  void AggregateShard(Shard* shard);
+
+  FleetOptions options_;
+  select::CowModelRegistry published_;
+  int base_models_ = 0;  ///< Snapshot prefix published before any stream ran.
+  std::shared_ptr<obs::MetricsRegistry> registry_;
+  std::shared_ptr<obs::MetricsSampler> sampler_;
+  std::shared_ptr<obs::HealthWatchdog> watchdog_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  int64_t rounds_ = 0;
+  int64_t backpressure_waits_ = 0;
+  int64_t models_published_ = 0;
+  int64_t models_adopted_ = 0;
+  int64_t shard_restarts_ = 0;
+};
+
+}  // namespace vdrift::serve
+
+#endif  // VDRIFT_SERVE_FLEET_H_

@@ -203,6 +203,25 @@ std::vector<nn::Parameter*> Vae::Params() {
   return params;
 }
 
+std::unique_ptr<Vae> Vae::Clone() const {
+  // Rebuild the architecture with a throwaway RNG (every weight is
+  // overwritten below), then copy the parameter values pairwise — Params()
+  // enumerates both networks' parameters in identical construction order.
+  stats::Rng init_rng(0);
+  auto clone = std::make_unique<Vae>(config_, &init_rng);
+  // Params() is non-const (layers expose mutable parameters); the source
+  // is only read.
+  Vae* self = const_cast<Vae*>(this);
+  std::vector<nn::Parameter*> src = self->Params();
+  std::vector<nn::Parameter*> dst = clone->Params();
+  // vdrift-lint: allow(no-data-dependent-check): same-architecture nets
+  VDRIFT_CHECK(src.size() == dst.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    dst[i]->value = src[i]->value;
+  }
+  return clone;
+}
+
 Tensor StackFrames(const std::vector<Tensor>& frames) {
   VDRIFT_CHECK(!frames.empty());
   const Shape& fs = frames[0].shape();

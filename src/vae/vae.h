@@ -118,6 +118,10 @@ class Vae {
   /// All trainable parameters (encoder trunk, heads, decoder).
   std::vector<nn::Parameter*> Params();
 
+  /// Deep copy: same architecture and parameters, fresh layer caches — a
+  /// clone can encode on another thread while this instance keeps serving.
+  std::unique_ptr<Vae> Clone() const;
+
   const VaeConfig& config() const { return config_; }
 
  private:

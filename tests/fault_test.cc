@@ -55,6 +55,36 @@ TEST(FaultPlanTest, RejectsMalformedSpecs) {
   EXPECT_FALSE(FaultPlan::Parse("stall:ms=50").ok());  // p is mandatory
 }
 
+TEST(PerStreamFaultSpecTest, ParsesLabeledPlans) {
+  std::vector<StreamFaultPlan> plans =
+      ParsePerStreamFaultSpec(
+          "s3@nan_frame:p=0.02;selector_fail:p=1|s5@stall:p=0.1,ms=2")
+          .ValueOrDie();
+  ASSERT_EQ(plans.size(), 2u);
+  EXPECT_EQ(plans[0].stream, "s3");
+  EXPECT_DOUBLE_EQ(plans[0].plan.rate(FaultKind::kNanFrame).p, 0.02);
+  EXPECT_DOUBLE_EQ(plans[0].plan.rate(FaultKind::kSelectorFail).p, 1.0);
+  EXPECT_EQ(plans[1].stream, "s5");
+  EXPECT_DOUBLE_EQ(plans[1].plan.rate(FaultKind::kStall).p, 0.1);
+  EXPECT_EQ(plans[1].plan.rate(FaultKind::kStall).ms, 2);
+}
+
+TEST(PerStreamFaultSpecTest, EmptySpecIsNoPlans) {
+  EXPECT_TRUE(ParsePerStreamFaultSpec("").ValueOrDie().empty());
+}
+
+TEST(PerStreamFaultSpecTest, RejectsMalformedSpecs) {
+  // No '@' separator.
+  EXPECT_FALSE(ParsePerStreamFaultSpec("nan_frame:p=0.1").ok());
+  // Empty label.
+  EXPECT_FALSE(ParsePerStreamFaultSpec("@nan_frame:p=0.1").ok());
+  // Duplicate label: one injector per stream, no silent merging.
+  EXPECT_FALSE(
+      ParsePerStreamFaultSpec("s1@stall:p=0.1,ms=1|s1@io_fail:p=0.2").ok());
+  // Malformed inner plan propagates FaultPlan::Parse's error.
+  EXPECT_FALSE(ParsePerStreamFaultSpec("s1@bogus_kind:p=0.1").ok());
+}
+
 TEST(FaultPlanTest, ToStringRoundTrips) {
   FaultPlan plan = MustParse("nan_frame:p=0.25;stall:p=0.5,ms=10");
   FaultPlan reparsed = MustParse(plan.ToString());

@@ -2,6 +2,7 @@
 // on multi-sequence streams, the trainNewModel path, the ODIN baseline
 // pipeline, and the static-detector pipelines.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -375,6 +376,146 @@ TEST_F(PipelineFixture, CheckpointResumeIsBitIdentical) {
               baseline.inspector().frames_seen());
     std::remove(path.c_str());
   }
+}
+
+TEST_F(PipelineFixture, SlicedRunsNeverOvershootAndMatchUninterrupted) {
+  // Frame-accounting regression: RunOptions.max_frames budgets EVERY frame
+  // pulled from the stream — recovery/training frames consumed inside
+  // drift handling included — so a slice never overshoots even when a
+  // drift lands mid-slice, and a fully sliced run is bit-identical to an
+  // uninterrupted one.
+  PipelineConfig config = BaseConfig(PipelineConfig::Selector::kMsbo);
+  video::StreamGenerator baseline_stream = bench_->dataset.MakeStream();
+  DriftAwarePipeline baseline(&bench_->registry, bench_->calibration_samples,
+                              config);
+  PipelineMetrics uninterrupted = baseline.Run(&baseline_stream).ValueOrDie();
+  ASSERT_GE(uninterrupted.drifts_detected, 2);
+
+  // Slices shorter than the drift-handling span, so recovery windows
+  // straddle slice boundaries.
+  constexpr int64_t kSlice = 25;
+  const int64_t total = bench_->dataset.total_frames();
+  video::StreamGenerator stream = bench_->dataset.MakeStream();
+  DriftAwarePipeline sliced(&bench_->registry, bench_->calibration_samples,
+                            config);
+  RunOptions slice;
+  slice.max_frames = kSlice;
+  bool recovery_straddled_a_slice = false;
+  int64_t slices = 0;
+  while (stream.position() < total || sliced.recovery_pending()) {
+    int64_t before = stream.position();
+    ASSERT_TRUE(sliced.Run(&stream, slice).ok());
+    // The invariant the serve layer schedules by: position advances by
+    // exactly min(max_frames, remaining) per call.
+    EXPECT_EQ(stream.position() - before,
+              std::min<int64_t>(kSlice, total - before))
+        << "slice " << slices << " overshot its frame budget";
+    recovery_straddled_a_slice |= sliced.recovery_pending();
+    ++slices;
+    ASSERT_LE(slices, total) << "sliced run failed to make progress";
+  }
+  EXPECT_TRUE(recovery_straddled_a_slice)
+      << "no drift was handled across a slice boundary; shrink kSlice";
+  const PipelineMetrics& resumed = sliced.metrics();
+  EXPECT_EQ(resumed.frames, uninterrupted.frames);
+  EXPECT_EQ(resumed.drifts_detected, uninterrupted.drifts_detected);
+  EXPECT_EQ(resumed.drift_frames, uninterrupted.drift_frames);
+  EXPECT_EQ(resumed.detect_lags, uninterrupted.detect_lags);
+  EXPECT_EQ(resumed.selections, uninterrupted.selections);
+  EXPECT_EQ(resumed.degradation.frames_dropped,
+            uninterrupted.degradation.frames_dropped);
+  ASSERT_EQ(resumed.per_sequence.size(), uninterrupted.per_sequence.size());
+  for (const auto& [id, acc] : uninterrupted.per_sequence) {
+    const SequenceAccuracy& other = resumed.per_sequence.at(id);
+    EXPECT_EQ(other.count_correct, acc.count_correct) << "seq " << id;
+    EXPECT_EQ(other.count_total, acc.count_total) << "seq " << id;
+    EXPECT_EQ(other.invocations, acc.invocations) << "seq " << id;
+  }
+}
+
+TEST_F(PipelineFixture, ResumeMidRecoveryRebuildsLagClockAndHistogram) {
+  // Detection-lag clock regression: the clock advances for frames consumed
+  // inside drift handling and is serialized in checkpoints, so a
+  // checkpoint cut mid-recovery resumes to a bit-identical
+  // detect_lag_frames histogram — not a diverged one.
+  PipelineConfig config = BaseConfig(PipelineConfig::Selector::kMsbo);
+  video::StreamGenerator baseline_stream = bench_->dataset.MakeStream();
+  DriftAwarePipeline baseline(&bench_->registry, bench_->calibration_samples,
+                              config);
+  PipelineMetrics uninterrupted = baseline.Run(&baseline_stream).ValueOrDie();
+  ASSERT_GE(uninterrupted.drifts_detected, 1);
+  ASSERT_EQ(uninterrupted.detect_lags.size(),
+            static_cast<size_t>(uninterrupted.drifts_detected));
+
+  // Drive short slices until drift handling parks across a boundary, so
+  // the checkpoint lands mid-recovery with buffered frames.
+  const int64_t total = bench_->dataset.total_frames();
+  video::StreamGenerator first_stream = bench_->dataset.MakeStream();
+  DriftAwarePipeline first(&bench_->registry, bench_->calibration_samples,
+                           config);
+  RunOptions slice;
+  slice.max_frames = 7;
+  while (!first.recovery_pending()) {
+    ASSERT_LT(first_stream.position(), total)
+        << "stream ended before any drift parked across a slice";
+    ASSERT_TRUE(first.Run(&first_stream, slice).ok());
+  }
+  std::string path = ::testing::TempDir() + "/vdrift_midrecovery.ckpt";
+  ASSERT_TRUE(first.Checkpoint(path, first_stream).ok());
+
+  // "Crash" mid-recovery: fresh pipeline + stream, resume, finish.
+  video::StreamGenerator second_stream = bench_->dataset.MakeStream();
+  DriftAwarePipeline second(&bench_->registry, bench_->calibration_samples,
+                            config);
+  Status resumed = second.Resume(path, &second_stream);
+  ASSERT_TRUE(resumed.ok()) << resumed.ToString();
+  EXPECT_TRUE(second.recovery_pending())
+      << "parked drift handling was not restored";
+  PipelineMetrics recovered = second.Run(&second_stream).ValueOrDie();
+
+  EXPECT_EQ(recovered.frames, uninterrupted.frames);
+  EXPECT_EQ(recovered.drift_frames, uninterrupted.drift_frames);
+  EXPECT_EQ(recovered.selections, uninterrupted.selections);
+  EXPECT_EQ(recovered.detect_lags, uninterrupted.detect_lags);
+  obs::Histogram::Snapshot expected =
+      uninterrupted.registry->GetHistogram("vdrift.pipeline.detect_lag_frames")
+          .snapshot();
+  obs::Histogram::Snapshot actual =
+      recovered.registry->GetHistogram("vdrift.pipeline.detect_lag_frames")
+          .snapshot();
+  EXPECT_EQ(actual.count, expected.count);
+  EXPECT_EQ(actual.sum, expected.sum);
+  EXPECT_EQ(actual.buckets, expected.buckets);
+  std::remove(path.c_str());
+}
+
+TEST_F(PipelineFixture, StaticDetectorPredicateScoresSharedEncoding) {
+  // RunDetector must score the spatial predicate against
+  // detect::PredicateLabel — the same ground-truth encoding every other
+  // pipeline uses — so Fig. 8 accuracies compare across pipelines. Pinned
+  // by replaying the stream by hand.
+  stats::Rng rng(66);
+  detect::SimulatedDetector::Config det_config;
+  det_config.base_filters = 12;
+  detect::SimulatedDetector detector(det_config, &rng);
+  detect::ClassifierTrainConfig tc;
+  tc.epochs = 6;
+  ASSERT_TRUE(detector.Train(bench_->training_frames[0], tc, &rng).ok());
+  video::StreamGenerator s1 = bench_->dataset.MakeStream();
+  PipelineMetrics metrics =
+      StaticDetectorPipeline::RunDetector(&detector, &s1, true).ValueOrDie();
+  video::StreamGenerator s2 = bench_->dataset.MakeStream();
+  video::Frame frame;
+  int64_t expected_total = 0;
+  int64_t expected_correct = 0;
+  while (s2.Next(&frame)) {
+    int p = detector.PredictPredicate(frame.pixels) ? 1 : 0;
+    expected_total += 1;
+    if (p == detect::PredicateLabel(frame.truth)) expected_correct += 1;
+  }
+  SequenceAccuracy totals = metrics.Totals();
+  EXPECT_EQ(totals.predicate_total, expected_total);
+  EXPECT_EQ(totals.predicate_correct, expected_correct);
 }
 
 TEST_F(PipelineFixture, ResumeFromCorruptCheckpointIsDataLossNotCrash) {

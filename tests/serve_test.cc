@@ -1,0 +1,450 @@
+// Fleet serving integration tests: N-stream determinism across thread
+// counts, per-stream fault isolation, cross-stream model adoption through
+// the shared copy-on-write registry, crash-drill recovery, and the
+// frame-accounting books every stream must balance.
+
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "benchutil/workbench.h"
+#include "core/registry_cow.h"
+#include "fault/fault.h"
+#include "fault/faulty_stream.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/provision.h"
+#include "runtime/parallel.h"
+#include "serve/fleet.h"
+#include "stats/rng.h"
+#include "video/datasets.h"
+#include "video/stream.h"
+
+namespace vdrift::serve {
+namespace {
+
+// The six counter families the fleet folds from {stream=...} series into
+// unlabeled aggregates; kept in sync with fleet.cc by the sum test below.
+constexpr const char* kCounterFamilies[] = {
+    "vdrift.pipeline.frames",
+    "vdrift.pipeline.drifts",
+    "vdrift.pipeline.frames_dropped",
+    "vdrift.pipeline.selection_failures",
+    "vdrift.pipeline.redeployments",
+    "vdrift.pipeline.checkpoint_failures",
+};
+
+// One shared workbench (same shape as the pipeline suite's fixture): a
+// Tokyo-like 3-model registry, ~360 frames per stream replica.
+class FleetFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    benchutil::WorkbenchOptions options =
+        benchutil::DefaultWorkbenchOptions();
+    options.dataset_scale = 0.008;
+    options.cache_dir = "";
+    options.train_frames = 220;
+    bench_ = benchutil::BuildWorkbench("Tokyo", options).ValueOrDie()
+                 .release();
+  }
+
+  static void TearDownTestSuite() {
+    delete bench_;
+    bench_ = nullptr;
+  }
+
+  static FleetOptions BaseOptions() {
+    FleetOptions options;
+    options.pipeline.selector =
+        pipeline::PipelineConfig::Selector::kMsbo;
+    options.pipeline.provision =
+        benchutil::DefaultWorkbenchOptions().provision;
+    options.pipeline.allow_training_new = false;
+    options.slice_frames = 48;
+    options.max_concurrent = 4;
+    return options;
+  }
+
+  struct FleetRun {
+    FleetReport report;
+    std::shared_ptr<obs::MetricsRegistry> registry;
+    int64_t sampler_windows = 0;
+  };
+
+  // Runs a fleet of n Tokyo replica streams (distinct render seeds, same
+  // drift truth). `fault_spec` is the ParsePerStreamFaultSpec grammar;
+  // labeled streams get their own injector and FaultyStream wrapper.
+  static FleetRun RunTokyoFleet(const FleetOptions& options, int n,
+                                const std::string& fault_spec = "") {
+    std::vector<fault::StreamFaultPlan> plans =
+        fault::ParsePerStreamFaultSpec(fault_spec).ValueOrDie();
+    std::vector<std::unique_ptr<video::StreamGenerator>> streams;
+    std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
+    std::vector<std::unique_ptr<fault::FaultyStream>> wrapped;
+    DriftFleet fleet(options);
+    EXPECT_TRUE(fleet.AddBaseModels(bench_->registry,
+                                    bench_->calibration_samples)
+                    .ok());
+    for (int i = 0; i < n; ++i) {
+      std::string label = "s" + std::to_string(i);
+      streams.push_back(std::make_unique<video::StreamGenerator>(
+          bench_->dataset.segments, bench_->dataset.image_size,
+          bench_->dataset.seed + 100 + static_cast<uint64_t>(i)));
+      StreamSpec spec;
+      spec.label = label;
+      spec.stream = streams.back().get();
+      for (const fault::StreamFaultPlan& plan : plans) {
+        if (plan.stream != label) continue;
+        injectors.push_back(
+            std::make_unique<fault::FaultInjector>(plan.plan, 4242));
+        spec.injector = injectors.back().get();
+        wrapped.push_back(std::make_unique<fault::FaultyStream>(
+            streams.back().get(), spec.injector));
+        spec.stream = wrapped.back().get();
+      }
+      EXPECT_TRUE(fleet.AddStream(spec).ok());
+    }
+    FleetRun run;
+    run.report = fleet.Run().ValueOrDie();
+    run.registry = fleet.registry();
+    if (fleet.sampler() != nullptr) {
+      run.sampler_windows = fleet.sampler()->windows_sampled();
+    }
+    return run;
+  }
+
+  static void ExpectStreamIdentical(const StreamReport& x,
+                                    const StreamReport& y) {
+    EXPECT_EQ(x.label, y.label);
+    EXPECT_EQ(x.frames, y.frames) << x.label;
+    EXPECT_EQ(x.slices, y.slices) << x.label;
+    EXPECT_EQ(x.restarts, y.restarts) << x.label;
+    EXPECT_EQ(x.metrics.frames, y.metrics.frames) << x.label;
+    EXPECT_EQ(x.metrics.drifts_detected, y.metrics.drifts_detected)
+        << x.label;
+    EXPECT_EQ(x.metrics.new_models_trained, y.metrics.new_models_trained)
+        << x.label;
+    EXPECT_EQ(x.metrics.drift_frames, y.metrics.drift_frames) << x.label;
+    EXPECT_EQ(x.metrics.detect_lags, y.metrics.detect_lags) << x.label;
+    EXPECT_EQ(x.metrics.selections, y.metrics.selections) << x.label;
+    EXPECT_EQ(x.metrics.selection_invocations,
+              y.metrics.selection_invocations)
+        << x.label;
+    EXPECT_EQ(x.metrics.degradation.frames_dropped,
+              y.metrics.degradation.frames_dropped)
+        << x.label;
+    EXPECT_EQ(x.metrics.degradation.total_events(),
+              y.metrics.degradation.total_events())
+        << x.label;
+    ASSERT_EQ(x.metrics.per_sequence.size(), y.metrics.per_sequence.size())
+        << x.label;
+    for (const auto& [seq, acc] : x.metrics.per_sequence) {
+      const auto it = y.metrics.per_sequence.find(seq);
+      ASSERT_NE(it, y.metrics.per_sequence.end()) << x.label;
+      EXPECT_EQ(acc.count_correct, it->second.count_correct) << x.label;
+      EXPECT_EQ(acc.count_total, it->second.count_total) << x.label;
+      EXPECT_EQ(acc.invocations, it->second.invocations) << x.label;
+    }
+  }
+
+  // Zero silent frame loss: every admitted frame either answered the
+  // count query or was dropped (and counted as dropped).
+  static void ExpectBooksBalance(const StreamReport& stream) {
+    EXPECT_EQ(stream.metrics.Totals().count_total +
+                  stream.metrics.degradation.frames_dropped,
+              stream.metrics.frames)
+        << stream.label;
+  }
+
+  static benchutil::Workbench* bench_;
+};
+
+benchutil::Workbench* FleetFixture::bench_ = nullptr;
+
+TEST_F(FleetFixture, EightStreamFleetIsDeterministicAcrossThreadCounts) {
+  FleetOptions options = BaseOptions();
+  options.sample_interval_rounds = 2;
+  options.slo_spec = "default";
+  FleetRun serial;
+  {
+    runtime::ScopedThreads scoped(1);
+    serial = RunTokyoFleet(options, 8);
+  }
+  FleetRun parallel;
+  {
+    runtime::ScopedThreads scoped(4);
+    parallel = RunTokyoFleet(options, 8);
+  }
+  ASSERT_EQ(serial.report.streams.size(), 8u);
+  ASSERT_EQ(parallel.report.streams.size(), 8u);
+  for (size_t i = 0; i < 8; ++i) {
+    ExpectStreamIdentical(serial.report.streams[i],
+                          parallel.report.streams[i]);
+  }
+  // Every stream ran to exhaustion, drift-aware, without restarts.
+  const int64_t total = bench_->dataset.total_frames();
+  for (const StreamReport& stream : parallel.report.streams) {
+    EXPECT_TRUE(stream.status.ok()) << stream.label;
+    EXPECT_EQ(stream.frames, total) << stream.label;
+    EXPECT_GE(stream.metrics.drifts_detected, 2) << stream.label;
+    EXPECT_EQ(stream.restarts, 0) << stream.label;
+    ExpectBooksBalance(stream);
+  }
+  // Fleet-level tallies agree too.
+  EXPECT_EQ(serial.report.rounds, parallel.report.rounds);
+  EXPECT_EQ(serial.report.backpressure_waits,
+            parallel.report.backpressure_waits);
+  // 8 streams over 4 slots: admission control had to queue someone.
+  EXPECT_GT(parallel.report.backpressure_waits, 0);
+  EXPECT_GT(parallel.report.rounds, 0);
+  EXPECT_GT(parallel.sampler_windows, 0);
+  // The {stream=...} series sum exactly to the unlabeled aggregates.
+  for (const char* family : kCounterFamilies) {
+    int64_t labeled_sum = 0;
+    for (const StreamReport& stream : parallel.report.streams) {
+      labeled_sum += parallel.registry
+                         ->GetCounter(family, {{"stream", stream.label}})
+                         .value();
+    }
+    EXPECT_EQ(labeled_sum, parallel.registry->GetCounter(family).value())
+        << family;
+  }
+  // The aggregate frame counter covers every admitted frame of the fleet.
+  EXPECT_EQ(
+      parallel.registry->GetCounter("vdrift.pipeline.frames").value(),
+      total * 8);
+}
+
+TEST_F(FleetFixture, SingleStreamFaultsDoNotPerturbTheRestOfTheFleet) {
+  FleetOptions options = BaseOptions();
+  FleetRun clean = RunTokyoFleet(options, 8);
+  FleetRun faulted = RunTokyoFleet(
+      options, 8, "s3@nan_frame:p=0.05;selector_fail:p=1.0");
+  ASSERT_EQ(faulted.report.streams.size(), 8u);
+  for (size_t i = 0; i < 8; ++i) {
+    const StreamReport& stream = faulted.report.streams[i];
+    if (stream.label == "s3") {
+      // The faulted stream degraded but kept its books: dropped frames
+      // are counted, failed selections resolved by incumbent fallback.
+      EXPECT_GT(stream.metrics.degradation.frames_dropped, 0);
+      EXPECT_GT(stream.metrics.degradation.selector_failures, 0);
+      EXPECT_TRUE(stream.status.ok());
+      continue;
+    }
+    // Bit-identical to the fault-free fleet: one stream's faults never
+    // leak into another stream's draw sequence or schedule.
+    ExpectStreamIdentical(clean.report.streams[i], stream);
+  }
+  // Zero silent frame loss fleet-wide, faulted stream included.
+  for (const StreamReport& stream : faulted.report.streams) {
+    ExpectBooksBalance(stream);
+  }
+}
+
+TEST_F(FleetFixture, CrashDrillRestoresAShardBitIdentically) {
+  std::string dir = ::testing::TempDir() + "/vdrift_fleet_ckpt";
+  ::mkdir(dir.c_str(), 0755);
+  FleetOptions options = BaseOptions();
+  options.max_concurrent = 3;
+  options.checkpoint_dir = dir;
+  FleetRun baseline = RunTokyoFleet(options, 3);
+  options.crash_drills.push_back({"s1", 2});
+  FleetRun drilled = RunTokyoFleet(options, 3);
+  ASSERT_EQ(drilled.report.streams.size(), 3u);
+  EXPECT_EQ(drilled.report.shard_restarts, 1);
+  EXPECT_EQ(drilled.report.streams[1].restarts, 1);
+  for (size_t i = 0; i < 3; ++i) {
+    const StreamReport& x = baseline.report.streams[i];
+    const StreamReport& y = drilled.report.streams[i];
+    // The killed shard resumed from its round-1 checkpoint and finished
+    // with the same frames, detections, lag histogram, and accuracy books
+    // as the run that never crashed (restart/slice tallies aside).
+    EXPECT_EQ(x.frames, y.frames) << x.label;
+    EXPECT_EQ(x.metrics.frames, y.metrics.frames) << x.label;
+    EXPECT_EQ(x.metrics.drift_frames, y.metrics.drift_frames) << x.label;
+    EXPECT_EQ(x.metrics.detect_lags, y.metrics.detect_lags) << x.label;
+    EXPECT_EQ(x.metrics.selections, y.metrics.selections) << x.label;
+    ASSERT_EQ(x.metrics.per_sequence.size(), y.metrics.per_sequence.size());
+    for (const auto& [seq, acc] : x.metrics.per_sequence) {
+      EXPECT_EQ(acc.count_correct,
+                y.metrics.per_sequence.at(seq).count_correct)
+          << x.label;
+      EXPECT_EQ(acc.count_total, y.metrics.per_sequence.at(seq).count_total)
+          << x.label;
+    }
+    ExpectBooksBalance(y);
+  }
+}
+
+// --- Cross-stream adoption through the copy-on-write registry. ---
+
+TEST(FleetCowTest, ModelTrainedForOneStreamServesAnother) {
+  // Both streams start with only a model for a sparse scene and drift into
+  // a dense one (disjoint count regimes, so the base model is decisively
+  // wrong after the drift). Stream "a" drifts first, fails selection, and
+  // trains a model; stream "b" drifts later - after the barrier published
+  // a's model - and must adopt and select it instead of training its own.
+  stats::Rng rng(77);
+  video::SyntheticDataset ds = video::MakeTokyoSynthetic(0.004);
+  video::SceneSpec sparse = ds.SpecOf("Angle 1");
+  sparse.name = "Sparse";
+  sparse.object_rate_mean = 1.5;
+  sparse.object_rate_std = 1.0;
+  video::SceneSpec dense = sparse;
+  dense.name = "Dense";
+  dense.object_rate_mean = 14.0;
+  dense.object_rate_std = 2.0;
+  pipeline::ProvisionOptions provision =
+      benchutil::DefaultWorkbenchOptions().provision;
+  provision.classifier_train.epochs = 8;
+  std::vector<video::Frame> sparse_frames =
+      video::GenerateFrames(sparse, 200, 32, 500);
+  select::ModelEntry base =
+      pipeline::ProvisionModel("Sparse", sparse_frames, provision, &rng)
+          .ValueOrDie();
+  std::vector<select::LabeledFrame> sparse_sample =
+      pipeline::MakeLabeledSample(sparse_frames, 8, 24, &rng);
+
+  FleetOptions options;
+  options.pipeline.selector = pipeline::PipelineConfig::Selector::kMsbo;
+  options.pipeline.provision = provision;
+  options.pipeline.allow_training_new = true;
+  options.pipeline.new_model_window = 80;
+  options.slice_frames = 64;
+  options.max_concurrent = 2;
+  DriftFleet fleet(options);
+  ASSERT_TRUE(fleet.AddBaseModel(base, sparse_sample).ok());
+  video::StreamGenerator stream_a({{sparse, 120}, {dense, 260}}, 32, 321);
+  video::StreamGenerator stream_b({{sparse, 320}, {dense, 200}}, 32, 654);
+  ASSERT_TRUE(fleet.AddStream({"a", &stream_a, nullptr}).ok());
+  ASSERT_TRUE(fleet.AddStream({"b", &stream_b, nullptr}).ok());
+  FleetReport report = fleet.Run().ValueOrDie();
+
+  ASSERT_EQ(report.streams.size(), 2u);
+  const StreamReport& a = report.streams[0];
+  const StreamReport& b = report.streams[1];
+  // Exactly one model was trained fleet-wide - by a, for a's drift.
+  EXPECT_EQ(a.metrics.new_models_trained, 1);
+  EXPECT_EQ(b.metrics.new_models_trained, 0);
+  EXPECT_EQ(report.models_published, 1);
+  ASSERT_FALSE(a.metrics.selections.empty());
+  EXPECT_EQ(a.metrics.selections[0], "a.learned-0");
+  // b resolved its later drift by selecting the adopted model.
+  EXPECT_GE(report.models_adopted, 1);
+  ASSERT_FALSE(b.metrics.selections.empty());
+  EXPECT_EQ(b.metrics.selections[0], "a.learned-0");
+  // The shared registry holds the base plus the one learned model.
+  EXPECT_EQ(fleet.published().size(), 2);
+  EXPECT_GE(fleet.published().FindByName("a.learned-0"), 0);
+}
+
+// --- Wiring, publication semantics, and clone invariants. ---
+
+class FleetWiringTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    stats::Rng rng(99);
+    video::SyntheticDataset ds = video::MakeBddSynthetic(0.004);
+    pipeline::ProvisionOptions provision =
+        benchutil::DefaultWorkbenchOptions().provision;
+    provision.classifier_train.epochs = 2;
+    std::vector<video::Frame> frames =
+        video::GenerateFrames(ds.SpecOf("Day"), 80, 32, 500);
+    day_ = new select::ModelEntry(
+        pipeline::ProvisionModel("Day", frames, provision, &rng)
+            .ValueOrDie());
+    sample_ = new std::vector<select::LabeledFrame>(
+        pipeline::MakeLabeledSample(frames, 8, 24, &rng));
+  }
+
+  static void TearDownTestSuite() {
+    delete day_;
+    delete sample_;
+    day_ = nullptr;
+    sample_ = nullptr;
+  }
+
+  static select::ModelEntry* day_;
+  static std::vector<select::LabeledFrame>* sample_;
+};
+
+select::ModelEntry* FleetWiringTest::day_ = nullptr;
+std::vector<select::LabeledFrame>* FleetWiringTest::sample_ = nullptr;
+
+TEST_F(FleetWiringTest, RejectsBadWiring) {
+  video::SyntheticDataset ds = video::MakeBddSynthetic(0.002);
+  video::StreamGenerator stream = ds.MakeStream();
+  FleetOptions options;
+  options.pipeline.provision = benchutil::DefaultWorkbenchOptions().provision;
+  DriftFleet fleet(options);
+  // No streams yet: Run refuses; streams before base models refuse.
+  EXPECT_EQ(fleet.Run().status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(fleet.AddStream({"s0", &stream, nullptr}).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(fleet.AddBaseModel(*day_, *sample_).ok());
+  // Duplicate base model names are first-writer-wins — and an error.
+  EXPECT_EQ(fleet.AddBaseModel(*day_, *sample_).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(fleet.AddStream({"s0", &stream, nullptr}).ok());
+  // Base models are frozen once streams exist.
+  EXPECT_EQ(fleet.AddBaseModel(*day_, *sample_).code(),
+            StatusCode::kFailedPrecondition);
+  video::StreamGenerator other = ds.MakeStream();
+  EXPECT_EQ(fleet.AddStream({"s0", &other, nullptr}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(fleet.AddStream({"", &other, nullptr}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(fleet.AddStream({"s1", nullptr, nullptr}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FleetWiringTest, CrashDrillAgainstUnknownStreamIsAnError) {
+  video::SyntheticDataset ds = video::MakeBddSynthetic(0.002);
+  video::StreamGenerator stream = ds.MakeStream();
+  FleetOptions options;
+  options.pipeline.provision = benchutil::DefaultWorkbenchOptions().provision;
+  options.crash_drills.push_back({"ghost", 1});
+  DriftFleet fleet(options);
+  ASSERT_TRUE(fleet.AddBaseModel(*day_, *sample_).ok());
+  ASSERT_TRUE(fleet.AddStream({"s0", &stream, nullptr}).ok());
+  EXPECT_EQ(fleet.Run().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FleetWiringTest, CowRegistryPublishesAtomicSnapshots) {
+  select::CowModelRegistry cow;
+  EXPECT_EQ(cow.size(), 0);
+  select::CowModelRegistry::Snapshot before = cow.TakeSnapshot();
+  ASSERT_TRUE(cow.Publish(*day_, *sample_).ValueOrDie());
+  // The old snapshot is immutable; a fresh one sees the publication.
+  EXPECT_TRUE(before->empty());
+  select::CowModelRegistry::Snapshot after = cow.TakeSnapshot();
+  ASSERT_EQ(after->size(), 1u);
+  EXPECT_EQ((*after)[0].entry.name, "Day");
+  EXPECT_EQ(cow.FindByName("Day"), 0);
+  EXPECT_EQ(cow.FindByName("Night"), -1);
+  // First writer wins: a second "Day" publishes nothing.
+  EXPECT_FALSE(cow.Publish(*day_, *sample_).ValueOrDie());
+  EXPECT_EQ(cow.size(), 1);
+}
+
+TEST_F(FleetWiringTest, CloneModelEntrySharesNothingButPreservesAliasing) {
+  select::ModelEntry clone =
+      select::CloneModelEntry(*day_).ValueOrDie();
+  EXPECT_EQ(clone.name, day_->name);
+  // Deep copies throughout: no mutable state shared with the source.
+  EXPECT_NE(clone.profile.get(), day_->profile.get());
+  EXPECT_NE(clone.ensemble.get(), day_->ensemble.get());
+  EXPECT_NE(clone.count_model.get(), day_->count_model.get());
+  // Provisioning deploys ensemble member 0 as the count model; the clone
+  // must alias its *own* member the same way, not the source's.
+  ASSERT_EQ(day_->count_model.get(), day_->ensemble->member(0).get());
+  EXPECT_EQ(clone.count_model.get(), clone.ensemble->member(0).get());
+}
+
+}  // namespace
+}  // namespace vdrift::serve

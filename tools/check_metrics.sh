@@ -506,3 +506,73 @@ for a in alerts:
 
 print(f"OK: fault pass: {len(alerts)} alert(s) on rules {sorted(rules)}")
 EOF
+
+# --- Fleet pass: per-stream series must sum to the fleet aggregates. ---
+FLEET_BENCH="$BUILD_DIR/bench/bench_fleet"
+if [[ ! -x "$FLEET_BENCH" ]]; then
+  echo "FAIL: $FLEET_BENCH not built (cmake --build $BUILD_DIR first)" >&2
+  exit 1
+fi
+FLEET_REPORT="$(mktemp /tmp/vdrift_metrics_fleet.XXXXXX.json)"
+FLEET_BENCH_JSON="$(mktemp /tmp/vdrift_bench_fleet.XXXXXX.json)"
+trap 'rm -f "$REPORT" "$TRACE" "$BENCH_JSON" "$OPENMETRICS" "$JSONL" \
+  "$FOLDED" "$LEDGER" "$FAULT_REPORT" "$FAULT_BENCH_JSON" \
+  "$FLEET_REPORT" "$FLEET_BENCH_JSON"' EXIT
+echo "running fleet pass (smoke, 2 streams, per-stream metrics)..."
+VDRIFT_BENCH_SMOKE=1 \
+  VDRIFT_METRICS_JSON="$FLEET_REPORT" \
+  VDRIFT_TRACE_JSON="" VDRIFT_METRICS_OPENMETRICS="" \
+  VDRIFT_METRICS_JSONL="" VDRIFT_BENCH_JSON="$FLEET_BENCH_JSON" \
+  VDRIFT_PROFILE_FOLDED="" VDRIFT_BENCH_LEDGER="" \
+  "$FLEET_BENCH" > /dev/null
+
+python3 - "$FLEET_REPORT" <<'EOF'
+import json
+import re
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+def fail(msg):
+    print(f"FAIL: fleet pass: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+counters = report.get("counters") or {}
+LABELED = re.compile(r'^(?P<family>[^{]+)\{stream="(?P<stream>[^"]+)"\}$')
+sums = {}
+streams = set()
+for name, value in counters.items():
+    m = LABELED.match(name)
+    if m is None:
+        continue
+    sums.setdefault(m.group("family"), 0)
+    sums[m.group("family")] += value
+    streams.add(m.group("stream"))
+if len(streams) < 2:
+    fail(f"expected >= 2 per-stream series, saw streams {sorted(streams)}")
+# Every labeled pipeline counter family must sum exactly to its unlabeled
+# fleet aggregate (the barrier's delta-folding invariant).
+checked = 0
+for family, labeled_sum in sorted(sums.items()):
+    aggregate = counters.get(family)
+    if aggregate is None:
+        fail(f"labeled family {family} has no unlabeled aggregate")
+    if labeled_sum != aggregate:
+        fail(f"{family}: sum of per-stream series {labeled_sum} "
+             f"!= aggregate {aggregate}")
+    checked += 1
+if checked == 0:
+    fail("no labeled counter families found")
+frames = counters.get("vdrift.pipeline.frames", 0)
+if frames <= 0:
+    fail("fleet processed no frames")
+if counters.get("vdrift.fleet.rounds", 0) <= 0:
+    fail("fleet recorded no scheduling rounds")
+
+print(f"OK: fleet pass: {checked} counter families over "
+      f"{len(streams)} streams sum exactly to the fleet aggregates "
+      f"({frames} frames)")
+EOF
+
+echo "ALL CHECKS PASSED"
