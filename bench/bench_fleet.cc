@@ -10,6 +10,13 @@
 // injection; VDRIFT_METRICS_JSON captures the fleet's metrics registry —
 // per-stream {stream=...} series plus the unlabeled aggregates that
 // tools/check_metrics.sh cross-validates.
+//
+// Self-healing knobs: VDRIFT_FLEET_CHECKPOINT_DIR arms per-shard
+// checkpointing (and with it restart/quarantine recovery);
+// VDRIFT_FLEET_CHAOS_SEED arms a seed-driven chaos campaign (shard kills
+// + checkpoint corruption) against the fleet; FleetOptions::ApplyEnv
+// overlays VDRIFT_FLEET_MANIFEST / VDRIFT_FLEET_MAX_RESTARTS /
+// VDRIFT_FLEET_BACKOFF_BASE.
 
 #include <chrono>
 #include <cstdio>
@@ -23,9 +30,11 @@
 #include "benchutil/metrics_report.h"
 #include "benchutil/table.h"
 #include "benchutil/workbench.h"
+#include "fault/chaos.h"
 #include "fault/fault.h"
 #include "fault/faulty_stream.h"
 #include "serve/fleet.h"
+#include "serve/supervisor.h"
 #include "video/stream.h"
 
 int main(int argc, char** argv) {
@@ -50,7 +59,8 @@ int main(int argc, char** argv) {
   std::vector<int> fleet_sizes =
       harness.config().smoke ? std::vector<int>{2} : std::vector<int>{2, 4, 8};
   benchutil::Table table({"Streams", "Frames", "Rounds", "Waits", "Published",
-                          "Adopted", "Restarts", "Seconds", "fps"});
+                          "Rejected", "Adopted", "Restarts", "Quarantined",
+                          "Seconds", "fps"});
   std::shared_ptr<obs::MetricsRegistry> last_registry;
   std::shared_ptr<obs::HealthWatchdog> last_watchdog;
   for (int n : fleet_sizes) {
@@ -64,6 +74,21 @@ int main(int argc, char** argv) {
     fleet_options.max_concurrent = 4;
     fleet_options.sample_interval_rounds = 2;
     fleet_options.slo_spec = "default";
+    const char* ckpt_dir = std::getenv("VDRIFT_FLEET_CHECKPOINT_DIR");
+    if (ckpt_dir != nullptr && ckpt_dir[0] != '\0') {
+      fleet_options.checkpoint_dir = ckpt_dir;
+    }
+    fleet_options.ApplyEnv();
+    const char* chaos_env = std::getenv("VDRIFT_FLEET_CHAOS_SEED");
+    if (chaos_env != nullptr && chaos_env[0] != '\0') {
+      std::vector<std::string> labels;
+      for (int i = 0; i < n; ++i) labels.push_back("s" + std::to_string(i));
+      fleet_options.chaos = fault::ChaosPlan::FromSeed(
+          std::strtoull(chaos_env, nullptr, 10), labels,
+          /*horizon_rounds=*/16);
+      std::printf("  [chaos] campaign armed: %s\n",
+                  fleet_options.chaos.ToString().c_str());
+    }
     serve::DriftFleet fleet(fleet_options);
     VDRIFT_CHECK_OK(fleet.AddBaseModels(bench->registry,
                                         bench->calibration_samples));
@@ -97,9 +122,16 @@ int main(int argc, char** argv) {
                                       start)
             .count();
     int64_t frames = 0;
+    int quarantined = 0;
     for (const serve::StreamReport& stream : report.streams) {
       frames += stream.metrics.frames;
-      if (!stream.status.ok()) {
+      if (stream.health == serve::HealthState::kQuarantined) {
+        quarantined += 1;
+        std::printf("  [warn] stream %s quarantined (%s): %ld frames "
+                    "unserved but accounted\n",
+                    stream.label.c_str(), stream.status.ToString().c_str(),
+                    static_cast<long>(stream.quarantined_frames));
+      } else if (!stream.status.ok()) {
         std::printf("  [warn] stream %s failed: %s\n", stream.label.c_str(),
                     stream.status.ToString().c_str());
       }
@@ -111,8 +143,10 @@ int main(int argc, char** argv) {
                   std::to_string(report.rounds),
                   std::to_string(report.backpressure_waits),
                   std::to_string(report.models_published),
+                  std::to_string(report.publish_rejected),
                   std::to_string(report.models_adopted),
                   std::to_string(report.shard_restarts),
+                  std::to_string(quarantined),
                   benchutil::Fmt(seconds, 2), benchutil::Fmt(fps, 0)});
     harness.SetThroughputFps(fps);
     last_registry = fleet.registry();

@@ -1,6 +1,10 @@
 #include "common/binio.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <array>
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -109,21 +113,52 @@ Status BinaryReader::ReadI64Vec(std::vector<int64_t>* v) {
 
 Status AtomicWriteFile(const std::string& path, const std::string& bytes) {
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::IoError("cannot open '" + tmp + "' for writing");
-    }
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out) {
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + tmp + "' for writing");
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
       std::remove(tmp.c_str());
       return Status::IoError("short write to '" + tmp + "'");
     }
+    written += static_cast<size_t>(n);
   }
+  // Durability, not just atomicity: the data must be on stable storage
+  // BEFORE the rename publishes it, or a power cut can promote an empty
+  // tmp file over a good checkpoint.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return Status::IoError("fsync failed on '" + tmp + "'");
+  }
+  if (::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("close failed on '" + tmp + "'");
+  }
+  // vdrift-lint: allow(no-unchecked-rename): this IS the checked rename
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status::IoError("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  // The rename is a directory mutation; fsync the parent so the new name
+  // itself is durable. Best-effort on filesystems that refuse O_RDONLY
+  // directory fds — the data fsync above already happened.
+  size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    if (::fsync(dirfd) != 0) {
+      ::close(dirfd);
+      return Status::IoError("fsync failed on directory '" + dir + "'");
+    }
+    ::close(dirfd);
   }
   return Status::OK();
 }

@@ -87,10 +87,12 @@ class BinaryReader {
   size_t offset_ = 0;
 };
 
-/// Writes `bytes` to `path` atomically: the data lands in `path + ".tmp"`
-/// first and is renamed over `path` only after a successful close, so a
-/// crash mid-write can never leave a half-written file under the final
-/// name (rename(2) within one filesystem is atomic).
+/// Writes `bytes` to `path` atomically AND durably: the data lands in
+/// `path + ".tmp"` first, is fsync'd, renamed over `path` (rename(2)
+/// within one filesystem is atomic), and finally the parent directory is
+/// fsync'd so the rename itself survives a power cut. A crash at any point
+/// leaves either the old file or the complete new one under the final
+/// name — never a half-written or vanished file.
 [[nodiscard]] Status AtomicWriteFile(const std::string& path, const std::string& bytes);
 
 /// Reads a whole file into a string. kIoError when it cannot be opened.

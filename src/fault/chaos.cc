@@ -1,0 +1,114 @@
+#include "fault/chaos.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/binio.h"
+#include "common/logging.h"
+#include "stats/rng.h"
+
+namespace vdrift::fault {
+
+namespace {
+
+constexpr const char* kChaosKindNames[] = {
+    "kill_shard",
+    "corrupt_checkpoint",
+    "corrupt_manifest",
+    "kill_coordinator",
+};
+
+}  // namespace
+
+const char* ChaosKindName(ChaosKind kind) {
+  int k = static_cast<int>(kind);
+  VDRIFT_CHECK(k >= 0 && k < static_cast<int>(ChaosKind::kNumChaosKinds));
+  return kChaosKindNames[k];
+}
+
+ChaosPlan ChaosPlan::FromSeed(uint64_t seed,
+                              const std::vector<std::string>& streams,
+                              int64_t horizon_rounds,
+                              const Options& options) {
+  ChaosPlan plan;
+  stats::Rng rng(seed);
+  // The coordinator kill is drawn first so the per-round schedule is
+  // independent of whether it is armed.
+  int64_t kill_round = -1;
+  if (options.kill_coordinator && horizon_rounds > 1) {
+    kill_round = rng.NextInt(1, static_cast<int>(horizon_rounds - 1));
+  }
+  for (int64_t round = 0; round < horizon_rounds; ++round) {
+    if (round == kill_round) {
+      plan.events.push_back(
+          ChaosEvent{ChaosKind::kKillCoordinator, round, ""});
+    }
+    for (const std::string& stream : streams) {
+      if (options.kill_shard_p > 0.0 &&
+          rng.NextBernoulli(options.kill_shard_p)) {
+        plan.events.push_back(
+            ChaosEvent{ChaosKind::kKillShard, round, stream});
+      }
+      if (options.corrupt_checkpoint_p > 0.0 &&
+          rng.NextBernoulli(options.corrupt_checkpoint_p)) {
+        plan.events.push_back(
+            ChaosEvent{ChaosKind::kCorruptCheckpoint, round, stream});
+      }
+    }
+    if (options.corrupt_manifest_p > 0.0 &&
+        rng.NextBernoulli(options.corrupt_manifest_p)) {
+      plan.events.push_back(
+          ChaosEvent{ChaosKind::kCorruptManifest, round, ""});
+    }
+  }
+  return plan;
+}
+
+std::vector<ChaosEvent> ChaosPlan::EventsAt(int64_t round) const {
+  std::vector<ChaosEvent> at;
+  for (const ChaosEvent& event : events) {
+    if (event.round == round) at.push_back(event);
+  }
+  return at;
+}
+
+int64_t ChaosPlan::coordinator_kill_round() const {
+  for (const ChaosEvent& event : events) {
+    if (event.kind == ChaosKind::kKillCoordinator) return event.round;
+  }
+  return -1;
+}
+
+ChaosPlan ChaosPlan::WithoutCoordinatorKill() const {
+  ChaosPlan stripped;
+  for (const ChaosEvent& event : events) {
+    if (event.kind == ChaosKind::kKillCoordinator) continue;
+    stripped.events.push_back(event);
+  }
+  return stripped;
+}
+
+std::string ChaosPlan::ToString() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const ChaosEvent& event : events) {
+    if (!first) out << ";";
+    first = false;
+    out << event.round << ":" << ChaosKindName(event.kind);
+    if (!event.stream.empty()) out << ":" << event.stream;
+  }
+  return out.str();
+}
+
+Status CorruptFileForChaos(const std::string& path, uint64_t seed) {
+  VDRIFT_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  if (bytes.empty()) return Status::OK();
+  stats::Rng rng(seed);
+  const size_t byte = static_cast<size_t>(rng.NextInt(
+      0, static_cast<int>(std::min<size_t>(bytes.size() - 1, 1u << 30))));
+  const int bit = rng.NextInt(0, 7);
+  bytes[byte] ^= static_cast<char>(1u << static_cast<unsigned>(bit));
+  return AtomicWriteFile(path, bytes);
+}
+
+}  // namespace vdrift::fault

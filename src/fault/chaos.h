@@ -1,0 +1,92 @@
+#ifndef VDRIFT_FAULT_CHAOS_H_
+#define VDRIFT_FAULT_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vdrift::fault {
+
+/// \brief What a chaos campaign knows how to break at fleet granularity.
+///
+/// These are *between-round* events — the fleet's BSP barrier is the only
+/// place a coordinator can observe a crash deterministically, so the plan
+/// speaks in rounds, not wall time.
+enum class ChaosKind : int {
+  kKillShard = 0,       ///< Tear a shard down (restore from checkpoint).
+  kCorruptCheckpoint,   ///< Flip one bit of a shard's on-disk checkpoint.
+  kCorruptManifest,     ///< Flip one bit of the fleet manifest on disk.
+  kKillCoordinator,     ///< Halt the whole fleet mid-run (manifest resume).
+  kNumChaosKinds,       ///< Sentinel; not an event.
+};
+
+/// Spec-string name of a kind (e.g. "kill_shard").
+const char* ChaosKindName(ChaosKind kind);
+
+/// \brief One scheduled chaos event.
+struct ChaosEvent {
+  ChaosKind kind = ChaosKind::kKillShard;
+  int64_t round = 0;    ///< Fires at the start of this round.
+  std::string stream;   ///< Target shard label (empty for fleet-level kinds).
+};
+
+/// \brief A deterministic, seed-driven chaos schedule for a fleet run.
+///
+/// The same (seed, stream set, horizon) triple always yields the same
+/// event list, so any failure a chaos campaign finds is replayable
+/// bit-for-bit — the same property the per-frame FaultInjector has, lifted
+/// to fleet granularity.
+struct ChaosPlan {
+  struct Options {
+    double kill_shard_p = 0.05;         ///< Per (stream, round).
+    double corrupt_checkpoint_p = 0.02; ///< Per (stream, round).
+    double corrupt_manifest_p = 0.0;    ///< Per round.
+    /// Schedule exactly one coordinator kill at a random round in
+    /// [1, horizon). false = the fleet runs uninterrupted.
+    bool kill_coordinator = false;
+  };
+
+  std::vector<ChaosEvent> events;  ///< Sorted by round, then draw order.
+
+  /// Generates the schedule. Draw order is fixed (round-major, then the
+  /// stream order given, then event kind), so adding a stream never
+  /// perturbs the schedule of the rounds before it.
+  static ChaosPlan FromSeed(uint64_t seed,
+                            const std::vector<std::string>& streams,
+                            int64_t horizon_rounds,
+                            const Options& options);
+  static ChaosPlan FromSeed(uint64_t seed,
+                            const std::vector<std::string>& streams,
+                            int64_t horizon_rounds) {
+    return FromSeed(seed, streams, horizon_rounds, Options{});
+  }
+
+  /// Events scheduled at `round`, in draw order.
+  std::vector<ChaosEvent> EventsAt(int64_t round) const;
+
+  /// Round of the (single) coordinator kill; -1 when none is scheduled.
+  int64_t coordinator_kill_round() const;
+
+  /// Copy of this plan with every coordinator-kill event removed — the
+  /// schedule a resumed fleet runs (the crash already happened; replaying
+  /// it would livelock the campaign).
+  ChaosPlan WithoutCoordinatorKill() const;
+
+  bool empty() const { return events.empty(); }
+
+  /// Human-readable schedule, one "round:kind[:stream]" clause per event.
+  std::string ToString() const;
+};
+
+/// Flips one seed-deterministic bit of the file at `path` in place —
+/// the on-disk damage kCorruptCheckpoint / kCorruptManifest inject.
+/// kIoError when the file cannot be read or written; OK (no-op) on an
+/// empty file.
+[[nodiscard]] Status CorruptFileForChaos(const std::string& path,
+                                         uint64_t seed);
+
+}  // namespace vdrift::fault
+
+#endif  // VDRIFT_FAULT_CHAOS_H_

@@ -130,6 +130,14 @@ Result<std::vector<StreamFaultPlan>> ParsePerStreamFaultSpec(
                                      "stream label: " +
                                      entry);
     }
+    // Labels become metric label values and checkpoint file names;
+    // whitespace there is always a quoting accident in the spec.
+    for (char c : label) {
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        return Status::InvalidArgument(
+            "per-stream fault label contains whitespace: '" + label + "'");
+      }
+    }
     for (const StreamFaultPlan& existing : plans) {
       if (existing.stream == label) {
         return Status::InvalidArgument("duplicate stream label in fault "
@@ -137,8 +145,15 @@ Result<std::vector<StreamFaultPlan>> ParsePerStreamFaultSpec(
                                        label);
       }
     }
-    VDRIFT_ASSIGN_OR_RETURN(FaultPlan plan,
-                            FaultPlan::Parse(entry.substr(at + 1)));
+    const std::string plan_spec = entry.substr(at + 1);
+    if (plan_spec.empty()) {
+      // "s1@" would silently arm zero faults — a campaign typo that must
+      // fail loudly, not test nothing.
+      return Status::InvalidArgument(
+          "per-stream fault entry has empty plan for stream '" + label +
+          "'");
+    }
+    VDRIFT_ASSIGN_OR_RETURN(FaultPlan plan, FaultPlan::Parse(plan_spec));
     plans.push_back(StreamFaultPlan{std::move(label), plan});
   }
   return plans;

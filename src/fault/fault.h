@@ -91,8 +91,9 @@ struct StreamFaultPlan {
 /// FaultPlan::Parse clause list. Each stream gets its own FaultInjector
 /// (the injector is not thread-safe and fleet shards run concurrently),
 /// so faults on one stream never perturb another stream's draw sequence.
-/// Duplicate labels, empty labels, or malformed plans are
-/// kInvalidArgument. The empty spec parses to an empty list.
+/// Duplicate labels, empty labels, labels containing whitespace, empty
+/// plan clauses ("s1@"), or malformed plans are kInvalidArgument. The
+/// empty spec parses to an empty list.
 Result<std::vector<StreamFaultPlan>> ParsePerStreamFaultSpec(
     const std::string& spec);
 

@@ -247,6 +247,13 @@ HealthWatchdog::HealthWatchdog(std::vector<SloRule> rules,
   VDRIFT_CHECK(options_.max_alerts >= 1);
 }
 
+const SloRule* HealthWatchdog::FindRule(const std::string& name) const {
+  for (const SloRule& rule : rules_) {
+    if (rule.name == name) return &rule;
+  }
+  return nullptr;
+}
+
 std::vector<AlertEvent> HealthWatchdog::Evaluate(
     const MetricsWindow& window) {
   std::vector<AlertEvent> fired;

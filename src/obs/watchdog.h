@@ -91,6 +91,10 @@ class HealthWatchdog {
   std::vector<AlertEvent> Evaluate(const MetricsWindow& window);
 
   const std::vector<SloRule>& rules() const { return rules_; }
+  /// The rule with the given name, or nullptr. Lets an alert consumer map
+  /// an AlertEvent back to the metric (and its labels — e.g. which
+  /// {stream="..."} a breached per-stream rule supervises).
+  const SloRule* FindRule(const std::string& name) const;
   /// Retained alerts, oldest first (at most Options::max_alerts).
   std::vector<AlertEvent> alerts() const;
   /// Total alerts fired since construction (including dropped ones).

@@ -1,6 +1,7 @@
 #include "serve/fleet.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 #include "common/logging.h"
@@ -25,7 +26,31 @@ constexpr const char* kAggregatedCounters[] = {
     "vdrift.pipeline.checkpoint_failures",
 };
 
+int64_t ParseEnvInt(const char* name, int64_t lo, int64_t hi,
+                    int64_t fallback) {
+  // vdrift-lint: allow(no-ambient-nondeterminism): documented fleet knob
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(raw, &end, 10);
+  // vdrift-lint: allow(no-data-dependent-check): env config contract
+  VDRIFT_CHECK(end != raw && *end == '\0' && parsed >= lo && parsed <= hi)
+      << name << " must be an integer in [" << lo << ", " << hi
+      << "], got '" << raw << "'";
+  return static_cast<int64_t>(parsed);
+}
+
 }  // namespace
+
+void FleetOptions::ApplyEnv() {
+  // vdrift-lint: allow(no-ambient-nondeterminism): documented fleet knob
+  const char* manifest = std::getenv("VDRIFT_FLEET_MANIFEST");
+  if (manifest != nullptr && manifest[0] != '\0') manifest_path = manifest;
+  max_restarts = static_cast<int>(ParseEnvInt(
+      "VDRIFT_FLEET_MAX_RESTARTS", 0, 1 << 20, max_restarts));
+  backoff_base = static_cast<int>(ParseEnvInt(
+      "VDRIFT_FLEET_BACKOFF_BASE", 0, 1 << 20, backoff_base));
+}
 
 DriftFleet::DriftFleet(const FleetOptions& options)
     : options_(options),
@@ -33,6 +58,8 @@ DriftFleet::DriftFleet(const FleetOptions& options)
   // vdrift-lint: allow(no-data-dependent-check): config wiring contract
   VDRIFT_CHECK(options_.slice_frames > 0 && options_.max_concurrent > 0)
       << "fleet needs a positive slice size and concurrency";
+  health_policy_.max_restarts = options_.max_restarts;
+  health_policy_.backoff_base = options_.backoff_base;
   if (options_.sample_interval_rounds > 0) {
     obs::MetricsSampler::Options sampler_options;
     sampler_options.max_windows = options_.max_windows;
@@ -71,6 +98,7 @@ Status DriftFleet::AddBaseModel(
                                    entry.name);
   }
   base_models_ += 1;
+  lineage_.push_back(ModelLineage{entry.name, "", -1});
   return Status::OK();
 }
 
@@ -174,10 +202,7 @@ Status DriftFleet::AddStream(const StreamSpec& spec) {
   return Status::OK();
 }
 
-Status DriftFleet::RestoreShard(Shard* shard) {
-  shard->restarts += 1;
-  shard_restarts_ += 1;
-  registry_->GetCounter("vdrift.fleet.shard_restarts").Increment();
+Status DriftFleet::RebuildShard(Shard* shard) {
   shard->pipeline.reset();
   shard->registry.reset();
   shard->slice_status = Status::OK();
@@ -190,7 +215,11 @@ Status DriftFleet::RestoreShard(Shard* shard) {
       if (built.ok()) {
         Status resumed =
             shard->pipeline->Resume(shard->checkpoint_path, shard->stream);
-        if (resumed.ok()) return Status::OK();
+        if (resumed.ok()) {
+          shard->prev_degradation_events =
+              shard->pipeline->metrics().degradation.total_events();
+          return Status::OK();
+        }
         VDRIFT_LOG_WARNING << "shard " << shard->label
                            << " resume failed, cold-starting: "
                            << resumed.ToString();
@@ -214,22 +243,94 @@ Status DriftFleet::RestoreShard(Shard* shard) {
   shard->registry.reset();
   VDRIFT_RETURN_NOT_OK(BuildShardPipeline(shard, shard->initial_fingerprint));
   shard->stream->Reset();
+  shard->prev_degradation_events = 0;
+  return Status::OK();
+}
+
+Status DriftFleet::KillShard(Shard* shard, const Status& cause) {
+  if (!shard->health.Serving()) return Status::OK();
+  if (!shard->health.GrantRestart(health_policy_)) {
+    return QuarantineShard(shard, cause);
+  }
+  shard_restarts_ += 1;
+  registry_->GetCounter("vdrift.fleet.shard_restarts").Increment();
+  VDRIFT_RETURN_NOT_OK(RebuildShard(shard));
+  ExportHealth(shard);
+  return Status::OK();
+}
+
+Status DriftFleet::QuarantineShard(Shard* shard, const Status& cause) {
+  // Restore-then-park: the last checkpoint (or a cold start when it is
+  // unusable) gives the quarantined shard a well-defined cursor, so the
+  // loss books close exactly — everything past the cursor is counted as
+  // quarantined, nothing is silently dropped.
+  VDRIFT_RETURN_NOT_OK(RebuildShard(shard));
+  shard->health.state = HealthState::kQuarantined;
+  shard->health.backoff_remaining = 0;
+  shard->fail_status = cause;
+  shard->quarantined_frames =
+      shard->stream->total_frames() - shard->stream->position();
+  if (shard->quarantined_frames < 0) shard->quarantined_frames = 0;
+  quarantined_frames_ += shard->quarantined_frames;
+  obs::MetricsRegistry& reg = *registry_;
+  reg.GetCounter("vdrift.serve.quarantined").Increment();
+  reg.GetCounter("vdrift.serve.quarantine_dropped_frames",
+                 {{"stream", shard->label}})
+      .Increment(shard->quarantined_frames);
+  reg.GetCounter("vdrift.serve.quarantine_dropped_frames")
+      .Increment(shard->quarantined_frames);
+  ExportHealth(shard);
+  VDRIFT_LOG_WARNING << "shard " << shard->label
+                     << " quarantined after exhausting " <<
+      options_.max_restarts << " restarts (" << shard->quarantined_frames
+                     << " frames unserved): " << cause.ToString();
   return Status::OK();
 }
 
 Status DriftFleet::PublishShardModels(Shard* shard) {
   const select::ModelRegistry& registry = *shard->registry;
   const auto& samples = shard->pipeline->calibration_samples();
+  // Incumbents are the shard's own private clones of everything already
+  // published — COW-stored entries must never be executed, and the gate
+  // runs models (supervisor.h).
+  const int incumbents_end = shard->synced_entries;
   for (int i = shard->synced_entries; i < registry.size(); ++i) {
     const std::vector<select::LabeledFrame> sample =
         i < static_cast<int>(samples.size())
             ? samples[static_cast<size_t>(i)]
             : std::vector<select::LabeledFrame>{};
+    std::vector<const select::ModelEntry*> incumbents;
+    incumbents.reserve(static_cast<size_t>(incumbents_end));
+    for (int j = 0; j < incumbents_end; ++j) {
+      incumbents.push_back(&registry.at(j));
+    }
+    GateVerdict verdict = EvaluatePublication(registry.at(i), sample,
+                                              incumbents,
+                                              options_.publication_gate);
+    if (!verdict.accepted) {
+      // The fleet falls back to the incumbents: the candidate stays
+      // private to the shard that trained it and is never adoptable.
+      publish_rejected_ += 1;
+      registry_->GetCounter("vdrift.serve.publish_rejected").Increment();
+      registry_
+          ->GetCounter("vdrift.serve.publish_rejected",
+                       {{"reason", verdict.reason}})
+          .Increment();
+      VDRIFT_LOG_WARNING << "publication gate rejected '"
+                         << registry.at(i).name << "' from stream "
+                         << shard->label << " (" << verdict.reason
+                         << "): candidate accuracy "
+                         << verdict.candidate_accuracy << " vs incumbent "
+                         << verdict.incumbent_accuracy;
+      continue;
+    }
     VDRIFT_ASSIGN_OR_RETURN(bool accepted,
                             published_.Publish(registry.at(i), sample));
     if (accepted) {
       models_published_ += 1;
       registry_->GetCounter("vdrift.fleet.models_published").Increment();
+      lineage_.push_back(
+          ModelLineage{registry.at(i).name, shard->label, rounds_});
     }
   }
   shard->synced_entries = registry.size();
@@ -265,6 +366,128 @@ void DriftFleet::AggregateShard(Shard* shard) {
   }
 }
 
+void DriftFleet::ExportHealth(Shard* shard) {
+  registry_->GetGauge("vdrift.serve.health", {{"stream", shard->label}})
+      .Set(static_cast<double>(shard->health.state));
+}
+
+Status DriftFleet::WriteManifest(const std::deque<int>& ready) {
+  FleetManifest manifest;
+  manifest.next_round = rounds_;
+  manifest.backpressure_waits = backpressure_waits_;
+  manifest.models_published = models_published_;
+  manifest.models_adopted = models_adopted_;
+  manifest.shard_restarts = shard_restarts_;
+  manifest.publish_rejected = publish_rejected_;
+  manifest.quarantined_frames = quarantined_frames_;
+  manifest.slice_frames = options_.slice_frames;
+  manifest.shards.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    ShardManifest row;
+    row.label = shard->label;
+    row.checkpoint_path = shard->checkpoint_path;
+    row.health = static_cast<uint8_t>(shard->health.state);
+    row.restarts = shard->health.restarts;
+    row.backoff_remaining = shard->health.backoff_remaining;
+    row.slices = shard->slices;
+    row.fail_code = static_cast<int32_t>(shard->fail_status.code());
+    row.fail_message = shard->fail_status.message();
+    manifest.shards.push_back(std::move(row));
+  }
+  manifest.ready.assign(ready.begin(), ready.end());
+  manifest.lineage = lineage_;
+  Status written = WriteFleetManifestFile(manifest, options_.manifest_path);
+  if (written.ok()) {
+    registry_->GetCounter("vdrift.serve.manifest_writes").Increment();
+  } else {
+    // A manifest write failure degrades crash recovery, not serving.
+    registry_->GetCounter("vdrift.serve.manifest_write_failures").Increment();
+    VDRIFT_LOG_WARNING << "fleet manifest write failed: "
+                       << written.ToString();
+  }
+  return Status::OK();
+}
+
+Status DriftFleet::ResumeFromManifest(const FleetManifest& manifest,
+                                      std::deque<int>* ready) {
+  // Validate everything against the wired fleet before mutating any shard.
+  if (manifest.shards.size() != shards_.size()) {
+    return Status::FailedPrecondition(
+        "fleet manifest has " + std::to_string(manifest.shards.size()) +
+        " shards, fleet has " + std::to_string(shards_.size()));
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (manifest.shards[i].label != shards_[i]->label) {
+      return Status::FailedPrecondition(
+          "fleet manifest shard " + std::to_string(i) + " is '" +
+          manifest.shards[i].label + "', fleet has '" + shards_[i]->label +
+          "'");
+    }
+    if (manifest.shards[i].checkpoint_path !=
+        shards_[i]->checkpoint_path) {
+      return Status::FailedPrecondition(
+          "fleet manifest checkpoint path mismatch for shard '" +
+          shards_[i]->label + "'");
+    }
+  }
+  if (manifest.slice_frames != options_.slice_frames) {
+    return Status::FailedPrecondition(
+        "fleet manifest slice_frames " +
+        std::to_string(manifest.slice_frames) + " != configured " +
+        std::to_string(options_.slice_frames));
+  }
+  for (const ModelLineage& entry : manifest.lineage) {
+    if (entry.round >= 0) {
+      // Learned-model weights are deliberately not persisted (the
+      // checkpoint limitation, PipelineCheckpoint docs) — a coordinator
+      // resume cannot reconstruct them, so the caller falls back to a
+      // fresh full run, which replays to the identical end state.
+      return Status::DataLoss("fleet manifest references learned model '" +
+                              entry.name + "'; resume cannot restore "
+                              "trained weights — run fresh");
+    }
+    if (published_.FindByName(entry.name) < 0) {
+      return Status::FailedPrecondition(
+          "fleet manifest base model '" + entry.name +
+          "' is not published in this fleet");
+    }
+  }
+  // Apply. Every shard is rebuilt from its checkpoint; RebuildShard's
+  // cold-start fallback keeps a damaged per-shard checkpoint from failing
+  // the resume (the shard replays, deterministically).
+  rounds_ = manifest.next_round;
+  backpressure_waits_ = manifest.backpressure_waits;
+  models_published_ = manifest.models_published;
+  models_adopted_ = manifest.models_adopted;
+  shard_restarts_ = manifest.shard_restarts;
+  publish_rejected_ = manifest.publish_rejected;
+  quarantined_frames_ = manifest.quarantined_frames;
+  lineage_ = manifest.lineage;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard* shard = shards_[i].get();
+    const ShardManifest& row = manifest.shards[i];
+    shard->health.state = static_cast<HealthState>(row.health);
+    shard->health.restarts = row.restarts;
+    shard->health.backoff_remaining = row.backoff_remaining;
+    shard->slices = row.slices;
+    shard->fail_status =
+        row.fail_code == 0
+            ? Status::OK()
+            : Status(static_cast<StatusCode>(row.fail_code),
+                     row.fail_message);
+    shard->done = shard->health.state == HealthState::kRetired;
+    VDRIFT_RETURN_NOT_OK(RebuildShard(shard));
+    if (shard->health.state == HealthState::kQuarantined) {
+      shard->quarantined_frames =
+          shard->stream->total_frames() - shard->stream->position();
+      if (shard->quarantined_frames < 0) shard->quarantined_frames = 0;
+    }
+    ExportHealth(shard);
+  }
+  ready->assign(manifest.ready.begin(), manifest.ready.end());
+  return Status::OK();
+}
+
 Result<FleetReport> DriftFleet::Run() {
   if (shards_.empty()) {
     return Status::FailedPrecondition("fleet has no streams");
@@ -275,32 +498,196 @@ Result<FleetReport> DriftFleet::Run() {
                                      drill.stream);
     }
   }
+  for (const fault::ChaosEvent& event : options_.chaos.events) {
+    if (!event.stream.empty() && FindShard(event.stream) == nullptr) {
+      return Status::InvalidArgument("chaos event targets unknown stream: " +
+                                     event.stream);
+    }
+  }
+  if (!options_.manifest_path.empty() && options_.checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "fleet manifest requires checkpoint_dir (the manifest references "
+        "per-shard checkpoints)");
+  }
   obs::MetricsRegistry& reg = *registry_;
-  // Pre-register the unlabeled aggregates so every labeled per-stream
-  // family has its fleet-wide sum in the export even when the sum is 0
-  // (shards register their labeled counters at construction; the
-  // aggregate would otherwise only appear on the first nonzero fold).
+  // Pre-register the unlabeled aggregates and supervision instruments so
+  // the export always carries them, even at zero.
   for (const char* family : kAggregatedCounters) {
     reg.GetCounter(family);
   }
+  reg.GetCounter("vdrift.serve.publish_rejected");
+  reg.GetCounter("vdrift.serve.quarantined");
+  reg.GetCounter("vdrift.serve.quarantine_dropped_frames");
   obs::Gauge& active_gauge = reg.GetGauge("vdrift.fleet.active_streams");
   obs::Counter& rounds_counter = reg.GetCounter("vdrift.fleet.rounds");
   obs::Counter& waits_counter =
       reg.GetCounter("vdrift.fleet.backpressure_waits");
+
+  bool resumed = false;
   std::deque<int> ready;
-  for (int i = 0; i < static_cast<int>(shards_.size()); ++i) {
-    ready.push_back(i);
+  Result<FleetManifest> manifest = options_.manifest_path.empty()
+                                       ? Status::NotFound("manifest off")
+                                       : ReadFleetManifestFile(
+                                             options_.manifest_path);
+  if (!options_.manifest_path.empty() &&
+      manifest.status().code() != StatusCode::kIoError) {
+    // kIoError = no manifest on disk yet (first run); anything else is a
+    // manifest that exists and must either resume or fall back loudly.
+    Status applied = manifest.ok()
+                         ? ResumeFromManifest(manifest.value(), &ready)
+                         : manifest.status();
+    if (applied.ok()) {
+      resumed = true;
+      VDRIFT_LOG_INFO << "fleet resumed from manifest at round " << rounds_;
+    } else {
+      // Self-healing: a damaged or stale manifest falls back to a fresh
+      // full run, which replays every stream to the identical end state.
+      reg.GetCounter("vdrift.serve.manifest_resume_failures").Increment();
+      VDRIFT_LOG_WARNING << "fleet manifest resume failed, running fresh: "
+                         << applied.ToString();
+      ready.clear();
+      rounds_ = 0;
+      backpressure_waits_ = 0;
+      models_published_ = 0;
+      models_adopted_ = 0;
+      shard_restarts_ = 0;
+      publish_rejected_ = 0;
+      quarantined_frames_ = 0;
+      // Keep only base-model lineage (publication order puts it first).
+      lineage_.resize(static_cast<size_t>(base_models_));
+      for (const std::unique_ptr<Shard>& shard : shards_) {
+        shard->health = ShardHealth{};
+        shard->slices = 0;
+        shard->done = false;
+        shard->fail_status = Status::OK();
+        shard->quarantined_frames = 0;
+        shard->prev_degradation_events = 0;
+        shard->alerted = false;
+        VDRIFT_RETURN_NOT_OK(
+            BuildShardPipeline(shard.get(), shard->initial_fingerprint));
+        shard->stream->Reset();
+      }
+    }
   }
-  while (!ready.empty()) {
+  if (!resumed) {
+    for (int i = 0; i < static_cast<int>(shards_.size()); ++i) {
+      ready.push_back(i);
+    }
+  }
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    ExportHealth(shard.get());
+  }
+
+  auto remove_from_ready = [&ready](int index) {
+    ready.erase(std::remove(ready.begin(), ready.end(), index), ready.end());
+  };
+  auto any_parked = [this]() {
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      if (shard->health.state == HealthState::kRestarting) return true;
+    }
+    return false;
+  };
+  auto build_report = [this, resumed](bool halted,
+                                      int64_t halted_round) {
+    FleetReport report;
+    report.rounds = rounds_;
+    report.backpressure_waits = backpressure_waits_;
+    report.models_published = models_published_;
+    report.models_adopted = models_adopted_;
+    report.shard_restarts = shard_restarts_;
+    report.publish_rejected = publish_rejected_;
+    report.quarantined_frames = quarantined_frames_;
+    report.halted = halted;
+    report.halted_round = halted_round;
+    report.resumed = resumed;
+    report.streams.reserve(shards_.size());
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      StreamReport stream_report;
+      stream_report.label = shard->label;
+      stream_report.status =
+          shard->health.state == HealthState::kQuarantined
+              ? shard->fail_status
+              : Status::OK();
+      stream_report.health = shard->health.state;
+      if (shard->pipeline != nullptr) {
+        stream_report.metrics = shard->pipeline->metrics();
+      }
+      stream_report.frames = shard->stream->position();
+      stream_report.slices = shard->slices;
+      stream_report.restarts = shard->health.restarts;
+      stream_report.quarantined_frames = shard->quarantined_frames;
+      report.streams.push_back(std::move(stream_report));
+    }
+    return report;
+  };
+
+  while (!ready.empty() || any_parked()) {
     const int64_t round = rounds_;
-    // Scheduled crash drills fire between rounds: the shard is torn down
-    // and rebuilt from its checkpoint before it is admitted again.
+    // Chaos events and scheduled crash drills fire between rounds, before
+    // admission. Order within a round: manifest corruption first (so a
+    // coordinator kill in the same round resumes from damaged bytes —
+    // the self-healing path), then the coordinator kill, then per-shard
+    // events in draw order.
+    const std::vector<fault::ChaosEvent> events =
+        options_.chaos.EventsAt(round);
+    for (const fault::ChaosEvent& event : events) {
+      if (event.kind != fault::ChaosKind::kCorruptManifest) continue;
+      if (options_.manifest_path.empty()) continue;
+      // kIoError here just means no manifest has been written yet.
+      Status corrupted = fault::CorruptFileForChaos(
+          options_.manifest_path,
+          options_.pipeline.seed ^ (static_cast<uint64_t>(round) * 0x9E3779B9u));
+      if (!corrupted.ok() && corrupted.code() != StatusCode::kIoError) {
+        VDRIFT_LOG_WARNING << "chaos manifest corruption failed: "
+                           << corrupted.ToString();
+      }
+    }
+    for (const fault::ChaosEvent& event : events) {
+      if (event.kind == fault::ChaosKind::kKillCoordinator) {
+        // The coordinator dies between rounds: the manifest written at the
+        // last barrier is the recovery point. Nothing of this round ran.
+        VDRIFT_LOG_WARNING << "chaos killed the coordinator at round "
+                           << round;
+        return build_report(/*halted=*/true, round);
+      }
+    }
+    for (const fault::ChaosEvent& event : events) {
+      Shard* shard =
+          event.stream.empty() ? nullptr : FindShard(event.stream);
+      switch (event.kind) {
+        case fault::ChaosKind::kKillShard: {
+          if (shard == nullptr || !shard->health.Serving()) break;
+          remove_from_ready(shard->index);
+          VDRIFT_RETURN_NOT_OK(KillShard(
+              shard, Status::Internal("chaos kill at round " +
+                                      std::to_string(round))));
+          break;
+        }
+        case fault::ChaosKind::kCorruptCheckpoint: {
+          if (shard == nullptr || shard->checkpoint_path.empty()) break;
+          Status corrupted = fault::CorruptFileForChaos(
+              shard->checkpoint_path,
+              options_.pipeline.seed ^
+                  (static_cast<uint64_t>(round) * 0x85EBCA6Bu) ^
+                  static_cast<uint64_t>(shard->index));
+          if (!corrupted.ok() && corrupted.code() != StatusCode::kIoError) {
+            VDRIFT_LOG_WARNING << "chaos checkpoint corruption failed: "
+                               << corrupted.ToString();
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
     for (const CrashDrill& drill : options_.crash_drills) {
       if (drill.round != round) continue;
       Shard* shard = FindShard(drill.stream);
-      if (shard->done || shard->failed) continue;
-      if (shard->restarts >= options_.max_shard_restarts) continue;
-      VDRIFT_RETURN_NOT_OK(RestoreShard(shard));
+      if (!shard->health.Serving()) continue;
+      remove_from_ready(shard->index);
+      VDRIFT_RETURN_NOT_OK(KillShard(
+          shard, Status::Internal("crash drill at round " +
+                                  std::to_string(round))));
     }
     // Admission control: up to max_concurrent shards run this round; the
     // rest stay queued and each queued shard counts one backpressure wait.
@@ -331,38 +718,31 @@ Result<FleetReport> DriftFleet::Run() {
           }
         });
     // --- Round barrier, fleet thread, admission order. ---
-    // 1. Publish models trained this round (even by a shard whose slice
-    //    later failed — a completed model is valid).
+    // 1. Gate + publish models trained this round (even by a shard whose
+    //    slice later failed — a completed model is valid).
     for (int index : admitted) {
       VDRIFT_RETURN_NOT_OK(PublishShardModels(shards_[static_cast<size_t>(
           index)].get()));
     }
     // 2. Restore shards whose slice failed (their last checkpoint predates
-    //    the failed slice), or mark them failed once restarts run out.
+    //    the failed slice); a shard out of restart budget is quarantined.
     for (int index : admitted) {
       Shard& shard = *shards_[static_cast<size_t>(index)];
       if (shard.slice_status.ok()) continue;
-      if (shard.restarts >= options_.max_shard_restarts) {
-        shard.failed = true;
-        shard.fail_status = shard.slice_status;
-        VDRIFT_LOG_WARNING << "shard " << shard.label
-                           << " failed permanently: "
-                           << shard.fail_status.ToString();
-        continue;
-      }
-      VDRIFT_RETURN_NOT_OK(RestoreShard(&shard));
+      VDRIFT_RETURN_NOT_OK(KillShard(&shard, shard.slice_status));
     }
-    // 3. Every live shard adopts every published model it is missing —
-    //    registries stay aligned, so any stream can serve any drift.
+    // 3. Every live shard (including parked restarts — they must be
+    //    model-aligned before readmission) adopts every published model it
+    //    is missing, so any stream can serve any drift.
     for (const std::unique_ptr<Shard>& shard : shards_) {
-      if (shard->done || shard->failed) continue;
+      if (shard->health.Terminal() || shard->done) continue;
       VDRIFT_RETURN_NOT_OK(AdoptPublished(shard.get()));
     }
     // 4. Checkpoint after adoption so the serialized registry fingerprint
     //    matches the live replica.
     if (!options_.checkpoint_dir.empty()) {
       for (const std::unique_ptr<Shard>& shard : shards_) {
-        if (shard->done || shard->failed) continue;
+        if (shard->health.Terminal() || shard->done) continue;
         Status written = shard->pipeline->Checkpoint(shard->checkpoint_path,
                                                      *shard->stream);
         if (!written.ok()) {
@@ -373,8 +753,9 @@ Result<FleetReport> DriftFleet::Run() {
         }
       }
     }
-    // 5. Fold labeled deltas into the fleet aggregates and tick the fleet
-    //    sampler on the admitted-frame clock.
+    // 5. Fold labeled deltas into the fleet aggregates, tick the fleet
+    //    sampler on the admitted-frame clock, map per-stream SLO alerts
+    //    back to their shards, and advance the health machines.
     for (const std::unique_ptr<Shard>& shard : shards_) {
       AggregateShard(shard.get());
     }
@@ -389,20 +770,65 @@ Result<FleetReport> DriftFleet::Run() {
           reg.GetCounter("vdrift.slo.alerts", {{"rule", alert.rule}})
               .Increment();
           VDRIFT_LOG_WARNING << "fleet SLO alert: " << alert.message;
+          // Alert wiring: a rule whose numerator carries {stream="..."}
+          // supervises exactly one shard — degrade it.
+          const obs::SloRule* rule = watchdog_->FindRule(alert.rule);
+          if (rule == nullptr) continue;
+          Result<obs::MetricKey> key =
+              obs::ParseMetricKey(rule->numerator.metric);
+          if (!key.ok()) continue;
+          for (const obs::Label& label : key.value().labels) {
+            if (label.first != "stream") continue;
+            Shard* shard = FindShard(label.second);
+            if (shard != nullptr) shard->alerted = true;
+          }
         }
       }
     }
-    // 6. Requeue: a shard is done when its stream is exhausted and no
-    //    drift handling is parked across the slice boundary.
     for (int index : admitted) {
       Shard& shard = *shards_[static_cast<size_t>(index)];
-      if (shard.failed) continue;
+      if (!shard.health.Serving()) continue;  // Killed at the barrier.
+      const int64_t events_now =
+          shard.pipeline->metrics().degradation.total_events();
+      const bool degraded =
+          events_now > shard.prev_degradation_events || shard.alerted;
+      shard.prev_degradation_events = events_now;
+      shard.alerted = false;
+      shard.health.ObserveRound(degraded);
+    }
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      if (shard->alerted && shard->health.Serving()) {
+        shard->health.ObserveRound(/*degraded_this_round=*/true);
+      }
+      shard->alerted = false;
+      ExportHealth(shard.get());
+    }
+    // 6. Requeue / retire / tick restart backoffs. A shard is done when
+    //    its stream is exhausted and no drift handling is parked across
+    //    the slice boundary; a parked shard rejoins the queue (in shard
+    //    order) once its backoff expires.
+    for (int index : admitted) {
+      Shard& shard = *shards_[static_cast<size_t>(index)];
+      if (!shard.health.Serving()) continue;
       if (shard.stream->position() >= shard.stream->total_frames() &&
           !shard.pipeline->recovery_pending()) {
         shard.done = true;
+        shard.health.Retire();
+        ExportHealth(&shard);
         continue;
       }
       ready.push_back(index);
+    }
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      if (shard->health.state != HealthState::kRestarting) continue;
+      if (shard->health.TickBackoff()) {
+        ready.push_back(shard->index);
+        ExportHealth(shard.get());
+      }
+    }
+    // 7. Persist the recovery point.
+    if (!options_.manifest_path.empty()) {
+      VDRIFT_RETURN_NOT_OK(WriteManifest(ready));
     }
   }
   // Close the final partial sampler window so the exported series covers
@@ -411,27 +837,7 @@ Result<FleetReport> DriftFleet::Run() {
     sampler_->Sample(static_cast<double>(
         reg.GetCounter("vdrift.pipeline.frames").value()));
   }
-  FleetReport report;
-  report.rounds = rounds_;
-  report.backpressure_waits = backpressure_waits_;
-  report.models_published = models_published_;
-  report.models_adopted = models_adopted_;
-  report.shard_restarts = shard_restarts_;
-  report.streams.reserve(shards_.size());
-  for (const std::unique_ptr<Shard>& shard : shards_) {
-    StreamReport stream_report;
-    stream_report.label = shard->label;
-    stream_report.status =
-        shard->failed ? shard->fail_status : Status::OK();
-    if (shard->pipeline != nullptr) {
-      stream_report.metrics = shard->pipeline->metrics();
-    }
-    stream_report.frames = shard->stream->position();
-    stream_report.slices = shard->slices;
-    stream_report.restarts = shard->restarts;
-    report.streams.push_back(std::move(stream_report));
-  }
-  return report;
+  return build_report(/*halted=*/false, /*halted_round=*/-1);
 }
 
 }  // namespace vdrift::serve

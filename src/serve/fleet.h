@@ -11,11 +11,13 @@
 #include "common/result.h"
 #include "core/registry.h"
 #include "core/registry_cow.h"
+#include "fault/chaos.h"
 #include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
 #include "obs/watchdog.h"
 #include "pipeline/pipeline.h"
+#include "serve/supervisor.h"
 #include "video/stream.h"
 
 namespace vdrift::serve {
@@ -59,13 +61,24 @@ struct FleetOptions {
   /// beyond this wait in the bounded ready queue; each wait increments
   /// vdrift.fleet.backpressure_waits.
   int max_concurrent = 4;
-  /// Restarts (crash drills + failed slices) a shard may consume before it
-  /// is marked failed. Failed shards keep their metrics and status in the
-  /// report — nothing is silently dropped.
-  int max_shard_restarts = 2;
+  /// Restart budget + exponential backoff (supervisor.h). A shard that
+  /// crashes with the budget exhausted is quarantined: restored to its
+  /// last checkpoint for exact accounting, then never scheduled again —
+  /// its unserved frames are counted, not silently lost.
+  int max_restarts = 2;
+  int backoff_base = 1;
+  /// Publication quality gate in front of the shared registry (rejects
+  /// non-finite, uncalibrated, or below-margin models before any other
+  /// shard can adopt them).
+  PublicationGateOptions publication_gate;
   /// Directory for per-stream checkpoint files ("" disables
   /// checkpointing; crash recovery then falls back to a cold start).
   std::string checkpoint_dir;
+  /// Fleet manifest path ("" disables coordinator crash recovery). When
+  /// set, the manifest is written atomically at every round barrier and
+  /// Run() auto-resumes from it when the file exists. Requires
+  /// checkpoint_dir (the manifest references per-shard checkpoints).
+  std::string manifest_path;
   /// Fleet sampler cadence in rounds over the shared registry (0 disables
   /// the sampler, and with it the watchdog).
   int sample_interval_rounds = 0;
@@ -78,16 +91,31 @@ struct FleetOptions {
   std::string jsonl_path;
   /// Deterministic crash drills (tests and chaos benches).
   std::vector<CrashDrill> crash_drills;
+  /// Seed-driven chaos schedule (kill shards, corrupt checkpoints /
+  /// manifests, kill the coordinator). Empty = no chaos.
+  fault::ChaosPlan chaos;
+
+  /// Overlays the documented env knobs onto this options struct:
+  /// VDRIFT_FLEET_MANIFEST, VDRIFT_FLEET_MAX_RESTARTS,
+  /// VDRIFT_FLEET_BACKOFF_BASE. Malformed numeric values abort (a chaos
+  /// campaign with a typo'd budget silently testing nothing is worse).
+  void ApplyEnv();
 };
 
 /// \brief One stream's outcome.
 struct StreamReport {
   std::string label;
-  Status status = Status::OK();  ///< Non-OK when the shard exhausted restarts.
+  Status status = Status::OK();  ///< The quarantine cause when quarantined.
+  HealthState health = HealthState::kHealthy;  ///< Final supervision state.
   pipeline::PipelineMetrics metrics;  ///< Cumulative pipeline metrics.
   int64_t frames = 0;    ///< Stream cursor at the end (frames consumed).
   int64_t slices = 0;    ///< Scheduling slices the shard ran.
   int restarts = 0;      ///< Crash drills + failed-slice restarts consumed.
+  /// Frames the quarantine refused to serve (stream total - checkpoint
+  /// cursor). Loss accounting stays exact:
+  ///   metrics.count_total + metrics.degradation.frames_dropped
+  ///     + quarantined_frames == stream total.
+  int64_t quarantined_frames = 0;
 };
 
 /// \brief Fleet-level outcome.
@@ -98,6 +126,16 @@ struct FleetReport {
   int64_t models_published = 0;  ///< Entries accepted by the shared registry.
   int64_t models_adopted = 0;    ///< Cross-stream adoptions performed.
   int64_t shard_restarts = 0;
+  int64_t publish_rejected = 0;  ///< Models the quality gate refused.
+  int64_t quarantined_frames = 0;  ///< Sum over quarantined shards.
+  /// True when a chaos kKillCoordinator event halted the run mid-fleet;
+  /// the manifest on disk resumes it (construct a fresh fleet with the
+  /// same options + streams and call Run() again).
+  bool halted = false;
+  int64_t halted_round = -1;
+  /// True when this Run() resumed from a manifest instead of starting
+  /// fresh.
+  bool resumed = false;
 };
 
 /// \brief Multi-stream drift-aware serving (ROADMAP item 1).
@@ -114,15 +152,19 @@ struct FleetReport {
 /// ready shards, runs one fixed-size slice per shard in parallel
 /// (ParallelFor — bit-identical at any VDRIFT_THREADS), then executes the
 /// barrier on the fleet thread in admission order:
-///   1. publish models trained this round into the shared registry
+///   1. gate + publish models trained this round into the shared registry
 ///      (append order = deterministic adoption order),
-///   2. restore shards whose slice failed (from their last checkpoint),
+///   2. restore shards whose slice failed (from their last checkpoint) or
+///      quarantine them once the restart budget is exhausted,
 ///   3. adopt every published model each shard is missing (clone first),
 ///   4. checkpoint every live shard (after adoption, so the registry
 ///      fingerprint in the file matches the live replica),
 ///   5. fold per-stream labeled counters into the unlabeled aggregates
-///      (sum of {stream=...} series == aggregate, exactly, every round)
-///      and tick the fleet sampler/watchdog.
+///      (sum of {stream=...} series == aggregate, exactly, every round),
+///      tick the fleet sampler/watchdog, and advance every shard's health
+///      state (vdrift.serve.health{stream="..."} gauges),
+///   6. requeue / retire / tick restart backoffs,
+///   7. write the fleet manifest (when armed).
 /// Models published in round r are visible to other shards at round r+1
 /// regardless of thread count, which is what makes the fleet bit-identical
 /// at VDRIFT_THREADS=1 and 8.
@@ -152,14 +194,15 @@ class DriftFleet {
   /// private replica and builds its pipeline. Labels must be unique.
   Status AddStream(const StreamSpec& spec);
 
-  /// Runs every stream to exhaustion. Returns the per-stream and
+  /// Runs every stream to exhaustion (resuming from the fleet manifest
+  /// first when one is armed and present). Returns the per-stream and
   /// fleet-level report; per-shard pipeline errors are contained (restart
-  /// up to max_shard_restarts, then reported in StreamReport::status), so
-  /// Run itself only fails on fleet-level wiring errors.
+  /// with backoff up to max_restarts, then quarantine), so Run itself only
+  /// fails on fleet-level wiring errors.
   Result<FleetReport> Run();
 
   /// The shared metrics registry: per-stream labeled series plus unlabeled
-  /// aggregates plus vdrift.fleet.* instruments.
+  /// aggregates plus vdrift.fleet.* / vdrift.serve.* instruments.
   const std::shared_ptr<obs::MetricsRegistry>& registry() const {
     return registry_;
   }
@@ -191,12 +234,16 @@ class DriftFleet {
     std::string checkpoint_path;  ///< "" when checkpointing is disabled.
     /// Last aggregated value per counter family (delta folding).
     std::map<std::string, int64_t> prev_counters;
+    /// DegradationStats::total_events() at the last health observation.
+    int64_t prev_degradation_events = 0;
+    /// A per-stream SLO rule breached since the last health observation.
+    bool alerted = false;
     Status slice_status = Status::OK();
     int64_t slices = 0;
-    int restarts = 0;
-    bool done = false;
-    bool failed = false;
-    Status fail_status = Status::OK();
+    bool done = false;  ///< Stream exhausted cleanly (health kRetired).
+    ShardHealth health;
+    Status fail_status = Status::OK();  ///< Quarantine cause.
+    int64_t quarantined_frames = 0;
   };
 
   Shard* FindShard(const std::string& label);
@@ -204,28 +251,49 @@ class DriftFleet {
   /// registry, one entry per fingerprint name, in fingerprint order.
   Status BuildShardPipeline(Shard* shard,
                             const std::vector<std::string>& fingerprint);
-  /// Kill-and-rebuild: restore from the shard's checkpoint, or cold-start
-  /// from the initial fingerprint when the checkpoint is unusable.
-  Status RestoreShard(Shard* shard);
-  /// Barrier step 1: publish models the shard trained this round.
+  /// Rebuild from the shard's checkpoint (cold-start from the initial
+  /// fingerprint when the checkpoint is unusable). No restart accounting.
+  Status RebuildShard(Shard* shard);
+  /// Kill-and-rebuild with accounting: consumes one restart (entering
+  /// kRestarting with backoff) or quarantines the shard when the budget
+  /// is exhausted.
+  Status KillShard(Shard* shard, const Status& cause);
+  /// Restore-then-park: rebuild from the last checkpoint so the books
+  /// close at a well-defined cursor, count the unserved tail as
+  /// quarantined frames, and never schedule the shard again.
+  Status QuarantineShard(Shard* shard, const Status& cause);
+  /// Barrier step 1: gate + publish models the shard trained this round.
   Status PublishShardModels(Shard* shard);
   /// Barrier step 3: clone+adopt published models the shard is missing.
   Status AdoptPublished(Shard* shard);
   /// Barrier step 5: fold labeled counter deltas into the aggregates.
   void AggregateShard(Shard* shard);
+  /// Writes the vdrift.serve.health{stream="..."} gauge for one shard.
+  void ExportHealth(Shard* shard);
+  /// Barrier step 7: snapshot fleet state into the manifest file.
+  Status WriteManifest(const std::deque<int>& ready);
+  /// Applies a decoded manifest: validates it against the wired fleet,
+  /// restores every shard from its checkpoint, and rebuilds the ready
+  /// queue. kDataLoss / kFailedPrecondition mean "start fresh instead".
+  Status ResumeFromManifest(const FleetManifest& manifest,
+                            std::deque<int>* ready);
 
   FleetOptions options_;
+  HealthPolicy health_policy_;
   select::CowModelRegistry published_;
   int base_models_ = 0;  ///< Snapshot prefix published before any stream ran.
   std::shared_ptr<obs::MetricsRegistry> registry_;
   std::shared_ptr<obs::MetricsSampler> sampler_;
   std::shared_ptr<obs::HealthWatchdog> watchdog_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<ModelLineage> lineage_;  ///< In publication order.
   int64_t rounds_ = 0;
   int64_t backpressure_waits_ = 0;
   int64_t models_published_ = 0;
   int64_t models_adopted_ = 0;
   int64_t shard_restarts_ = 0;
+  int64_t publish_rejected_ = 0;
+  int64_t quarantined_frames_ = 0;
 };
 
 }  // namespace vdrift::serve

@@ -1,11 +1,13 @@
 // Tests for the Status / Result error model.
 
+#include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/binio.h"
 #include "common/logging.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -144,6 +146,44 @@ TEST(LoggingTest, SetLogLevelRoundTrips) {
   EXPECT_EQ(internal::GetLogLevel(), LogLevel::kWarning);
   SetLogLevel(LogLevel::kInfo);
   EXPECT_EQ(internal::GetLogLevel(), LogLevel::kInfo);
+}
+
+TEST(AtomicWriteFileTest, RoundTripsBinaryPayloadsAndOverwrites) {
+  std::string path = ::testing::TempDir() + "/vdrift_atomic_write.bin";
+  // Embedded NULs and high bytes must survive byte-for-byte.
+  std::string payload("hello\0\xff\x01world", 13);
+  ASSERT_TRUE(AtomicWriteFile(path, payload).ok());
+  EXPECT_EQ(ReadFileToString(path).ValueOrDie(), payload);
+  // A rewrite replaces the whole file — no stale tail from the longer
+  // previous contents.
+  ASSERT_TRUE(AtomicWriteFile(path, "x").ok());
+  EXPECT_EQ(ReadFileToString(path).ValueOrDie(), "x");
+  // An empty payload yields an empty file, not an error.
+  ASSERT_TRUE(AtomicWriteFile(path, "").ok());
+  EXPECT_EQ(ReadFileToString(path).ValueOrDie(), "");
+  // The staging file is renamed away, never left behind.
+  EXPECT_FALSE(ReadFileToString(path + ".tmp").ok());
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteFileTest, FailsCleanlyOnAnUnwritableDirectory) {
+  std::string path =
+      ::testing::TempDir() + "/vdrift_no_such_dir/never_written.bin";
+  Status status = AtomicWriteFile(path, "data");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  // Nothing was created: neither the target nor a staging file.
+  EXPECT_FALSE(ReadFileToString(path).ok());
+  EXPECT_FALSE(ReadFileToString(path + ".tmp").ok());
+}
+
+TEST(AtomicWriteFileTest, PathWithoutDirectoryUsesTheWorkingDirectory) {
+  // The parent-directory fsync path must handle a bare filename ("." is
+  // the parent) without erroring.
+  std::string name = "vdrift_atomic_cwd_test.bin";
+  ASSERT_TRUE(AtomicWriteFile(name, "cwd").ok());
+  EXPECT_EQ(ReadFileToString(name).ValueOrDie(), "cwd");
+  std::remove(name.c_str());
 }
 
 TEST(LoggingDeathTest, CheckFailureAborts) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/binio.h"
+#include "fault/chaos.h"
 #include "fault/fault.h"
 #include "fault/faulty_stream.h"
 #include "gtest/gtest.h"
@@ -83,6 +84,31 @@ TEST(PerStreamFaultSpecTest, RejectsMalformedSpecs) {
       ParsePerStreamFaultSpec("s1@stall:p=0.1,ms=1|s1@io_fail:p=0.2").ok());
   // Malformed inner plan propagates FaultPlan::Parse's error.
   EXPECT_FALSE(ParsePerStreamFaultSpec("s1@bogus_kind:p=0.1").ok());
+}
+
+TEST(PerStreamFaultSpecTest, RejectsWhitespaceInLabels) {
+  // A label with whitespace can never match a fleet stream label; the
+  // spec typo'd a separator, so the parse says so instead of arming a
+  // plan no stream will ever receive.
+  EXPECT_FALSE(ParsePerStreamFaultSpec("s 1@stall:p=0.1,ms=1").ok());
+  EXPECT_FALSE(ParsePerStreamFaultSpec("s\t1@stall:p=0.1,ms=1").ok());
+  EXPECT_FALSE(ParsePerStreamFaultSpec(" s1@stall:p=0.1,ms=1").ok());
+}
+
+TEST(PerStreamFaultSpecTest, RejectsEmptyPlanClauses) {
+  // "s1@" used to parse into a plan that armed zero faults — a fault
+  // sweep silently testing nothing.
+  EXPECT_FALSE(ParsePerStreamFaultSpec("s1@").ok());
+  EXPECT_FALSE(
+      ParsePerStreamFaultSpec("s0@stall:p=0.1,ms=1|s1@").ok());
+}
+
+TEST(PerStreamFaultSpecTest, ErrorsNameTheOffendingStream) {
+  Status status = ParsePerStreamFaultSpec("s7@").status();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("s7"), std::string::npos)
+      << status.ToString();
 }
 
 TEST(FaultPlanTest, ToStringRoundTrips) {
@@ -401,6 +427,103 @@ TEST(CheckpointCodecTest, InjectedCorruptionIsAlwaysDetected) {
     EXPECT_EQ(r.status().code(), StatusCode::kDataLoss) << "seed " << seed;
   }
   std::remove(path.c_str());
+}
+
+// --- Fleet-level chaos plans. ---
+
+TEST(ChaosPlanTest, SameSeedYieldsTheSameSchedule) {
+  std::vector<std::string> streams = {"s0", "s1", "s2"};
+  ChaosPlan::Options options;
+  options.kill_shard_p = 0.2;
+  options.corrupt_checkpoint_p = 0.1;
+  options.corrupt_manifest_p = 0.05;
+  options.kill_coordinator = true;
+  ChaosPlan a = ChaosPlan::FromSeed(7, streams, 40, options);
+  ChaosPlan b = ChaosPlan::FromSeed(7, streams, 40, options);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind) << i;
+    EXPECT_EQ(a.events[i].round, b.events[i].round) << i;
+    EXPECT_EQ(a.events[i].stream, b.events[i].stream) << i;
+  }
+  // Events are sorted by round and stay inside the horizon.
+  int64_t last_round = 0;
+  for (const ChaosEvent& event : a.events) {
+    EXPECT_GE(event.round, last_round);
+    EXPECT_LT(event.round, 40);
+    last_round = event.round;
+  }
+  // A different seed reshuffles the campaign.
+  ChaosPlan c = ChaosPlan::FromSeed(8, streams, 40, options);
+  EXPECT_NE(a.ToString(), c.ToString());
+}
+
+TEST(ChaosPlanTest, WithoutCoordinatorKillStripsExactlyTheKill) {
+  ChaosPlan::Options options;
+  options.kill_shard_p = 0.3;
+  options.kill_coordinator = true;
+  ChaosPlan plan = ChaosPlan::FromSeed(3, {"s0", "s1"}, 20, options);
+  ASSERT_GE(plan.coordinator_kill_round(), 1);
+  ASSERT_LT(plan.coordinator_kill_round(), 20);
+  ChaosPlan stripped = plan.WithoutCoordinatorKill();
+  EXPECT_EQ(stripped.coordinator_kill_round(), -1);
+  EXPECT_EQ(stripped.events.size(), plan.events.size() - 1);
+  // Every shard-level event survives, in order.
+  size_t j = 0;
+  for (const ChaosEvent& event : plan.events) {
+    if (event.kind == ChaosKind::kKillCoordinator) continue;
+    EXPECT_EQ(stripped.events[j].kind, event.kind);
+    EXPECT_EQ(stripped.events[j].round, event.round);
+    EXPECT_EQ(stripped.events[j].stream, event.stream);
+    ++j;
+  }
+}
+
+TEST(ChaosPlanTest, EventsAtFiltersByRoundInDrawOrder) {
+  ChaosPlan plan;
+  plan.events = {
+      {ChaosKind::kKillShard, 2, "s0"},
+      {ChaosKind::kCorruptCheckpoint, 2, "s1"},
+      {ChaosKind::kKillShard, 5, "s1"},
+  };
+  std::vector<ChaosEvent> at2 = plan.EventsAt(2);
+  ASSERT_EQ(at2.size(), 2u);
+  EXPECT_EQ(at2[0].stream, "s0");
+  EXPECT_EQ(at2[1].kind, ChaosKind::kCorruptCheckpoint);
+  EXPECT_TRUE(plan.EventsAt(3).empty());
+  EXPECT_EQ(plan.EventsAt(5).size(), 1u);
+}
+
+TEST(ChaosPlanTest, EveryKindHasAName) {
+  for (int k = 0; k < static_cast<int>(ChaosKind::kNumChaosKinds); ++k) {
+    EXPECT_STRNE(ChaosKindName(static_cast<ChaosKind>(k)), "");
+  }
+}
+
+TEST(ChaosFileCorruptionTest, FlipsExactlyOneBitDeterministically) {
+  std::string path = ::testing::TempDir() + "/vdrift_chaos_corrupt.bin";
+  const std::string original(256, '\x5a');
+  ASSERT_TRUE(AtomicWriteFile(path, original).ok());
+  ASSERT_TRUE(CorruptFileForChaos(path, /*seed=*/5).ok());
+  std::string damaged = ReadFileToString(path).ValueOrDie();
+  ASSERT_EQ(damaged.size(), original.size());
+  int differing_bits = 0;
+  for (size_t i = 0; i < original.size(); ++i) {
+    unsigned char diff = static_cast<unsigned char>(original[i]) ^
+                         static_cast<unsigned char>(damaged[i]);
+    while (diff != 0) {
+      differing_bits += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(differing_bits, 1);
+  // Same seed, same bit: corrupting again restores the original.
+  ASSERT_TRUE(CorruptFileForChaos(path, /*seed=*/5).ok());
+  EXPECT_EQ(ReadFileToString(path).ValueOrDie(), original);
+  std::remove(path.c_str());
+  // A missing file is an IO error, not a crash.
+  EXPECT_EQ(CorruptFileForChaos(path, 5).code(), StatusCode::kIoError);
 }
 
 TEST(CheckpointCodecTest, AtomicWriteSurvivesCleanRewrite) {

@@ -557,6 +557,44 @@ TEST_F(PipelineFixture, ResumeFromCorruptCheckpointIsDataLossNotCrash) {
   std::remove(path.c_str());
 }
 
+TEST_F(PipelineFixture, CheckpointFromAFutureVersionIsDataLossNotUb) {
+  // A checkpoint written by a future build must be diagnosed before any
+  // payload field is trusted — forward compatibility means refusing
+  // loudly, not decoding garbage.
+  PipelineConfig config = BaseConfig(PipelineConfig::Selector::kMsbo);
+  video::StreamGenerator stream = bench_->dataset.MakeStream();
+  DriftAwarePipeline pipeline(&bench_->registry,
+                              bench_->calibration_samples, config);
+  RunOptions some;
+  some.max_frames = 40;
+  ASSERT_TRUE(pipeline.Run(&stream, some).ok());
+  std::string path = ::testing::TempDir() + "/vdrift_future_version.ckpt";
+  ASSERT_TRUE(pipeline.Checkpoint(path, stream).ok());
+
+  // Hand-build the "future" fixture: the little-endian u32 version field
+  // sits at bytes 8..11, right after the 8-byte "VDCKPT01" magic. Stamp
+  // version 99 and leave everything else (CRC included) intact.
+  {
+    FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 8, SEEK_SET);
+    std::fputc(99, f);
+    std::fputc(0, f);
+    std::fputc(0, f);
+    std::fputc(0, f);
+    std::fclose(f);
+  }
+  video::StreamGenerator fresh_stream = bench_->dataset.MakeStream();
+  DriftAwarePipeline fresh(&bench_->registry, bench_->calibration_samples,
+                           config);
+  Status resumed = fresh.Resume(path, &fresh_stream);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.code(), StatusCode::kDataLoss);
+  EXPECT_NE(resumed.message().find("version"), std::string::npos)
+      << resumed.ToString();
+  std::remove(path.c_str());
+}
+
 TEST_F(PipelineFixture, FaultSweepNeverCrashesAndLosesNothing) {
   // The acceptance sweep in miniature: 8 seeds of a broad fault mix over
   // the full pipeline. Every run must finish with OK status and balanced

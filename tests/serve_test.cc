@@ -5,7 +5,10 @@
 
 #include <sys/stat.h>
 
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -15,13 +18,17 @@
 
 #include "benchutil/workbench.h"
 #include "core/registry_cow.h"
+#include "fault/chaos.h"
 #include "fault/fault.h"
 #include "fault/faulty_stream.h"
+#include "nn/classifier.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/provision.h"
 #include "runtime/parallel.h"
 #include "serve/fleet.h"
+#include "serve/supervisor.h"
 #include "stats/rng.h"
+#include "tensor/tensor.h"
 #include "video/datasets.h"
 #include "video/stream.h"
 
@@ -430,6 +437,550 @@ TEST_F(FleetWiringTest, CowRegistryPublishesAtomicSnapshots) {
   // First writer wins: a second "Day" publishes nothing.
   EXPECT_FALSE(cow.Publish(*day_, *sample_).ValueOrDie());
   EXPECT_EQ(cow.size(), 1);
+}
+
+// --- Supervision: health state machine, quarantine, publication gate,
+// --- and coordinator crash recovery.
+
+TEST(SupervisorHealthTest, StateMachineWalksTheDocumentedTransitions) {
+  HealthPolicy policy;  // max_restarts = 2, backoff_base = 1.
+  ShardHealth h;
+  EXPECT_EQ(h.state, HealthState::kHealthy);
+  EXPECT_TRUE(h.Serving());
+  EXPECT_FALSE(h.Terminal());
+  // Degradation marks the shard degraded; one clean round heals it.
+  h.ObserveRound(true);
+  EXPECT_EQ(h.state, HealthState::kDegraded);
+  EXPECT_TRUE(h.Serving());
+  h.ObserveRound(false);
+  EXPECT_EQ(h.state, HealthState::kHealthy);
+  // First restart: one unit of budget, backoff_base << 0 = 1 parked round.
+  EXPECT_TRUE(h.GrantRestart(policy));
+  EXPECT_EQ(h.state, HealthState::kRestarting);
+  EXPECT_FALSE(h.Serving());
+  EXPECT_EQ(h.restarts, 1);
+  EXPECT_EQ(h.backoff_remaining, 1);
+  // Observations are ignored while parked.
+  h.ObserveRound(false);
+  EXPECT_EQ(h.state, HealthState::kRestarting);
+  // Backoff expiry readmits as degraded — healthy must be earned back.
+  EXPECT_TRUE(h.TickBackoff());
+  EXPECT_EQ(h.state, HealthState::kDegraded);
+  // Second restart: the backoff doubles.
+  EXPECT_TRUE(h.GrantRestart(policy));
+  EXPECT_EQ(h.backoff_remaining, 2);
+  EXPECT_FALSE(h.TickBackoff());
+  EXPECT_TRUE(h.TickBackoff());
+  EXPECT_EQ(h.state, HealthState::kDegraded);
+  // Budget exhausted: the next crash quarantines instead of restarting.
+  EXPECT_FALSE(h.GrantRestart(policy));
+  EXPECT_EQ(h.state, HealthState::kQuarantined);
+  EXPECT_TRUE(h.Terminal());
+  EXPECT_EQ(h.restarts, 2);
+  // Terminal states are sticky.
+  h.Retire();
+  EXPECT_EQ(h.state, HealthState::kQuarantined);
+  h.ObserveRound(false);
+  EXPECT_EQ(h.state, HealthState::kQuarantined);
+}
+
+TEST(SupervisorHealthTest, RetirementAndNames) {
+  ShardHealth h;
+  h.ObserveRound(true);
+  h.Retire();
+  EXPECT_EQ(h.state, HealthState::kRetired);
+  EXPECT_TRUE(h.Terminal());
+  EXPECT_STREQ(HealthStateName(HealthState::kHealthy), "healthy");
+  EXPECT_STREQ(HealthStateName(HealthState::kDegraded), "degraded");
+  EXPECT_STREQ(HealthStateName(HealthState::kRestarting), "restarting");
+  EXPECT_STREQ(HealthStateName(HealthState::kQuarantined), "quarantined");
+  EXPECT_STREQ(HealthStateName(HealthState::kRetired), "retired");
+}
+
+TEST(SupervisorHealthTest, ZeroBackoffBaseSkipsParking) {
+  HealthPolicy policy;
+  policy.max_restarts = 1;
+  policy.backoff_base = 0;
+  ShardHealth h;
+  EXPECT_TRUE(h.GrantRestart(policy));
+  EXPECT_EQ(h.backoff_remaining, 0);
+  // The first tick readmits immediately.
+  EXPECT_TRUE(h.TickBackoff());
+  EXPECT_EQ(h.state, HealthState::kDegraded);
+}
+
+/// Fixed-output classifier for gate tests: the gate is behavioral, so a
+/// stub that always emits the same probability vector is a full test
+/// double for it.
+class StubClassifier : public nn::ProbabilisticClassifier {
+ public:
+  explicit StubClassifier(std::vector<float> probs)
+      : probs_(std::move(probs)) {}
+  std::vector<float> PredictProba(const tensor::Tensor&) override {
+    return probs_;
+  }
+  int Predict(const tensor::Tensor&) override {
+    int best = 0;
+    for (int c = 1; c < static_cast<int>(probs_.size()); ++c) {
+      if (probs_[static_cast<size_t>(c)] > probs_[static_cast<size_t>(best)]) {
+        best = c;
+      }
+    }
+    return best;
+  }
+  int num_classes() const override {
+    return static_cast<int>(probs_.size());
+  }
+
+ private:
+  std::vector<float> probs_;
+};
+
+select::ModelEntry StubEntry(const std::string& name,
+                             std::vector<float> probs) {
+  select::ModelEntry entry;
+  entry.name = name;
+  entry.count_model = std::make_shared<StubClassifier>(std::move(probs));
+  return entry;
+}
+
+std::vector<select::LabeledFrame> StubHoldout(int n, int label) {
+  std::vector<select::LabeledFrame> holdout;
+  for (int i = 0; i < n; ++i) {
+    holdout.push_back({tensor::Tensor({1, 2, 2}, 0.0f), label});
+  }
+  return holdout;
+}
+
+TEST(PublicationGateTest, VerdictsCoverEveryRejectionReason) {
+  PublicationGateOptions options;  // margin 0.1, enabled.
+  std::vector<select::LabeledFrame> holdout = StubHoldout(8, 1);
+  select::ModelEntry right = StubEntry("right", {0.1f, 0.9f});
+  select::ModelEntry wrong = StubEntry("wrong", {0.9f, 0.1f});
+
+  // A lone accurate candidate passes.
+  GateVerdict verdict = EvaluatePublication(right, holdout, {}, options);
+  EXPECT_TRUE(verdict.accepted);
+  EXPECT_TRUE(verdict.reason.empty());
+  EXPECT_DOUBLE_EQ(verdict.candidate_accuracy, 1.0);
+
+  // Missing query model.
+  select::ModelEntry empty;
+  empty.name = "empty";
+  verdict = EvaluatePublication(empty, holdout, {}, options);
+  EXPECT_FALSE(verdict.accepted);
+  EXPECT_EQ(verdict.reason, "no_query_model");
+
+  // Empty calibration table.
+  verdict = EvaluatePublication(right, {}, {}, options);
+  EXPECT_FALSE(verdict.accepted);
+  EXPECT_EQ(verdict.reason, "empty_calibration");
+
+  // Non-finite probabilities.
+  select::ModelEntry nan_model =
+      StubEntry("nan", {std::nanf(""), 0.5f});
+  verdict = EvaluatePublication(nan_model, holdout, {}, options);
+  EXPECT_FALSE(verdict.accepted);
+  EXPECT_EQ(verdict.reason, "nonfinite");
+
+  // Below the incumbent by more than the margin.
+  std::vector<const select::ModelEntry*> incumbents = {&right};
+  verdict = EvaluatePublication(wrong, holdout, incumbents, options);
+  EXPECT_FALSE(verdict.accepted);
+  EXPECT_EQ(verdict.reason, "below_margin");
+  EXPECT_DOUBLE_EQ(verdict.candidate_accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(verdict.incumbent_accuracy, 1.0);
+
+  // A generous margin forgives the same gap.
+  PublicationGateOptions generous = options;
+  generous.accuracy_margin = 2.0;
+  EXPECT_TRUE(EvaluatePublication(wrong, holdout, incumbents, generous)
+                  .accepted);
+
+  // Disabling the gate accepts anything, even NaN output.
+  PublicationGateOptions off = options;
+  off.enabled = false;
+  EXPECT_TRUE(EvaluatePublication(nan_model, holdout, {}, off).accepted);
+}
+
+FleetManifest MakeManifest() {
+  FleetManifest manifest;
+  manifest.next_round = 7;
+  manifest.backpressure_waits = 3;
+  manifest.models_published = 2;
+  manifest.models_adopted = 4;
+  manifest.shard_restarts = 1;
+  manifest.publish_rejected = 5;
+  manifest.quarantined_frames = 216;
+  manifest.slice_frames = 48;
+  ShardManifest s0;
+  s0.label = "s0";
+  s0.checkpoint_path = "/tmp/s0.ckpt";
+  s0.health = static_cast<uint8_t>(HealthState::kDegraded);
+  s0.restarts = 1;
+  s0.backoff_remaining = 2;
+  s0.slices = 9;
+  ShardManifest s1;
+  s1.label = "s1";
+  s1.checkpoint_path = "/tmp/s1.ckpt";
+  s1.health = static_cast<uint8_t>(HealthState::kQuarantined);
+  s1.restarts = 2;
+  s1.slices = 4;
+  s1.fail_code = static_cast<int32_t>(StatusCode::kInternal);
+  s1.fail_message = "chaos kill at round 5";
+  manifest.shards = {s0, s1};
+  manifest.ready = {1, 0};
+  manifest.lineage = {{"Day", "", -1}, {"s0.learned-0", "s0", 3}};
+  return manifest;
+}
+
+TEST(FleetManifestTest, CodecRoundTripsEveryField) {
+  FleetManifest manifest = MakeManifest();
+  std::string bytes = EncodeFleetManifest(manifest);
+  Result<FleetManifest> decoded = DecodeFleetManifest(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const FleetManifest& out = decoded.value();
+  EXPECT_EQ(out.next_round, manifest.next_round);
+  EXPECT_EQ(out.backpressure_waits, manifest.backpressure_waits);
+  EXPECT_EQ(out.models_published, manifest.models_published);
+  EXPECT_EQ(out.models_adopted, manifest.models_adopted);
+  EXPECT_EQ(out.shard_restarts, manifest.shard_restarts);
+  EXPECT_EQ(out.publish_rejected, manifest.publish_rejected);
+  EXPECT_EQ(out.quarantined_frames, manifest.quarantined_frames);
+  EXPECT_EQ(out.slice_frames, manifest.slice_frames);
+  EXPECT_EQ(out.ready, manifest.ready);
+  ASSERT_EQ(out.shards.size(), 2u);
+  EXPECT_EQ(out.shards[0].label, "s0");
+  EXPECT_EQ(out.shards[0].checkpoint_path, "/tmp/s0.ckpt");
+  EXPECT_EQ(out.shards[0].health,
+            static_cast<uint8_t>(HealthState::kDegraded));
+  EXPECT_EQ(out.shards[0].restarts, 1);
+  EXPECT_EQ(out.shards[0].backoff_remaining, 2);
+  EXPECT_EQ(out.shards[0].slices, 9);
+  EXPECT_EQ(out.shards[1].fail_code,
+            static_cast<int32_t>(StatusCode::kInternal));
+  EXPECT_EQ(out.shards[1].fail_message, "chaos kill at round 5");
+  ASSERT_EQ(out.lineage.size(), 2u);
+  EXPECT_EQ(out.lineage[0].name, "Day");
+  EXPECT_EQ(out.lineage[0].round, -1);
+  EXPECT_EQ(out.lineage[1].publisher, "s0");
+  EXPECT_EQ(out.lineage[1].round, 3);
+}
+
+TEST(FleetManifestTest, EverySingleByteFlipIsDetected) {
+  std::string bytes = EncodeFleetManifest(MakeManifest());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string damaged = bytes;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0x01);
+    Result<FleetManifest> decoded = DecodeFleetManifest(damaged);
+    ASSERT_FALSE(decoded.ok()) << "byte " << i << " flip went undetected";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss) << "byte " << i;
+  }
+}
+
+TEST(FleetManifestTest, TruncationPaddingAndBadStatesAreDataLoss) {
+  std::string bytes = EncodeFleetManifest(MakeManifest());
+  EXPECT_EQ(DecodeFleetManifest("").status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(DecodeFleetManifest(bytes.substr(0, bytes.size() / 2))
+                .status()
+                .code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(DecodeFleetManifest(bytes + "x").status().code(),
+            StatusCode::kDataLoss);
+  // An undefined health-state byte is diagnosed, not cast blindly.
+  FleetManifest bad_health = MakeManifest();
+  bad_health.shards[0].health = 9;
+  EXPECT_EQ(DecodeFleetManifest(EncodeFleetManifest(bad_health))
+                .status()
+                .code(),
+            StatusCode::kDataLoss);
+  // A ready-queue index beyond the shard list is diagnosed too.
+  FleetManifest bad_ready = MakeManifest();
+  bad_ready.ready = {5};
+  EXPECT_EQ(DecodeFleetManifest(EncodeFleetManifest(bad_ready))
+                .status()
+                .code(),
+            StatusCode::kDataLoss);
+}
+
+TEST_F(FleetFixture, ExhaustedRestartBudgetQuarantinesWithExactBooks) {
+  std::string dir = ::testing::TempDir() + "/vdrift_fleet_quarantine";
+  ::mkdir(dir.c_str(), 0755);
+  FleetOptions options = BaseOptions();
+  options.max_concurrent = 3;
+  options.checkpoint_dir = dir;
+  options.max_restarts = 1;
+  FleetRun baseline = RunTokyoFleet(options, 3);
+  // Two kills against s1: the first consumes the whole restart budget,
+  // the second quarantines the shard.
+  options.crash_drills.push_back({"s1", 2});
+  options.crash_drills.push_back({"s1", 4});
+  FleetRun drilled = RunTokyoFleet(options, 3);
+  ASSERT_EQ(drilled.report.streams.size(), 3u);
+  const StreamReport& q = drilled.report.streams[1];
+  EXPECT_EQ(q.health, HealthState::kQuarantined);
+  EXPECT_FALSE(q.status.ok());
+  EXPECT_EQ(q.restarts, 1);
+  EXPECT_GT(q.quarantined_frames, 0);
+  // Exact loss accounting: every frame of the stream either answered the
+  // count query, was dropped (and counted), or was refused by the
+  // quarantine (and counted). Nothing is silently lost.
+  const int64_t total = bench_->dataset.total_frames();
+  EXPECT_EQ(q.metrics.Totals().count_total +
+                q.metrics.degradation.frames_dropped + q.quarantined_frames,
+            total);
+  EXPECT_LT(q.frames, total);
+  EXPECT_EQ(drilled.report.quarantined_frames, q.quarantined_frames);
+  // The other streams never notice: byte-identical to the drill-free run.
+  ExpectStreamIdentical(baseline.report.streams[0],
+                        drilled.report.streams[0]);
+  ExpectStreamIdentical(baseline.report.streams[2],
+                        drilled.report.streams[2]);
+  EXPECT_EQ(drilled.report.streams[0].health, HealthState::kRetired);
+  EXPECT_EQ(drilled.report.streams[2].health, HealthState::kRetired);
+  // The health gauges mirror the final states, numerically.
+  EXPECT_EQ(drilled.registry
+                ->GetGauge("vdrift.serve.health", {{"stream", "s1"}})
+                .value(),
+            static_cast<double>(HealthState::kQuarantined));
+  EXPECT_EQ(drilled.registry
+                ->GetGauge("vdrift.serve.health", {{"stream", "s0"}})
+                .value(),
+            static_cast<double>(HealthState::kRetired));
+  // And the quarantine counters book the same loss.
+  EXPECT_EQ(
+      drilled.registry->GetCounter("vdrift.serve.quarantined").value(), 1);
+  EXPECT_EQ(drilled.registry
+                ->GetCounter("vdrift.serve.quarantine_dropped_frames")
+                .value(),
+            q.quarantined_frames);
+}
+
+TEST(FleetGateTest, BelowMarginModelNeverReachesTheSharedRegistry) {
+  // The FleetCowTest scenario with the gate margin forced impossible:
+  // accuracy <= 1 can never reach incumbent + 2, so every trained model is
+  // rejected at the barrier. "b" then cannot adopt a's model and must
+  // train its own — and the shared registry never grows.
+  stats::Rng rng(77);
+  video::SyntheticDataset ds = video::MakeTokyoSynthetic(0.004);
+  video::SceneSpec sparse = ds.SpecOf("Angle 1");
+  sparse.name = "Sparse";
+  sparse.object_rate_mean = 1.5;
+  sparse.object_rate_std = 1.0;
+  video::SceneSpec dense = sparse;
+  dense.name = "Dense";
+  dense.object_rate_mean = 14.0;
+  dense.object_rate_std = 2.0;
+  pipeline::ProvisionOptions provision =
+      benchutil::DefaultWorkbenchOptions().provision;
+  provision.classifier_train.epochs = 8;
+  std::vector<video::Frame> sparse_frames =
+      video::GenerateFrames(sparse, 200, 32, 500);
+  select::ModelEntry base =
+      pipeline::ProvisionModel("Sparse", sparse_frames, provision, &rng)
+          .ValueOrDie();
+  std::vector<select::LabeledFrame> sparse_sample =
+      pipeline::MakeLabeledSample(sparse_frames, 8, 24, &rng);
+
+  FleetOptions options;
+  options.pipeline.selector = pipeline::PipelineConfig::Selector::kMsbo;
+  options.pipeline.provision = provision;
+  options.pipeline.allow_training_new = true;
+  options.pipeline.new_model_window = 80;
+  options.slice_frames = 64;
+  options.max_concurrent = 2;
+  options.publication_gate.accuracy_margin = -2.0;
+  DriftFleet fleet(options);
+  ASSERT_TRUE(fleet.AddBaseModel(base, sparse_sample).ok());
+  video::StreamGenerator stream_a({{sparse, 120}, {dense, 260}}, 32, 321);
+  video::StreamGenerator stream_b({{sparse, 320}, {dense, 200}}, 32, 654);
+  ASSERT_TRUE(fleet.AddStream({"a", &stream_a, nullptr}).ok());
+  ASSERT_TRUE(fleet.AddStream({"b", &stream_b, nullptr}).ok());
+  FleetReport report = fleet.Run().ValueOrDie();
+
+  ASSERT_EQ(report.streams.size(), 2u);
+  const StreamReport& a = report.streams[0];
+  const StreamReport& b = report.streams[1];
+  // Both trained privately; nothing was published or adopted.
+  EXPECT_EQ(a.metrics.new_models_trained, 1);
+  EXPECT_EQ(b.metrics.new_models_trained, 1);
+  EXPECT_EQ(report.models_published, 0);
+  EXPECT_EQ(report.models_adopted, 0);
+  EXPECT_GE(report.publish_rejected, 2);
+  EXPECT_EQ(fleet.published().size(), 1);
+  EXPECT_LT(fleet.published().FindByName("a.learned-0"), 0);
+  EXPECT_LT(fleet.published().FindByName("b.learned-0"), 0);
+  // The rejected model stays private to its shard: a still serves with it.
+  ASSERT_FALSE(a.metrics.selections.empty());
+  EXPECT_EQ(a.metrics.selections[0], "a.learned-0");
+  ASSERT_FALSE(b.metrics.selections.empty());
+  EXPECT_EQ(b.metrics.selections[0], "b.learned-0");
+  // Rejection counters: the {reason=...} series sum to the aggregate.
+  obs::MetricsRegistry& reg = *fleet.registry();
+  const int64_t unlabeled =
+      reg.GetCounter("vdrift.serve.publish_rejected").value();
+  EXPECT_EQ(unlabeled, report.publish_rejected);
+  int64_t by_reason = 0;
+  for (const char* reason :
+       {"no_query_model", "empty_calibration", "nonfinite", "below_margin"}) {
+    by_reason +=
+        reg.GetCounter("vdrift.serve.publish_rejected", {{"reason", reason}})
+            .value();
+  }
+  EXPECT_EQ(by_reason, unlabeled);
+  EXPECT_GE(reg.GetCounter("vdrift.serve.publish_rejected",
+                           {{"reason", "below_margin"}})
+                .value(),
+            2);
+}
+
+TEST_F(FleetFixture, ChaosCampaignResumesBitIdenticallyAcrossThreads) {
+  // Seed-driven chaos: shard kills and checkpoint corruption throughout,
+  // plus one coordinator kill. The fleet halted by the coordinator kill
+  // and resumed from its manifest must finish byte-identical to a fleet
+  // that ran the same shard-level chaos uninterrupted — at 1 and 4
+  // threads. VDRIFT_CHAOS_SEED varies the campaign (CI runs a matrix).
+  uint64_t seed = 1234;
+  if (const char* env = std::getenv("VDRIFT_CHAOS_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  fault::ChaosPlan::Options chaos_options;
+  chaos_options.kill_shard_p = 0.08;
+  chaos_options.corrupt_checkpoint_p = 0.04;
+  chaos_options.kill_coordinator = true;
+  fault::ChaosPlan plan = fault::ChaosPlan::FromSeed(
+      seed, {"s0", "s1", "s2"}, /*horizon_rounds=*/6, chaos_options);
+  ASSERT_GE(plan.coordinator_kill_round(), 1) << plan.ToString();
+
+  FleetOptions options = BaseOptions();
+  options.max_concurrent = 3;
+
+  // The uninterrupted reference run: same chaos minus the coordinator
+  // kill, its own checkpoint dir (kill_shard restores must never read
+  // another run's files).
+  // Chaos can kill a shard at round 0, before this run wrote any
+  // checkpoint — scrub stale files from earlier invocations so a
+  // round-0 restore is a cold start in every run.
+  auto scrub = [](const std::string& dir) {
+    for (const char* label : {"s0", "s1", "s2"}) {
+      std::remove((dir + "/" + label + ".ckpt").c_str());
+    }
+  };
+  std::string ref_dir = ::testing::TempDir() + "/vdrift_chaos_ref";
+  ::mkdir(ref_dir.c_str(), 0755);
+  scrub(ref_dir);
+  FleetOptions reference = options;
+  reference.checkpoint_dir = ref_dir;
+  reference.chaos = plan.WithoutCoordinatorKill();
+  FleetRun uninterrupted;
+  {
+    runtime::ScopedThreads scoped(1);
+    uninterrupted = RunTokyoFleet(reference, 3);
+  }
+  EXPECT_FALSE(uninterrupted.report.halted);
+  const int64_t total = bench_->dataset.total_frames();
+
+  for (int threads : {1, 4}) {
+    runtime::ScopedThreads scoped(threads);
+    std::string dir =
+        ::testing::TempDir() + "/vdrift_chaos_t" + std::to_string(threads);
+    ::mkdir(dir.c_str(), 0755);
+    scrub(dir);
+    FleetOptions killed = options;
+    killed.checkpoint_dir = dir;
+    killed.manifest_path = dir + "/fleet.manifest";
+    std::remove(killed.manifest_path.c_str());
+    killed.chaos = plan;
+    FleetRun halted = RunTokyoFleet(killed, 3);
+    ASSERT_TRUE(halted.report.halted) << "threads " << threads;
+    EXPECT_EQ(halted.report.halted_round, plan.coordinator_kill_round());
+
+    // Resume: a fresh fleet over fresh stream objects, with the kill
+    // stripped (it already happened).
+    FleetOptions resume = killed;
+    resume.chaos = plan.WithoutCoordinatorKill();
+    FleetRun resumed = RunTokyoFleet(resume, 3);
+    ASSERT_TRUE(resumed.report.resumed) << "threads " << threads;
+    EXPECT_FALSE(resumed.report.halted);
+    ASSERT_EQ(resumed.report.streams.size(), 3u);
+    for (size_t i = 0; i < 3; ++i) {
+      const StreamReport& stream = resumed.report.streams[i];
+      ExpectStreamIdentical(uninterrupted.report.streams[i], stream);
+      EXPECT_EQ(stream.health, uninterrupted.report.streams[i].health)
+          << stream.label;
+      // Zero silent loss even through kills, corruption, and the resume.
+      EXPECT_EQ(stream.metrics.Totals().count_total +
+                    stream.metrics.degradation.frames_dropped +
+                    stream.quarantined_frames,
+                total)
+          << stream.label << " threads " << threads;
+    }
+    EXPECT_EQ(resumed.report.rounds, uninterrupted.report.rounds)
+        << "threads " << threads;
+    EXPECT_EQ(resumed.report.backpressure_waits,
+              uninterrupted.report.backpressure_waits);
+    EXPECT_EQ(resumed.report.shard_restarts,
+              uninterrupted.report.shard_restarts);
+    EXPECT_EQ(resumed.report.quarantined_frames,
+              uninterrupted.report.quarantined_frames);
+    EXPECT_EQ(resumed.report.models_published,
+              uninterrupted.report.models_published);
+  }
+}
+
+TEST_F(FleetFixture, CorruptManifestFallsBackToAFreshRunLoudly) {
+  std::string dir = ::testing::TempDir() + "/vdrift_fleet_manifest";
+  ::mkdir(dir.c_str(), 0755);
+  FleetOptions options = BaseOptions();
+  options.max_concurrent = 3;
+  options.checkpoint_dir = dir;
+  options.manifest_path = dir + "/fleet.manifest";
+  std::remove(options.manifest_path.c_str());
+  FleetRun first = RunTokyoFleet(options, 3);
+  EXPECT_FALSE(first.report.resumed);
+  EXPECT_GT(first.registry->GetCounter("vdrift.serve.manifest_writes")
+                .value(),
+            0);
+  // Damage the manifest the completed run left behind. The next fleet must
+  // refuse to resume from it, say so, and run fresh to the same result.
+  ASSERT_TRUE(
+      fault::CorruptFileForChaos(options.manifest_path, /*seed=*/7).ok());
+  FleetRun second = RunTokyoFleet(options, 3);
+  EXPECT_FALSE(second.report.resumed);
+  EXPECT_EQ(second.registry
+                ->GetCounter("vdrift.serve.manifest_resume_failures")
+                .value(),
+            1);
+  ASSERT_EQ(second.report.streams.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    ExpectStreamIdentical(first.report.streams[i],
+                          second.report.streams[i]);
+  }
+}
+
+TEST_F(FleetWiringTest, ManifestWithoutCheckpointDirIsRejected) {
+  video::SyntheticDataset ds = video::MakeBddSynthetic(0.002);
+  video::StreamGenerator stream = ds.MakeStream();
+  FleetOptions options;
+  options.pipeline.provision = benchutil::DefaultWorkbenchOptions().provision;
+  options.manifest_path = ::testing::TempDir() + "/orphan.manifest";
+  DriftFleet fleet(options);
+  ASSERT_TRUE(fleet.AddBaseModel(*day_, *sample_).ok());
+  ASSERT_TRUE(fleet.AddStream({"s0", &stream, nullptr}).ok());
+  EXPECT_EQ(fleet.Run().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FleetWiringTest, ChaosAgainstUnknownStreamIsAnError) {
+  video::SyntheticDataset ds = video::MakeBddSynthetic(0.002);
+  video::StreamGenerator stream = ds.MakeStream();
+  FleetOptions options;
+  options.pipeline.provision = benchutil::DefaultWorkbenchOptions().provision;
+  options.chaos.events.push_back(
+      {fault::ChaosKind::kKillShard, /*round=*/1, "ghost"});
+  DriftFleet fleet(options);
+  ASSERT_TRUE(fleet.AddBaseModel(*day_, *sample_).ok());
+  ASSERT_TRUE(fleet.AddStream({"s0", &stream, nullptr}).ok());
+  EXPECT_EQ(fleet.Run().status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(FleetWiringTest, CloneModelEntrySharesNothingButPreservesAliasing) {

@@ -570,9 +570,38 @@ if frames <= 0:
 if counters.get("vdrift.fleet.rounds", 0) <= 0:
     fail("fleet recorded no scheduling rounds")
 
+# Supervision: every stream must expose a health gauge whose value is a
+# legal HealthState (0=healthy .. 4=retired).
+gauges = report.get("gauges") or {}
+HEALTH = re.compile(r'^vdrift\.serve\.health\{stream="(?P<stream>[^"]+)"\}$')
+health = {}
+for name, value in gauges.items():
+    m = HEALTH.match(name)
+    if m is not None:
+        health[m.group("stream")] = value
+missing = streams - set(health)
+if missing:
+    fail(f"streams {sorted(missing)} have no vdrift.serve.health gauge")
+for stream, value in sorted(health.items()):
+    if value != int(value) or not 0 <= value <= 4:
+        fail(f'vdrift.serve.health{{stream="{stream}"}} = {value} is not a '
+             "HealthState in [0, 4]")
+
+# Publication gate: the {reason=...} rejection series must sum exactly to
+# the unlabeled aggregate (both zero when nothing was rejected).
+REASON = re.compile(r'^vdrift\.serve\.publish_rejected\{reason="[^"]+"\}$')
+reason_sum = sum(v for n, v in counters.items() if REASON.match(n))
+rejected = counters.get("vdrift.serve.publish_rejected")
+if rejected is None:
+    fail("vdrift.serve.publish_rejected aggregate counter is missing")
+if reason_sum != rejected:
+    fail(f"publish_rejected {{reason=...}} series sum {reason_sum} "
+         f"!= aggregate {rejected}")
+
 print(f"OK: fleet pass: {checked} counter families over "
       f"{len(streams)} streams sum exactly to the fleet aggregates "
-      f"({frames} frames)")
+      f"({frames} frames); {len(health)} health gauges in range; "
+      f"publish_rejected reasons sum to {rejected}")
 EOF
 
 echo "ALL CHECKS PASSED"

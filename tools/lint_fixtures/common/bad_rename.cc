@@ -1,0 +1,32 @@
+// Fixture: raw rename instead of common::AtomicWriteFile.
+#include <cstdio>
+#include <string>
+
+namespace vdrift {
+
+void BadPublish(const std::string& tmp, const std::string& path) {
+  std::rename(tmp.c_str(), path.c_str());  // lint-expect: no-unchecked-rename
+}
+
+void BadPosixPublish(const std::string& tmp, const std::string& path) {
+  rename(tmp.c_str(), path.c_str());  // lint-expect: no-unchecked-rename
+}
+
+int AllowedPublish(const std::string& tmp, const std::string& path) {
+  // vdrift-lint: allow(no-unchecked-rename): fixture stand-in for the one
+  // checked call site inside AtomicWriteFile
+  return std::rename(tmp.c_str(), path.c_str());
+}
+
+struct FileApi {
+  // vdrift-lint: allow(no-unchecked-rename): member declaration, not the
+  // POSIX call
+  void rename(const char* to);
+};
+
+void NotAFinding(FileApi* api, const std::string& to) {
+  // Member calls are someone else's API, not the POSIX rename.
+  api->rename(to.c_str());
+}
+
+}  // namespace vdrift

@@ -31,6 +31,12 @@ enforce by memory; this tool makes them machine-checked:
                             so Clang Thread Safety Analysis sees every
                             critical section. Raw std::mutex/<mutex> use is
                             invisible to -Werror=thread-safety.
+  no-unchecked-rename       All file publication goes through
+                            common::AtomicWriteFile (staging write + fsync +
+                            checked rename + parent-dir fsync). A raw
+                            std::rename drops the error, skips durability,
+                            and can publish a torn file; the one legitimate
+                            call site lives inside AtomicWriteFile itself.
 
 Suppressions (every one needs a rationale after the colon):
   ... code ...  // vdrift-lint: allow(check-name): why this is fine
@@ -80,6 +86,10 @@ CHECKS = {
     "no-raw-mutex":
         "locking must use common/sync.h (TSA-annotated); raw std::mutex "
         "is invisible to thread-safety analysis",
+    "no-unchecked-rename":
+        "file publication must go through common::AtomicWriteFile "
+        "(fsync + checked rename + parent fsync); raw std::rename loses "
+        "the error and the durability guarantee",
 }
 
 CHECK_PATTERNS = {
@@ -101,6 +111,10 @@ CHECK_PATTERNS = {
             r"|std::lock_guard\b|std::unique_lock\b|std::scoped_lock\b"
             r"|std::condition_variable\b"
             r"|#\s*include\s*<(?:mutex|condition_variable|shared_mutex)>"),
+    # std::rename or a bare rename( call; member calls (x.rename / ->rename)
+    # and qualified non-std uses (fs::rename) are someone else's API.
+    "no-unchecked-rename":
+        re.compile(r"std::rename\s*\(|(?<![\w:.>])rename\s*\("),
 }
 
 # Function declarations returning Status / Result<...> (header files).
@@ -260,6 +274,12 @@ def scan_file(path, relpath, class_nodiscard):
                 "no-raw-mutex",
                 "raw mutex primitive: use vdrift::Mutex / MutexLock / "
                 "CondVar from common/sync.h (TSA-annotated)")
+        if CHECK_PATTERNS["no-unchecked-rename"].search(code):
+            report(
+                "no-unchecked-rename",
+                "raw rename: publish files through "
+                "common::AtomicWriteFile (fsync + checked rename + "
+                "parent-dir fsync)")
         if is_header:
             if CLASS_DECL_RE.match(code) and not CLASS_NODISCARD_RE.match(
                     code):
